@@ -1,0 +1,22 @@
+//! Criterion microbenchmark behind Figure 19: centralized vs optimistic
+//! lease renewal cycles as the GPU count scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use blox_runtime::lease::{centralized_renewal_cycle, optimistic_renewal_cycle};
+
+fn bench_lease(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lease_renewal");
+    group.sample_size(20);
+    for gpus in [32u32, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("centralized", gpus), &gpus, |b, &g| {
+            b.iter(|| centralized_renewal_cycle(g))
+        });
+        group.bench_with_input(BenchmarkId::new("optimistic", gpus), &gpus, |b, &g| {
+            b.iter(|| optimistic_renewal_cycle(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lease);
+criterion_main!(benches);

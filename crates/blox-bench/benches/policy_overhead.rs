@@ -1,0 +1,59 @@
+//! Per-round decision cost of each scheduling policy at a fixed queue
+//! depth — the scheduler-side overhead a 300 s round must absorb.
+
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use blox_core::policy::SchedulingPolicy;
+use blox_core::state::JobState;
+use blox_policies::scheduling::{Fifo, Gavel, Las, Optimus, Pollux, Srtf, Themis, Tiresias};
+use blox_sim::cluster_of_v100;
+use blox_workloads::ModelZoo;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn state(n: usize) -> JobState {
+    let zoo = ModelZoo::standard();
+    let mut js = JobState::new();
+    js.add_new_jobs(
+        (0..n)
+            .map(|i| {
+                let mut j = Job::new(
+                    JobId(i as u64),
+                    i as f64,
+                    1 + (i % 4) as u32,
+                    1e5,
+                    zoo.profile(i).clone(),
+                );
+                j.attained_service = (i * 37 % 9000) as f64;
+                j
+            })
+            .collect(),
+    );
+    js
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let cluster = cluster_of_v100(32);
+    let js = state(500);
+    let mut group = c.benchmark_group("policy_schedule_500_jobs");
+    group.sample_size(20);
+    macro_rules! bench {
+        ($name:expr, $p:expr) => {
+            group.bench_function($name, |b| {
+                let mut p = $p;
+                b.iter(|| p.schedule(&js, &cluster, 1000.0))
+            });
+        };
+    }
+    bench!("fifo", Fifo::new());
+    bench!("las", Las::new());
+    bench!("srtf", Srtf::new());
+    bench!("tiresias", Tiresias::new());
+    bench!("optimus", Optimus::new());
+    bench!("gavel", Gavel::new());
+    bench!("pollux", Pollux::new());
+    bench!("themis", Themis::new());
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end simulator throughput: rounds per second for a full
+//! scheduler composition on a 128-GPU cluster.
+
+use blox_bench::{philly_trace, run_tracked, PhillySetup};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::Tiresias;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("philly_200_jobs_tiresias", |b| {
+        b.iter(|| {
+            let setup = PhillySetup {
+                n_jobs: 200,
+                track_lo: 100,
+                track_hi: 150,
+                nodes: 32,
+                seed: 5,
+            };
+            let trace = philly_trace(&setup, 8.0);
+            run_tracked(
+                trace,
+                setup.nodes,
+                300.0,
+                (setup.track_lo, setup.track_hi),
+                &mut AcceptAll::new(),
+                &mut Tiresias::new(),
+                &mut ConsolidatedPlacement::preferred(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

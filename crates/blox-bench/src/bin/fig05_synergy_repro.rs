@@ -1,0 +1,67 @@
+//! Figure 5: reproducing Synergy — Proportional vs Synergy-Tune JCT CDFs
+//! in Blox against the reference implementation.
+
+use blox_bench::reference::{run_reference, RefPolicy};
+use blox_bench::{banner, philly_trace, row, run_to_completion, s0, shape_check, PhillySetup};
+use blox_core::metrics::percentile;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::SynergyPlacement;
+use blox_policies::scheduling::Synergy;
+
+fn main() {
+    banner(
+        "Figure 5: Synergy reproduction",
+        "Proportional and Synergy-Tune CDFs in Blox match the reference; Tune dominates Proportional",
+    );
+    let setup = PhillySetup {
+        n_jobs: (500.0 * blox_bench::scale()) as usize,
+        nodes: 16,
+        ..Default::default()
+    };
+    let trace = philly_trace(&setup, 3.0);
+
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, mut sched, mut place) in [
+        ("proportional-blox", Synergy::proportional(), SynergyPlacement::proportional()),
+        ("tune-blox", Synergy::tune(), SynergyPlacement::tune()),
+    ] {
+        let stats = run_to_completion(
+            trace.clone(),
+            setup.nodes,
+            300.0,
+            &mut AcceptAll::new(),
+            &mut sched,
+            &mut place,
+        );
+        let mut jcts: Vec<f64> = stats.records.iter().map(|r| r.jct()).collect();
+        jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        curves.push((name.to_string(), jcts));
+    }
+    for (name, policy) in [
+        ("proportional-ref", RefPolicy::SynergyProportional),
+        ("tune-ref", RefPolicy::SynergyTune),
+    ] {
+        let mut jcts: Vec<f64> = run_reference(&trace, setup.nodes * 4, 300.0, policy)
+            .iter()
+            .map(|(_, j)| *j)
+            .collect();
+        jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        curves.push((name.to_string(), jcts));
+    }
+
+    row(&["quantile,proportional-blox,tune-blox,proportional-ref,tune-ref".into()]);
+    for q in [0.25, 0.5, 0.75, 0.9] {
+        let mut cols = vec![format!("{q:.2}")];
+        for (_, jcts) in &curves {
+            cols.push(s0(percentile(jcts, q)));
+        }
+        row(&cols);
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let prop_blox = mean(&curves[0].1);
+    let tune_blox = mean(&curves[1].1);
+    let prop_ref = mean(&curves[2].1);
+    let tune_ref = mean(&curves[3].1);
+    println!("avg JCT: prop-blox={prop_blox:.0} tune-blox={tune_blox:.0} prop-ref={prop_ref:.0} tune-ref={tune_ref:.0}");
+    shape_check("Tune <= Proportional in both implementations", tune_blox <= prop_blox * 1.02 && tune_ref <= prop_ref * 1.02);
+}

@@ -1,0 +1,44 @@
+//! Figure 6: avg JCT of FIFO / Tiresias / Optimus on the Philly trace as
+//! load sweeps 1–9 jobs/hour.
+
+use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, Optimus, Tiresias};
+
+fn main() {
+    banner(
+        "Figure 6: scheduling policies, avg JCT vs load",
+        "Optimus lowest JCT at low load; at high load FIFO can beat Tiresias on JCT",
+    );
+    let setup = PhillySetup::default();
+    row(&["jobs_per_hour,fifo,tiresias,optimus".into()]);
+    let mut last = (0.0, 0.0, 0.0);
+    let mut low_load_optimus_ok = false;
+    for lambda in 1..=9u32 {
+        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
+            let trace = philly_trace(&setup, lambda as f64);
+            run_tracked(
+                trace,
+                setup.nodes,
+                300.0,
+                (setup.track_lo, setup.track_hi),
+                &mut AcceptAll::new(),
+                sched,
+                &mut ConsolidatedPlacement::preferred(),
+            )
+            .0
+            .avg_jct
+        };
+        let fifo = run(&mut Fifo::new());
+        let tiresias = run(&mut Tiresias::new());
+        let optimus = run(&mut Optimus::new());
+        if lambda <= 3 && optimus <= fifo && optimus <= tiresias {
+            low_load_optimus_ok = true;
+        }
+        last = (fifo, tiresias, optimus);
+        row(&[lambda.to_string(), s0(fifo), s0(tiresias), s0(optimus)]);
+    }
+    shape_check("Optimus best at low load", low_load_optimus_ok);
+    shape_check("high load separates the policies", last.0 > 3.0 * 33_000.0 || last.1 > 3.0 * 33_000.0);
+}

@@ -1,0 +1,41 @@
+//! Figure 7: avg responsiveness of FIFO / Tiresias / Optimus on the
+//! Philly trace as load sweeps 1–9 jobs/hour.
+
+use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, Optimus, Tiresias};
+
+fn main() {
+    banner(
+        "Figure 7: scheduling policies, avg responsiveness vs load",
+        "Tiresias stays responsive under load; FIFO responsiveness collapses at high load",
+    );
+    let setup = PhillySetup::default();
+    row(&["jobs_per_hour,fifo,tiresias,optimus".into()]);
+    let mut high = (0.0, 0.0);
+    for lambda in 1..=9u32 {
+        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
+            let trace = philly_trace(&setup, lambda as f64);
+            run_tracked(
+                trace,
+                setup.nodes,
+                300.0,
+                (setup.track_lo, setup.track_hi),
+                &mut AcceptAll::new(),
+                sched,
+                &mut ConsolidatedPlacement::preferred(),
+            )
+            .0
+            .avg_responsiveness
+        };
+        let fifo = run(&mut Fifo::new());
+        let tiresias = run(&mut Tiresias::new());
+        let optimus = run(&mut Optimus::new());
+        if lambda == 9 {
+            high = (fifo, tiresias);
+        }
+        row(&[lambda.to_string(), s0(fifo), s0(tiresias), s0(optimus)]);
+    }
+    shape_check("FIFO worst responsiveness at high load", high.0 > 10.0 * high.1.max(1.0));
+}

@@ -1,0 +1,40 @@
+//! Figure 8: avg JCT of FIFO / LAS / Pollux on the Pollux trace, 64 GPUs,
+//! load 1–40 jobs/hour.
+
+use blox_bench::{banner, row, run_tracked, s0, shape_check};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, Las, Pollux};
+use blox_workloads::{ModelZoo, PolluxTraceGen};
+
+fn main() {
+    banner(
+        "Figure 8: Pollux vs FIFO vs LAS, avg JCT vs load (Pollux-trace, 64 GPUs)",
+        "Pollux wins at low/medium load; above ~20 jobs/hr it degrades toward FIFO",
+    );
+    let zoo = ModelZoo::standard();
+    let n = (700.0 * blox_bench::scale()) as usize;
+    let track = ((n / 2) as u64, (n * 3 / 4) as u64);
+    row(&["jobs_per_hour,fifo,las,pollux".into()]);
+    let mut low_pollux_ok = false;
+    let mut high = (0.0f64, 0.0f64);
+    for lambda in [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
+        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
+            let trace = PolluxTraceGen::new(&zoo).generate_rate(n, lambda, 21);
+            run_tracked(trace, 16, 300.0, track, &mut AcceptAll::new(), sched,
+                        &mut ConsolidatedPlacement::preferred()).0.avg_jct
+        };
+        let fifo = run(&mut Fifo::new());
+        let las = run(&mut Las::new());
+        let pollux = run(&mut Pollux::new());
+        if lambda <= 15.0 && pollux <= fifo && pollux <= las {
+            low_pollux_ok = true;
+        }
+        if lambda == 40.0 {
+            high = (fifo, pollux);
+        }
+        row(&[format!("{lambda}"), s0(fifo), s0(las), s0(pollux)]);
+    }
+    shape_check("Pollux best at low/medium load", low_pollux_ok);
+    shape_check("Pollux within 2.5x of FIFO at extreme load", high.1 <= high.0 * 2.5);
+}

@@ -1,0 +1,35 @@
+//! Figure 9: avg responsiveness of FIFO / LAS / Pollux on the Pollux
+//! trace, 64 GPUs, load 1–40 jobs/hour.
+
+use blox_bench::{banner, row, run_tracked, s0, shape_check};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, Las, Pollux};
+use blox_workloads::{ModelZoo, PolluxTraceGen};
+
+fn main() {
+    banner(
+        "Figure 9: Pollux vs FIFO vs LAS, avg responsiveness vs load",
+        "LAS stays responsive even at high load; Pollux's responsiveness degrades once jobs outnumber GPUs",
+    );
+    let zoo = ModelZoo::standard();
+    let n = (700.0 * blox_bench::scale()) as usize;
+    let track = ((n / 2) as u64, (n * 3 / 4) as u64);
+    row(&["jobs_per_hour,fifo,las,pollux".into()]);
+    let mut high = (0.0f64, 0.0f64, 0.0f64);
+    for lambda in [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
+        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
+            let trace = PolluxTraceGen::new(&zoo).generate_rate(n, lambda, 21);
+            run_tracked(trace, 16, 300.0, track, &mut AcceptAll::new(), sched,
+                        &mut ConsolidatedPlacement::preferred()).0.avg_responsiveness
+        };
+        let fifo = run(&mut Fifo::new());
+        let las = run(&mut Las::new());
+        let pollux = run(&mut Pollux::new());
+        if lambda == 40.0 {
+            high = (fifo, las, pollux);
+        }
+        row(&[format!("{lambda}"), s0(fifo), s0(las), s0(pollux)]);
+    }
+    shape_check("LAS most responsive at extreme load", high.1 <= high.0 && high.1 <= high.2);
+}

@@ -1,0 +1,36 @@
+//! Figure 10: the Tiresias skew-heuristic placement vs consolidate-all on
+//! a V100 + 10 Gbps cluster, avg JCT vs load 1–8 jobs/hour.
+
+use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::{ConsolidatedPlacement, TiresiasPlacement};
+use blox_policies::scheduling::Tiresias;
+
+fn main() {
+    banner(
+        "Figure 10: placement on V100/10Gbps",
+        "On fast GPUs with a slow fabric, consolidating all jobs beats the skew heuristic at high load",
+    );
+    let setup = PhillySetup::default();
+    row(&["jobs_per_hour,tiresias_placement,consolidated_placement".into()]);
+    let mut high = (0.0f64, 0.0f64);
+    for lambda in [1u32, 2, 4, 6, 8] {
+        let heur = {
+            let trace = philly_trace(&setup, lambda as f64);
+            run_tracked(trace, setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
+                        &mut AcceptAll::new(), &mut Tiresias::new(),
+                        &mut TiresiasPlacement::new()).0.avg_jct
+        };
+        let cons = {
+            let trace = philly_trace(&setup, lambda as f64);
+            run_tracked(trace, setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
+                        &mut AcceptAll::new(), &mut Tiresias::new(),
+                        &mut ConsolidatedPlacement::preferred()).0.avg_jct
+        };
+        if lambda == 8 {
+            high = (heur, cons);
+        }
+        row(&[lambda.to_string(), s0(heur), s0(cons)]);
+    }
+    shape_check("consolidation wins at high load on 10Gbps V100s", high.1 <= high.0);
+}

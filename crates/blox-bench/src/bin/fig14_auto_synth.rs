@@ -1,0 +1,61 @@
+//! Figure 14: the automatic scheduler synthesizer vs static policy
+//! combinations, on the Philly trace and a bursty variant.
+
+use blox_bench::{banner, philly_trace, row, s0, shape_check, PhillySetup};
+use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_sim::{cluster_of_v100, SimBackend};
+use blox_synth::{run_static, AutoSynthesizer, CandidateSet, Objective};
+use blox_workloads::transforms::inject_bursty_load;
+use blox_workloads::{ModelZoo, Trace};
+
+fn manager(trace: Trace, nodes: u32) -> BloxManager<SimBackend> {
+    BloxManager::new(
+        SimBackend::new(trace),
+        cluster_of_v100(nodes),
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 300_000,
+            stop: StopCondition::AllJobsDone,
+        },
+    )
+}
+
+fn main() {
+    banner(
+        "Figure 14: automatic scheduler synthesizer",
+        "The synthesizer's avg JCT is close to the best static (admission x scheduling) combination on both workloads",
+    );
+    let setup = PhillySetup {
+        n_jobs: (400.0 * blox_bench::scale()) as usize,
+        ..Default::default()
+    };
+    let zoo = ModelZoo::standard();
+    let philly = philly_trace(&setup, 8.0);
+    let bursty = inject_bursty_load(philly_trace(&setup, 4.0), &zoo, 8.0, 4.0, 2.0, 9);
+
+    for (wl_name, trace) in [("philly", philly), ("bursty", bursty)] {
+        println!("-- workload: {wl_name} --");
+        row(&["policy,avg_jct".into()]);
+        let cands = CandidateSet::paper_default();
+        let mut best_static = f64::INFINITY;
+        for (an, af) in &cands.admissions {
+            for (sn, sf) in &cands.schedulings {
+                let stats = run_static(manager(trace.clone(), setup.nodes), af(), sf());
+                let jct = stats.summary().avg_jct;
+                best_static = best_static.min(jct);
+                row(&[format!("{an}/{sn}"), s0(jct)]);
+            }
+        }
+        let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+        synth.eval_every = 10;
+        synth.lookahead = 60;
+        let mut mgr = manager(trace.clone(), setup.nodes);
+        let stats = synth.run(&mut mgr);
+        let auto = stats.summary().avg_jct;
+        row(&["automatic".into(), s0(auto)]);
+        shape_check(
+            &format!("{wl_name}: synthesizer within 1.5x of best static"),
+            auto <= best_static * 1.5,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 15: the temporal distribution of policies chosen by the
+//! automatic synthesizer on Philly and bursty workloads.
+
+use blox_bench::{banner, philly_trace, row, shape_check, PhillySetup};
+use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_sim::{cluster_of_v100, SimBackend};
+use blox_synth::{AutoSynthesizer, CandidateSet, Objective};
+use blox_workloads::transforms::inject_bursty_load;
+use blox_workloads::ModelZoo;
+
+fn main() {
+    banner(
+        "Figure 15: synthesizer policy timeline",
+        "The synthesizer keeps switching among policies over the run; the choice depends on the workload",
+    );
+    let setup = PhillySetup {
+        n_jobs: (400.0 * blox_bench::scale()) as usize,
+        ..Default::default()
+    };
+    let zoo = ModelZoo::standard();
+    for (wl_name, trace) in [
+        ("philly", philly_trace(&setup, 8.0)),
+        (
+            "bursty",
+            inject_bursty_load(philly_trace(&setup, 4.0), &zoo, 8.0, 4.0, 2.0, 9),
+        ),
+    ] {
+        println!("-- workload: {wl_name} --");
+        let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+        synth.eval_every = 10;
+        synth.lookahead = 40;
+        let mut mgr = BloxManager::new(
+            SimBackend::new(trace),
+            cluster_of_v100(setup.nodes),
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 300_000,
+                stop: StopCondition::AllJobsDone,
+            },
+        );
+        synth.run(&mut mgr);
+        row(&["round,admission,scheduling".into()]);
+        for rec in &synth.history {
+            row(&[rec.round.to_string(), rec.admission.clone(), rec.scheduling.clone()]);
+        }
+        let distinct: std::collections::BTreeSet<String> = synth
+            .history
+            .iter()
+            .map(|r| format!("{}/{}", r.admission, r.scheduling))
+            .collect();
+        shape_check(
+            &format!("{wl_name}: multiple decision points recorded"),
+            synth.history.len() >= 3,
+        );
+        println!("distinct combos used: {}", distinct.len());
+    }
+}

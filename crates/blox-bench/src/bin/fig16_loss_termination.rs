@@ -1,0 +1,55 @@
+//! Figure 16: loss-based job termination vs epoch-based termination —
+//! JCT CDF and avg JCT reduction (paper: ~44%).
+
+use blox_bench::{banner, philly_trace, row, run_to_completion, s0, shape_check, PhillySetup};
+use blox_core::metrics::percentile;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, LossTermination};
+
+fn main() {
+    banner(
+        "Figure 16: loss-based termination",
+        "With 75% of jobs converging at 40% of their epochs, loss-based termination cuts avg JCT by ~40%",
+    );
+    let setup = PhillySetup {
+        n_jobs: (400.0 * blox_bench::scale()) as usize,
+        ..Default::default()
+    };
+    // 75% of jobs converge at 40% progress; threshold 0.1% relative loss.
+    let trace = philly_trace(&setup, 7.0)
+        .assign_early_convergence(0.75, 0.4, 13)
+        .with_loss_termination(0.001);
+
+    let epoch_stats = run_to_completion(
+        trace.clone(),
+        setup.nodes,
+        300.0,
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut ConsolidatedPlacement::preferred(),
+    );
+    let loss_stats = run_to_completion(
+        trace,
+        setup.nodes,
+        300.0,
+        &mut AcceptAll::new(),
+        &mut LossTermination::new(Fifo::new()),
+        &mut ConsolidatedPlacement::preferred(),
+    );
+    let mut epoch: Vec<f64> = epoch_stats.records.iter().map(|r| r.jct()).collect();
+    let mut loss: Vec<f64> = loss_stats.records.iter().map(|r| r.jct()).collect();
+    epoch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    loss.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    row(&["quantile,epoch_based,loss_based".into()]);
+    for q in [0.25, 0.5, 0.75, 0.9] {
+        row(&[format!("{q:.2}"), s0(percentile(&epoch, q)), s0(percentile(&loss, q))]);
+    }
+    let avg_epoch = epoch_stats.summary().avg_jct;
+    let avg_loss = loss_stats.summary().avg_jct;
+    let reduction = (1.0 - avg_loss / avg_epoch) * 100.0;
+    println!("avg JCT: epoch={avg_epoch:.0} loss={avg_loss:.0} reduction={reduction:.1}%");
+    let early = loss_stats.records.iter().filter(|r| r.terminated_early).count();
+    println!("jobs terminated early: {early}/{}", loss_stats.records.len());
+    shape_check("loss-based termination reduces avg JCT >= 25%", reduction >= 25.0);
+}

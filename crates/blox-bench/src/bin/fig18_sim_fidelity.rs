@@ -1,0 +1,82 @@
+//! Figure 18: simulator fidelity — the same trace and policies through the
+//! simulator and the emulated-cluster runtime; JCT CDFs should agree
+//! (paper: ~6.1% average difference against a real AWS cluster).
+
+use blox_bench::{banner, row, s0, shape_check};
+use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::metrics::percentile;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::FirstFreePlacement;
+use blox_policies::scheduling::Fifo;
+use blox_runtime::{EmulatedCluster, RuntimeBackend, RuntimeConfig};
+use blox_sim::{cluster_of_v100, PerfModel, SimBackend};
+use blox_workloads::{ModelZoo, PhillyTraceGen};
+
+fn main() {
+    banner(
+        "Figure 18: simulator vs runtime fidelity",
+        "JCT CDFs from simulation and the (emulated) cluster runtime agree within a few percent",
+    );
+    let zoo = ModelZoo::standard();
+    // 100 jobs at 4 jobs/hour on 32 GPUs, as in the paper's fidelity run,
+    // with shorter runtimes so the emulation replays quickly.
+    let trace = PhillyTraceGen::new(&zoo, 4.0).runtimes(0.6, 1.0).generate(100, 18);
+    let cfg = RunConfig {
+        round_duration: 300.0,
+        max_rounds: 20_000,
+        stop: StopCondition::AllJobsDone,
+    };
+
+    // Simulation (CPU-contention off: the emulated runtime replays pure
+    // iteration timing, mirroring what real profiled jobs would show).
+    let mut sim_mgr = BloxManager::new(
+        SimBackend::new(trace.clone()).with_perf(PerfModel {
+            model_cpu_contention: false,
+            ..Default::default()
+        }),
+        cluster_of_v100(8),
+        cfg.clone(),
+    );
+    let sim_stats = sim_mgr.run(
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut FirstFreePlacement::new(),
+    );
+
+    // Emulated runtime at 2e-5 wall seconds per simulated second.
+    let cluster = cluster_of_v100(8);
+    let emu = EmulatedCluster::start(
+        &cluster,
+        RuntimeConfig {
+            time_scale: 2e-5,
+            emu_iter_sim_s: 20.0,
+        },
+    );
+    let mut rt_mgr = BloxManager::new(RuntimeBackend::new(emu, trace.jobs.clone()), cluster, cfg);
+    let rt_stats = rt_mgr.run(
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut FirstFreePlacement::new(),
+    );
+
+    let mut sim: Vec<f64> = sim_stats.records.iter().map(|r| r.jct()).collect();
+    let mut rt: Vec<f64> = rt_stats.records.iter().map(|r| r.jct()).collect();
+    sim.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    row(&["quantile,simulator,runtime".into()]);
+    for q in [0.25, 0.5, 0.75, 0.9] {
+        row(&[format!("{q:.2}"), s0(percentile(&sim, q)), s0(percentile(&rt, q))]);
+    }
+    println!("jobs: sim={} runtime={}", sim.len(), rt.len());
+
+    // Per-job average JCT difference, the paper's 6.1% metric.
+    let mut diffs = Vec::new();
+    for r in &rt_stats.records {
+        if let Some(s) = sim_stats.records.iter().find(|s| s.id == r.id) {
+            diffs.push((r.jct() - s.jct()).abs() / s.jct().max(1.0));
+        }
+    }
+    let avg_diff = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64 * 100.0;
+    println!("average per-job JCT difference: {avg_diff:.1}% (paper: 6.1%)");
+    shape_check("sim and runtime agree within 15% avg per-job", avg_diff < 15.0);
+}

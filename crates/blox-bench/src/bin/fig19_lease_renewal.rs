@@ -1,0 +1,33 @@
+//! Figure 19: centralized vs optimistic lease renewal latency as the
+//! cluster scales from 32 to 256 GPUs.
+
+use blox_bench::{banner, row, shape_check};
+use blox_runtime::lease::{centralized_renewal_cycle, optimistic_renewal_cycle};
+
+fn main() {
+    banner(
+        "Figure 19: lease renewal scalability",
+        "Optimistic renewal stays flat; centralized renewal grows with GPU count and is >50% slower",
+    );
+    row(&["gpus,centralized_us,optimistic_us".into()]);
+    let mut series = Vec::new();
+    for gpus in [32u32, 64, 128, 256] {
+        // Median of several cycles to damp scheduler noise.
+        let mut central: Vec<f64> = (0..9)
+            .map(|_| centralized_renewal_cycle(gpus).as_secs_f64() * 1e6)
+            .collect();
+        let mut optimistic: Vec<f64> = (0..9)
+            .map(|_| optimistic_renewal_cycle(gpus).as_secs_f64() * 1e6)
+            .collect();
+        central.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        optimistic.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let c = central[central.len() / 2];
+        let o = optimistic[optimistic.len() / 2];
+        series.push((gpus, c, o));
+        row(&[gpus.to_string(), format!("{c:.1}"), format!("{o:.1}")]);
+    }
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    shape_check("centralized grows with cluster size", last.1 > first.1 * 2.0);
+    shape_check("optimistic is >50% faster at 256 GPUs", last.2 < last.1 * 0.5);
+}

@@ -1,0 +1,52 @@
+//! Figure 20 (Appendix A): the synthesizer minimizing avg JCT and avg
+//! responsiveness jointly.
+
+use blox_bench::{banner, philly_trace, row, s0, shape_check, PhillySetup};
+use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_sim::{cluster_of_v100, SimBackend};
+use blox_synth::{run_static, AutoSynthesizer, CandidateSet, Objective};
+
+fn main() {
+    banner(
+        "Figure 20: multi-objective synthesizer",
+        "Optimizing JCT + responsiveness jointly lands near the best static combo on the combined metric",
+    );
+    let setup = PhillySetup {
+        n_jobs: (400.0 * blox_bench::scale()) as usize,
+        ..Default::default()
+    };
+    let trace = philly_trace(&setup, 8.0);
+    let mk = || {
+        BloxManager::new(
+            SimBackend::new(trace.clone()),
+            cluster_of_v100(setup.nodes),
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 300_000,
+                stop: StopCondition::AllJobsDone,
+            },
+        )
+    };
+    row(&["policy,avg_jct,avg_responsiveness,combined".into()]);
+    let cands = CandidateSet::paper_default();
+    let mut best_static = f64::INFINITY;
+    for (an, af) in &cands.admissions {
+        for (sn, sf) in &cands.schedulings {
+            let s = run_static(mk(), af(), sf()).summary();
+            let combined = s.avg_jct + s.avg_responsiveness;
+            best_static = best_static.min(combined);
+            row(&[format!("{an}/{sn}"), s0(s.avg_jct), s0(s.avg_responsiveness), s0(combined)]);
+        }
+    }
+    let mut synth = AutoSynthesizer::new(
+        CandidateSet::paper_default(),
+        Objective::JctPlusResponsiveness,
+    );
+    synth.eval_every = 10;
+    synth.lookahead = 60;
+    let mut mgr = mk();
+    let s = synth.run(&mut mgr).summary();
+    let combined = s.avg_jct + s.avg_responsiveness;
+    row(&["automatic".into(), s0(s.avg_jct), s0(s.avg_responsiveness), s0(combined)]);
+    shape_check("synthesizer within 1.5x of best static (combined)", combined <= best_static * 1.5);
+}

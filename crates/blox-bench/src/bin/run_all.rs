@@ -1,0 +1,42 @@
+//! Run every figure/table experiment in sequence (the full reproduction).
+//!
+//! Invoke binaries individually for faster iteration; this target exists
+//! so `cargo run -p blox-bench --release --bin run_all` regenerates the
+//! whole evaluation in one go.
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig03_pollux_repro",
+        "fig04_tiresias_repro",
+        "fig05_synergy_repro",
+        "fig06_jct_vs_load",
+        "fig07_responsiveness_vs_load",
+        "fig08_pollux_jct",
+        "fig09_pollux_responsiveness",
+        "fig10_placement_v100",
+        "fig11_placement_profiles",
+        "fig12_admission_compose",
+        "fig13_admission_spike",
+        "fig14_auto_synth",
+        "fig15_auto_synth_timeline",
+        "fig16_loss_termination",
+        "table4_intranode_bandwidth",
+        "fig18_sim_fidelity",
+        "fig19_lease_renewal",
+        "fig20_auto_synth_multiobj",
+        "fig21_auto_synth_multiobj_timeline",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for fig in figures {
+        let path = dir.join(fig);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => eprintln!("{fig}: failed to run ({other:?})"),
+        }
+        println!();
+    }
+}

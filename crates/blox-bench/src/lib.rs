@@ -1,0 +1,248 @@
+//! Shared harness for the per-figure/per-table experiment binaries.
+//!
+//! Each `src/bin/fig*.rs` binary regenerates one table or figure from the
+//! paper's evaluation: it builds the workload, runs the relevant policy
+//! compositions through the simulator (or the emulated runtime), and
+//! prints the same rows/series the paper plots, plus a shape check
+//! against the paper's qualitative claim.
+//!
+//! Experiments are scaled by the `BLOX_SCALE` environment variable
+//! (default 1.0): trace sizes and tracked windows multiply by it, so CI
+//! can run quick versions while a full reproduction uses `BLOX_SCALE=3`.
+
+pub mod reference;
+
+use blox_core::cluster::ClusterState;
+use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::policy::{Placement, SchedulingDecision};
+use blox_core::state::JobState;
+use blox_core::metrics::{RunStats, Summary};
+use blox_core::policy::{AdmissionPolicy, PlacementPolicy, SchedulingPolicy};
+use blox_sim::{cluster_of_v100, SimBackend};
+use blox_workloads::{ModelZoo, PhillyTraceGen, Trace};
+
+/// Experiment scale factor from `BLOX_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("BLOX_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Standard Philly-style experiment dimensions, scaled.
+#[derive(Debug, Clone)]
+pub struct PhillySetup {
+    /// Jobs generated in the trace.
+    pub n_jobs: usize,
+    /// First tracked job id (steady-state measurement window).
+    pub track_lo: u64,
+    /// Last tracked job id.
+    pub track_hi: u64,
+    /// p3.8xlarge nodes in the cluster (4 GPUs each).
+    pub nodes: u32,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for PhillySetup {
+    fn default() -> Self {
+        let s = scale();
+        PhillySetup {
+            n_jobs: (1_300.0 * s) as usize,
+            track_lo: (900.0 * s) as u64,
+            track_hi: (1_100.0 * s) as u64,
+            nodes: 32, // 128 GPUs, the paper's default cluster.
+            seed: 42,
+        }
+    }
+}
+
+/// Run one simulation to completion of the tracked window and return
+/// the summary over tracked jobs plus the full stats.
+pub fn run_tracked(
+    trace: Trace,
+    nodes: u32,
+    round_s: f64,
+    track: (u64, u64),
+    admission: &mut dyn AdmissionPolicy,
+    scheduling: &mut dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) -> (Summary, RunStats) {
+    let cluster = cluster_of_v100(nodes);
+    let backend = SimBackend::new(trace);
+    let mut mgr = BloxManager::new(
+        backend,
+        cluster,
+        RunConfig {
+            round_duration: round_s,
+            max_rounds: 500_000,
+            stop: StopCondition::TrackedWindowDone {
+                lo: track.0,
+                hi: track.1,
+            },
+        },
+    );
+    let stats = mgr.run(admission, scheduling, placement);
+    (stats.summary_tracked(track.0, track.1), stats)
+}
+
+/// Run a whole trace to completion with an explicit performance model.
+pub fn run_to_completion_perf(
+    trace: Trace,
+    nodes: u32,
+    round_s: f64,
+    perf: blox_sim::PerfModel,
+    admission: &mut dyn AdmissionPolicy,
+    scheduling: &mut dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) -> RunStats {
+    let cluster = cluster_of_v100(nodes);
+    let backend = SimBackend::new(trace).with_perf(perf);
+    let mut mgr = BloxManager::new(
+        backend,
+        cluster,
+        RunConfig {
+            round_duration: round_s,
+            max_rounds: 500_000,
+            stop: StopCondition::AllJobsDone,
+        },
+    );
+    mgr.run(admission, scheduling, placement)
+}
+
+/// Run a whole trace to completion (small traces / CDF experiments).
+pub fn run_to_completion(
+    trace: Trace,
+    nodes: u32,
+    round_s: f64,
+    admission: &mut dyn AdmissionPolicy,
+    scheduling: &mut dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) -> RunStats {
+    let cluster = cluster_of_v100(nodes);
+    let backend = SimBackend::new(trace);
+    let mut mgr = BloxManager::new(
+        backend,
+        cluster,
+        RunConfig {
+            round_duration: round_s,
+            max_rounds: 500_000,
+            stop: StopCondition::AllJobsDone,
+        },
+    );
+    let stats = mgr.run(admission, scheduling, placement);
+    stats
+}
+
+/// Build the default Philly trace for a load point.
+pub fn philly_trace(setup: &PhillySetup, jobs_per_hour: f64) -> Trace {
+    let zoo = ModelZoo::standard();
+    PhillyTraceGen::new(&zoo, jobs_per_hour).generate(setup.n_jobs, setup.seed)
+}
+
+/// Print a header naming the experiment and its paper reference.
+pub fn banner(id: &str, claim: &str) {
+    println!("== {id} ==");
+    println!("paper claim: {claim}");
+}
+
+/// Print one CSV-ish series row.
+pub fn row(cols: &[String]) {
+    println!("{}", cols.join(","));
+}
+
+/// Format seconds with zero decimals.
+pub fn s0(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Placement decorator recording the mean intra-node bandwidth of every
+/// multi-GPU single-node launch (the Table 4 metric).
+pub struct RecordingPlacement<P: PlacementPolicy> {
+    inner: P,
+    /// Observed mean pairwise intra-node bandwidths, one per launch.
+    pub observed_bw: Vec<f64>,
+}
+
+impl<P: PlacementPolicy> RecordingPlacement<P> {
+    /// Wrap a placement policy.
+    pub fn new(inner: P) -> Self {
+        RecordingPlacement {
+            inner,
+            observed_bw: Vec::new(),
+        }
+    }
+
+    /// Mean of the observed bandwidths.
+    pub fn mean_bw(&self) -> f64 {
+        if self.observed_bw.is_empty() {
+            0.0
+        } else {
+            self.observed_bw.iter().sum::<f64>() / self.observed_bw.len() as f64
+        }
+    }
+}
+
+impl<P: PlacementPolicy> PlacementPolicy for RecordingPlacement<P> {
+    fn place(
+        &mut self,
+        decision: &SchedulingDecision,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> Placement {
+        let plan = self.inner.place(decision, job_state, cluster, now);
+        for (_, gpus) in &plan.to_launch {
+            if let Some(bw) = cluster.alloc_intra_bw(gpus) {
+                self.observed_bw.push(bw);
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Simple pass/fail shape check output.
+pub fn shape_check(name: &str, ok: bool) {
+    println!("shape[{name}]: {}", if ok { "HOLDS" } else { "DIVERGES" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_policies::admission::AcceptAll;
+    use blox_policies::placement::ConsolidatedPlacement;
+    use blox_policies::scheduling::Fifo;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert_eq!(scale(), 1.0);
+    }
+
+    #[test]
+    fn tracked_run_reports_window_jobs_only() {
+        let setup = PhillySetup {
+            n_jobs: 80,
+            track_lo: 40,
+            track_hi: 60,
+            nodes: 16,
+            seed: 1,
+        };
+        let trace = philly_trace(&setup, 12.0);
+        let (summary, stats) = run_tracked(
+            trace,
+            setup.nodes,
+            300.0,
+            (setup.track_lo, setup.track_hi),
+            &mut AcceptAll::new(),
+            &mut Fifo::new(),
+            &mut ConsolidatedPlacement::preferred(),
+        );
+        assert_eq!(summary.jobs, 21);
+        assert!(stats.records.len() >= 21);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+use crate::ids::{GpuGlobalId, JobId, NodeId};
+
+/// Result alias used by all fallible Blox APIs.
+pub type Result<T> = std::result::Result<T, BloxError>;
+
+/// Errors surfaced by the toolkit.
+///
+/// The toolkit follows the "errors are values" convention: policies and
+/// backends never panic on bad input; they return a variant that tells the
+/// caller which shared-state invariant would have been violated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BloxError {
+    /// A job id was referenced that is not present in the active job table.
+    UnknownJob(JobId),
+    /// A node id was referenced that is not present in the cluster.
+    UnknownNode(NodeId),
+    /// A GPU id was referenced that is not present in the GPU table.
+    UnknownGpu(GpuGlobalId),
+    /// A placement tried to assign a GPU that is already running a job.
+    GpuBusy(GpuGlobalId, JobId),
+    /// A GPU release was requested for a job that does not own the GPU.
+    GpuNotOwned(GpuGlobalId, JobId),
+    /// A trace or profile file could not be parsed.
+    Parse(String),
+    /// An I/O failure (trace loading, runtime transport).
+    Io(String),
+    /// The runtime transport failed (connection closed, decode error).
+    Transport(String),
+    /// A configuration value was out of its valid range.
+    Config(String),
+}
+
+impl fmt::Display for BloxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloxError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            BloxError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            BloxError::UnknownGpu(id) => write!(f, "unknown GPU {id}"),
+            BloxError::GpuBusy(gpu, job) => {
+                write!(f, "{gpu} is busy and cannot be assigned to {job}")
+            }
+            BloxError::GpuNotOwned(gpu, job) => {
+                write!(f, "{gpu} is not owned by {job}")
+            }
+            BloxError::Parse(msg) => write!(f, "parse error: {msg}"),
+            BloxError::Io(msg) => write!(f, "i/o error: {msg}"),
+            BloxError::Transport(msg) => write!(f, "transport error: {msg}"),
+            BloxError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BloxError {}
+
+impl From<std::io::Error> for BloxError {
+    fn from(e: std::io::Error) -> Self {
+        BloxError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = BloxError::GpuBusy(GpuGlobalId(4), JobId(7));
+        let s = e.to_string();
+        assert!(s.contains("gpu-4"));
+        assert!(s.contains("job-7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: BloxError = io.into();
+        assert!(matches!(e, BloxError::Io(_)));
+    }
+}

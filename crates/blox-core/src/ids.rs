@@ -1,0 +1,62 @@
+//! Identifier newtypes used throughout the toolkit.
+//!
+//! All identifiers are small `Copy` newtypes with a total order so that the
+//! shared state can live in `BTreeMap`s, giving deterministic iteration
+//! order (and therefore bit-identical simulations for a fixed seed).
+
+use std::fmt;
+
+/// Unique identifier of a job for the lifetime of a scheduler instance.
+///
+/// Ids are assigned by the workload generator / submission frontend in
+/// arrival order, so ordering by `JobId` equals ordering by submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Unique identifier of a node (server) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Cluster-global identifier of a single GPU.
+///
+/// The [`crate::ClusterState`] GPU table maps a global id back to its
+/// `(node, local index)` position; policies mostly pass global ids around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuGlobalId(pub u32);
+
+impl fmt::Display for GpuGlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_inner_value() {
+        assert!(JobId(1) < JobId(2));
+        assert!(NodeId(0) < NodeId(7));
+        assert!(GpuGlobalId(3) < GpuGlobalId(30));
+    }
+
+    #[test]
+    fn ids_display_is_stable() {
+        assert_eq!(JobId(42).to_string(), "job-42");
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(GpuGlobalId(9).to_string(), "gpu-9");
+    }
+}

@@ -1,0 +1,430 @@
+//! The round-based scheduling loop (`BloxManager`) and the execution
+//! backend trait that makes the same loop run in simulation or on a real
+//! cluster.
+
+use crate::cluster::ClusterState;
+use crate::error::Result;
+use crate::ids::JobId;
+use crate::job::{Job, JobStatus};
+use crate::metrics::RunStats;
+use crate::policy::{AdmissionPolicy, Placement, PlacementPolicy, SchedulingPolicy};
+use crate::state::JobState;
+
+/// Execution substrate behind the scheduling loop.
+///
+/// Exactly the two modules the paper swaps between simulation and cluster
+/// runs: cluster management + metric collection on one side, job
+/// launch/preemption on the other. Everything else (admission, scheduling,
+/// placement, the loop itself) is backend-agnostic.
+pub trait Backend: Send {
+    /// Current time in seconds (simulated or wall-clock).
+    fn now(&self) -> f64;
+
+    /// Apply cluster churn (node failures / additions) for this round.
+    fn update_cluster(&mut self, cluster: &mut ClusterState);
+
+    /// Drain jobs whose arrival time is at or before `now`.
+    fn pop_wait_queue(&mut self, now: f64) -> Vec<Job>;
+
+    /// The id and arrival time of the next not-yet-popped job, if any.
+    fn peek_next_arrival(&self) -> Option<(JobId, f64)>;
+
+    /// Apply `elapsed` seconds of progress to running jobs: advance
+    /// iterations, update attained service, push application metrics, and
+    /// mark (with exact sub-round completion times) jobs that finished.
+    /// Completed jobs must have their GPUs released in `cluster`.
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64);
+
+    /// Execute this round's placement: suspend, then launch.
+    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState);
+
+    /// Advance to the next round boundary (simulated clock jump or sleep).
+    fn advance_round(&mut self, round_duration: f64);
+}
+
+/// When the manager's `run` loop stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Stop when every submitted job has finished and the trace is drained.
+    AllJobsDone,
+    /// Stop once all jobs with ids in `[lo, hi]` have finished (and the
+    /// trace has advanced past `hi`). The paper's steady-state methodology:
+    /// jobs keep arriving while the tracked window drains.
+    TrackedWindowDone {
+        /// First tracked job id.
+        lo: u64,
+        /// Last tracked job id.
+        hi: u64,
+    },
+    /// Stop at the given simulated/wall time.
+    TimeLimit(f64),
+}
+
+/// Configuration of one scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Length of a scheduling round in seconds (the paper uses 300 s by
+    /// default and sweeps 1–8 min in Figure 3).
+    pub round_duration: f64,
+    /// Hard cap on rounds, a safety net against non-terminating setups.
+    pub max_rounds: u64,
+    /// Termination condition.
+    pub stop: StopCondition,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 2_000_000,
+            stop: StopCondition::AllJobsDone,
+        }
+    }
+}
+
+/// Per-round outcome, useful for logging and the synthesizer's bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundOutcome {
+    /// Jobs admitted this round.
+    pub admitted: usize,
+    /// Jobs launched this round.
+    pub launched: usize,
+    /// Jobs suspended this round.
+    pub suspended: usize,
+    /// Jobs that finished during the previous round.
+    pub completed: usize,
+    /// Jobs terminated early by policy this round.
+    pub terminated: usize,
+}
+
+/// The scheduling loop of Figure 2, generic over the execution backend.
+///
+/// Owns the two shared data structures and the run statistics; policies are
+/// passed per-call so the automatic synthesizer can swap them between
+/// rounds.
+pub struct BloxManager<B: Backend> {
+    backend: B,
+    cluster: ClusterState,
+    jobs: JobState,
+    stats: RunStats,
+    config: RunConfig,
+}
+
+impl<B: Backend> BloxManager<B> {
+    /// Create a manager over a backend and an initial cluster.
+    pub fn new(backend: B, cluster: ClusterState, config: RunConfig) -> Self {
+        BloxManager {
+            backend,
+            cluster,
+            jobs: JobState::new(),
+            stats: RunStats::new(),
+            config,
+        }
+    }
+
+    /// The execution backend (immutable).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The shared cluster state.
+    pub fn cluster(&self) -> &ClusterState {
+        &self.cluster
+    }
+
+    /// The shared job state.
+    pub fn jobs(&self) -> &JobState {
+        &self.jobs
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Current time.
+    pub fn now(&self) -> f64 {
+        self.backend.now()
+    }
+
+    /// Inject jobs directly into the schedulable set, bypassing the
+    /// backend's wait queue. Used by the automatic scheduler synthesizer
+    /// to re-offer jobs drained from a swapped-out admission policy.
+    pub fn add_jobs(&mut self, jobs: Vec<Job>) {
+        self.jobs.add_new_jobs(jobs);
+    }
+
+    /// Clone the manager's full state (used by the synthesizer to fork
+    /// lookahead simulations). Requires a cloneable backend.
+    pub fn fork(&self) -> BloxManager<B>
+    where
+        B: Clone,
+    {
+        BloxManager {
+            backend: self.backend.clone(),
+            cluster: self.cluster.clone(),
+            jobs: self.jobs.clone(),
+            stats: RunStats::new(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Execute one scheduling round with the given policies.
+    pub fn step(
+        &mut self,
+        admission: &mut dyn AdmissionPolicy,
+        scheduling: &mut dyn SchedulingPolicy,
+        placement: &mut dyn PlacementPolicy,
+    ) -> RoundOutcome {
+        let mut outcome = RoundOutcome::default();
+
+        // Update the set of active machines.
+        self.backend.update_cluster(&mut self.cluster);
+
+        // Update metrics of all jobs run in the previous round; this also
+        // detects completions at exact sub-round timestamps.
+        self.backend
+            .update_metrics(&mut self.cluster, &mut self.jobs, self.config.round_duration);
+
+        // Prune completed jobs into the finished list, recording them.
+        for job in self.jobs.active() {
+            if job.status.is_done() {
+                self.stats.record_job(job);
+                outcome.completed += 1;
+            }
+        }
+        self.jobs.prune_completed();
+
+        let now = self.backend.now();
+
+        // Retrieve new submissions and run admission control.
+        let new_jobs = self.backend.pop_wait_queue(now);
+        let accepted = admission.admit(new_jobs, &self.jobs, &self.cluster, now);
+        outcome.admitted = accepted.len();
+        self.jobs.add_new_jobs(accepted);
+
+        // Scheduling policy: priority-ordered allocations.
+        let mut decision = scheduling.schedule(&self.jobs, &self.cluster, now);
+
+        // Apply early terminations before placement.
+        for id in std::mem::take(&mut decision.terminate) {
+            if let Some(job) = self.jobs.get_mut(id) {
+                if job.status.is_active() {
+                    if job.status == JobStatus::Running {
+                        self.cluster.release(id);
+                        job.placement.clear();
+                    }
+                    job.status = JobStatus::TerminatedEarly;
+                    job.completion_time = Some(now);
+                    outcome.terminated += 1;
+                }
+            }
+        }
+        decision
+            .allocations
+            .retain(|(id, _)| self.jobs.get(*id).map(|j| j.status.is_active()).unwrap_or(false));
+
+        // Apply batch-size retuning (Pollux).
+        for (id, batch) in &decision.batch_sizes {
+            if let Some(job) = self.jobs.get_mut(*id) {
+                job.batch_size = *batch;
+            }
+        }
+
+        // Placement policy: map to concrete GPUs.
+        let plan = placement.place(&decision, &self.jobs, &self.cluster, now);
+        outcome.launched = plan.to_launch.len();
+        outcome.suspended = plan.to_suspend.len();
+
+        // Execute: preempt then launch via the backend mechanism.
+        self.backend
+            .exec_jobs(&plan, &mut self.cluster, &mut self.jobs);
+
+        // Round accounting.
+        let busy = self.cluster.total_gpus() - self.cluster.free_gpu_count();
+        self.stats.record_round(busy, self.cluster.total_gpus(), now);
+
+        // Wait until the next round.
+        self.backend.advance_round(self.config.round_duration);
+
+        outcome
+    }
+
+    /// True when the configured stop condition holds.
+    pub fn should_stop(&self) -> bool {
+        if self.stats.rounds >= self.config.max_rounds {
+            return true;
+        }
+        match self.config.stop {
+            StopCondition::AllJobsDone => {
+                self.jobs.active_count() == 0 && self.backend.peek_next_arrival().is_none()
+            }
+            StopCondition::TrackedWindowDone { lo, hi } => {
+                let arrivals_past = match self.backend.peek_next_arrival() {
+                    None => true,
+                    Some((id, _)) => id.0 > hi,
+                };
+                let unfinished_in_window = self
+                    .jobs
+                    .active()
+                    .any(|j| j.id.0 >= lo && j.id.0 <= hi);
+                let finished_in_window = self
+                    .stats
+                    .records
+                    .iter()
+                    .any(|r| r.id.0 >= lo && r.id.0 <= hi);
+                arrivals_past && !unfinished_in_window && finished_in_window
+            }
+            StopCondition::TimeLimit(t) => self.backend.now() >= t,
+        }
+    }
+
+    /// Run rounds until the stop condition holds; returns the statistics.
+    pub fn run(
+        &mut self,
+        admission: &mut dyn AdmissionPolicy,
+        scheduling: &mut dyn SchedulingPolicy,
+        placement: &mut dyn PlacementPolicy,
+    ) -> RunStats {
+        while !self.should_stop() {
+            self.step(admission, scheduling, placement);
+        }
+        self.stats.clone()
+    }
+}
+
+/// Apply a placement plan to the shared state: suspend first, then launch.
+///
+/// Both backends call this to keep state mutation identical between
+/// simulation and deployment; the backends add their mechanism-specific
+/// side effects (charging overheads, or sending preempt/launch RPCs).
+///
+/// Returns an error if a launch references unknown jobs or busy GPUs; in
+/// that case the state is left with the suspensions applied but the
+/// offending launch skipped.
+pub fn apply_placement(
+    placement: &Placement,
+    cluster: &mut ClusterState,
+    jobs: &mut JobState,
+    now: f64,
+) -> Result<()> {
+    for id in &placement.to_suspend {
+        let job = jobs.require_mut(*id)?;
+        if job.status == JobStatus::Running {
+            cluster.release(*id);
+            job.placement.clear();
+            job.status = JobStatus::Suspended;
+            job.preemptions += 1;
+        }
+    }
+    let mut first_error = None;
+    for (id, gpus) in &placement.to_launch {
+        let mem = jobs.require(*id)?.profile.gpu_mem_gb;
+        match cluster.allocate(*id, gpus, mem) {
+            Ok(()) => {
+                let job = jobs.require_mut(*id)?;
+                job.placement = gpus.clone();
+                job.status = JobStatus::Running;
+                job.launches += 1;
+                // Restore/startup overhead is paid before progress resumes.
+                job.pending_overhead = job.profile.restore_s;
+                if job.first_scheduled.is_none() {
+                    job.first_scheduled = Some(now);
+                }
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    match first_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeSpec;
+    use crate::ids::GpuGlobalId;
+    use crate::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn job(id: u64, gpus: u32) -> Job {
+        Job::new(
+            JobId(id),
+            0.0,
+            gpus,
+            100.0,
+            JobProfile::synthetic("toy", 0.1),
+        )
+    }
+
+    #[test]
+    fn apply_placement_launches_and_suspends() {
+        let mut c = cluster();
+        let mut js = JobState::new();
+        let mut j1 = job(1, 2);
+        j1.status = JobStatus::Running;
+        j1.placement = vec![GpuGlobalId(0), GpuGlobalId(1)];
+        c.allocate(JobId(1), &j1.placement, 4.0).unwrap();
+        js.add_new_jobs(vec![j1, job(2, 2)]);
+
+        let plan = Placement {
+            to_suspend: vec![JobId(1)],
+            to_launch: vec![(JobId(2), vec![GpuGlobalId(0), GpuGlobalId(1)])],
+        };
+        apply_placement(&plan, &mut c, &mut js, 42.0).unwrap();
+
+        let j1 = js.get(JobId(1)).unwrap();
+        assert_eq!(j1.status, JobStatus::Suspended);
+        assert_eq!(j1.preemptions, 1);
+        assert!(j1.placement.is_empty());
+
+        let j2 = js.get(JobId(2)).unwrap();
+        assert_eq!(j2.status, JobStatus::Running);
+        assert_eq!(j2.first_scheduled, Some(42.0));
+        assert_eq!(j2.launches, 1);
+        assert!(j2.pending_overhead > 0.0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_placement_reports_conflicts_but_continues() {
+        let mut c = cluster();
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 1), job(2, 1)]);
+        let plan = Placement {
+            to_suspend: vec![],
+            to_launch: vec![
+                (JobId(1), vec![GpuGlobalId(0)]),
+                (JobId(2), vec![GpuGlobalId(0)]), // conflict
+            ],
+        };
+        let err = apply_placement(&plan, &mut c, &mut js, 0.0).unwrap_err();
+        assert!(matches!(err, crate::error::BloxError::GpuBusy(_, _)));
+        assert_eq!(js.get(JobId(1)).unwrap().status, JobStatus::Running);
+        assert_eq!(js.get(JobId(2)).unwrap().status, JobStatus::Queued);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn default_config_matches_paper_round_length() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.round_duration, 300.0);
+        assert_eq!(cfg.stop, StopCondition::AllJobsDone);
+    }
+}

@@ -1,0 +1,345 @@
+//! Run statistics: JCT, responsiveness, makespan, utilization, CDFs.
+
+use crate::ids::JobId;
+use crate::job::Job;
+
+/// Immutable record of one finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Model name from the profile.
+    pub model: String,
+    /// Submission time.
+    pub arrival: f64,
+    /// First time the job held GPUs, if ever.
+    pub first_scheduled: Option<f64>,
+    /// Completion (or early-termination) time.
+    pub completion: f64,
+    /// Requested GPU count.
+    pub requested_gpus: u32,
+    /// Number of preemptions suffered.
+    pub preemptions: u32,
+    /// GPU-seconds of service attained.
+    pub attained_service: f64,
+    /// True when the job was terminated early by a policy.
+    pub terminated_early: bool,
+}
+
+impl JobRecord {
+    /// Build a record from a finished job. Returns `None` when the job has
+    /// no completion time yet.
+    pub fn from_job(job: &Job) -> Option<Self> {
+        Some(JobRecord {
+            id: job.id,
+            model: job.profile.model_name.clone(),
+            arrival: job.arrival_time,
+            first_scheduled: job.first_scheduled,
+            completion: job.completion_time?,
+            requested_gpus: job.requested_gpus,
+            preemptions: job.preemptions,
+            attained_service: job.attained_service,
+            terminated_early: job.status == crate::job::JobStatus::TerminatedEarly,
+        })
+    }
+
+    /// Job completion time.
+    pub fn jct(&self) -> f64 {
+        self.completion - self.arrival
+    }
+
+    /// Queueing delay until the first allocation; falls back to the full
+    /// JCT when the job never ran (it waited its whole life).
+    pub fn responsiveness(&self) -> f64 {
+        match self.first_scheduled {
+            Some(f) => f - self.arrival,
+            None => self.jct(),
+        }
+    }
+}
+
+/// Aggregate statistics for one scheduler run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-job records, in completion order.
+    pub records: Vec<JobRecord>,
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Sum over rounds of (busy GPUs / total GPUs); divide by `rounds` for
+    /// mean utilization.
+    utilization_sum: f64,
+    /// Final simulated/wall time.
+    pub end_time: f64,
+}
+
+impl RunStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one finished job.
+    pub fn record_job(&mut self, job: &Job) {
+        if let Some(rec) = JobRecord::from_job(job) {
+            self.records.push(rec);
+        }
+    }
+
+    /// Record one round's utilization sample.
+    pub fn record_round(&mut self, busy_gpus: u32, total_gpus: u32, now: f64) {
+        self.rounds += 1;
+        if total_gpus > 0 {
+            self.utilization_sum += busy_gpus as f64 / total_gpus as f64;
+        }
+        self.end_time = now;
+    }
+
+    /// Records restricted to an id range (inclusive), the paper's
+    /// steady-state measurement window (jobs 3000–4000 of the trace).
+    pub fn tracked(&self, lo: u64, hi: u64) -> Vec<&JobRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.id.0 >= lo && r.id.0 <= hi)
+            .collect()
+    }
+
+    /// Summary over all records.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.records.iter())
+    }
+
+    /// Summary over a tracked id window.
+    pub fn summary_tracked(&self, lo: u64, hi: u64) -> Summary {
+        Summary::of(self.records.iter().filter(|r| r.id.0 >= lo && r.id.0 <= hi))
+    }
+
+    /// Mean GPU utilization across rounds, in [0, 1].
+    pub fn mean_utilization(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.utilization_sum / self.rounds as f64
+        }
+    }
+}
+
+/// Scalar summary of a set of job records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of jobs summarized.
+    pub jobs: usize,
+    /// Mean job completion time (seconds).
+    pub avg_jct: f64,
+    /// Median JCT.
+    pub p50_jct: f64,
+    /// 90th percentile JCT.
+    pub p90_jct: f64,
+    /// 99th percentile JCT.
+    pub p99_jct: f64,
+    /// Mean responsiveness (seconds).
+    pub avg_responsiveness: f64,
+    /// Makespan: last completion − first arrival.
+    pub makespan: f64,
+    /// Mean preemption count.
+    pub avg_preemptions: f64,
+}
+
+impl Summary {
+    /// Compute a summary from an iterator of records.
+    pub fn of<'a, I>(records: I) -> Summary
+    where
+        I: IntoIterator<Item = &'a JobRecord>,
+    {
+        let recs: Vec<&JobRecord> = records.into_iter().collect();
+        if recs.is_empty() {
+            return Summary {
+                jobs: 0,
+                avg_jct: 0.0,
+                p50_jct: 0.0,
+                p90_jct: 0.0,
+                p99_jct: 0.0,
+                avg_responsiveness: 0.0,
+                makespan: 0.0,
+                avg_preemptions: 0.0,
+            };
+        }
+        let mut jcts: Vec<f64> = recs.iter().map(|r| r.jct()).collect();
+        jcts.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+        let n = recs.len() as f64;
+        let first_arrival = recs.iter().map(|r| r.arrival).fold(f64::INFINITY, f64::min);
+        let last_completion = recs
+            .iter()
+            .map(|r| r.completion)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            jobs: recs.len(),
+            avg_jct: jcts.iter().sum::<f64>() / n,
+            p50_jct: percentile(&jcts, 0.50),
+            p90_jct: percentile(&jcts, 0.90),
+            p99_jct: percentile(&jcts, 0.99),
+            avg_responsiveness: recs.iter().map(|r| r.responsiveness()).sum::<f64>() / n,
+            makespan: last_completion - first_arrival,
+            avg_preemptions: recs.iter().map(|r| r.preemptions as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Percentile of a pre-sorted slice using nearest-rank interpolation.
+///
+/// # Panics
+///
+/// Does not panic: returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Empirical CDF points `(value, fraction ≤ value)` for plotting; one point
+/// per record, values sorted ascending.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Mean absolute relative difference between two equal-length CDF value
+/// sets compared at matching quantiles; the fidelity metric of Figure 18.
+pub fn cdf_divergence(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let probes = 99;
+    let mut sum = 0.0;
+    for i in 1..=probes {
+        let q = i as f64 / (probes + 1) as f64;
+        let va = percentile(&sa, q);
+        let vb = percentile(&sb, q);
+        let denom = va.abs().max(1e-9);
+        sum += (va - vb).abs() / denom;
+    }
+    sum / probes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use crate::profile::JobProfile;
+
+    fn finished_job(id: u64, arrival: f64, first: f64, done: f64) -> Job {
+        let mut j = Job::new(
+            JobId(id),
+            arrival,
+            1,
+            10.0,
+            JobProfile::synthetic("toy", 0.1),
+        );
+        j.first_scheduled = Some(first);
+        j.completion_time = Some(done);
+        j.status = JobStatus::Completed;
+        j
+    }
+
+    #[test]
+    fn record_computes_jct_and_responsiveness() {
+        let j = finished_job(1, 10.0, 30.0, 110.0);
+        let r = JobRecord::from_job(&j).unwrap();
+        assert_eq!(r.jct(), 100.0);
+        assert_eq!(r.responsiveness(), 20.0);
+    }
+
+    #[test]
+    fn never_scheduled_job_responsiveness_is_jct() {
+        let mut j = finished_job(1, 10.0, 0.0, 110.0);
+        j.first_scheduled = None;
+        let r = JobRecord::from_job(&j).unwrap();
+        assert_eq!(r.responsiveness(), r.jct());
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = Summary::of([]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.avg_jct, 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut stats = RunStats::new();
+        stats.record_job(&finished_job(1, 0.0, 0.0, 100.0));
+        stats.record_job(&finished_job(2, 0.0, 50.0, 300.0));
+        let s = stats.summary();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.avg_jct, 200.0);
+        assert_eq!(s.avg_responsiveness, 25.0);
+        assert_eq!(s.makespan, 300.0);
+    }
+
+    #[test]
+    fn tracked_window_filters_by_id() {
+        let mut stats = RunStats::new();
+        for id in 1..=10 {
+            stats.record_job(&finished_job(id, 0.0, 0.0, id as f64));
+        }
+        assert_eq!(stats.tracked(3, 5).len(), 3);
+        let s = stats.summary_tracked(3, 5);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.avg_jct, 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn identical_cdfs_have_zero_divergence() {
+        let a = vec![1.0, 2.0, 3.0, 10.0];
+        assert!(cdf_divergence(&a, &a) < 1e-12);
+        let b = vec![1.1, 2.2, 3.3, 11.0];
+        let d = cdf_divergence(&a, &b);
+        assert!(d > 0.05 && d < 0.15, "expected ~10% divergence, got {d}");
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut stats = RunStats::new();
+        stats.record_round(64, 128, 300.0);
+        stats.record_round(128, 128, 600.0);
+        assert!((stats.mean_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.end_time, 600.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Shared placement machinery: a mutable view of free GPUs plus pick
+//! strategies and the keep/suspend/launch planner used by all placement
+//! policies in `blox-policies`.
+
+use std::collections::BTreeMap;
+
+use crate::cluster::{ClusterState, GpuState};
+use crate::ids::{GpuGlobalId, JobId, NodeId};
+use crate::job::JobStatus;
+use crate::policy::{Placement, SchedulingDecision};
+use crate::state::JobState;
+
+/// A scratch view of currently free GPUs that placement strategies consume
+/// as they assign jobs within a round.
+pub struct FreePool<'a> {
+    cluster: &'a ClusterState,
+    per_node: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+}
+
+impl<'a> FreePool<'a> {
+    /// Build the pool from the cluster's current free GPUs.
+    pub fn new(cluster: &'a ClusterState) -> Self {
+        let mut per_node: BTreeMap<NodeId, Vec<GpuGlobalId>> = BTreeMap::new();
+        for gpu in cluster.gpus().filter(|g| g.state == GpuState::Free) {
+            per_node.entry(gpu.node).or_default().push(gpu.id);
+        }
+        FreePool { cluster, per_node }
+    }
+
+    /// Add GPUs back to the pool (e.g. from a job being suspended this
+    /// round whose GPUs are not yet reflected as free in the cluster).
+    pub fn add(&mut self, gpus: &[GpuGlobalId]) {
+        for g in gpus {
+            if let Some(row) = self.cluster.gpu(*g) {
+                let list = self.per_node.entry(row.node).or_default();
+                if !list.contains(g) {
+                    list.push(*g);
+                    list.sort_unstable();
+                }
+            }
+        }
+    }
+
+    /// Remove specific GPUs from the pool (a job keeps running on them).
+    pub fn remove(&mut self, gpus: &[GpuGlobalId]) {
+        for g in gpus {
+            if let Some(row) = self.cluster.gpu(*g) {
+                if let Some(list) = self.per_node.get_mut(&row.node) {
+                    list.retain(|x| x != g);
+                }
+            }
+        }
+    }
+
+    /// Total free GPUs remaining.
+    pub fn total(&self) -> u32 {
+        self.per_node.values().map(|v| v.len() as u32).sum()
+    }
+
+    /// Free GPUs on one node.
+    pub fn on_node(&self, node: NodeId) -> &[GpuGlobalId] {
+        self.per_node
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn take_from_node(&mut self, node: NodeId, n: usize) -> Vec<GpuGlobalId> {
+        let list = self.per_node.entry(node).or_default();
+        let taken: Vec<GpuGlobalId> = list.drain(..n.min(list.len())).collect();
+        taken
+    }
+
+    /// Pick `n` GPUs all on one node, best-fit (node with the fewest free
+    /// GPUs that still fits, to reduce fragmentation). Returns `None` when
+    /// no single node fits.
+    pub fn take_consolidated(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        let n = n as usize;
+        let node = self
+            .per_node
+            .iter()
+            .filter(|(_, v)| v.len() >= n)
+            .min_by_key(|(id, v)| (v.len(), **id))
+            .map(|(id, _)| *id)?;
+        Some(self.take_from_node(node, n))
+    }
+
+    /// Pick `n` GPUs consolidated if possible, otherwise spanning the
+    /// fewest nodes (largest free counts first).
+    pub fn take_consolidated_or_spread(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if let Some(got) = self.take_consolidated(n) {
+            return Some(got);
+        }
+        if self.total() < n {
+            return None;
+        }
+        let mut order: Vec<(usize, NodeId)> = self
+            .per_node
+            .iter()
+            .map(|(id, v)| (v.len(), *id))
+            .collect();
+        // Largest nodes first so the allocation touches as few nodes as
+        // possible; ties broken by node id for determinism.
+        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut out = Vec::new();
+        let mut need = n as usize;
+        for (_, node) in order {
+            if need == 0 {
+                break;
+            }
+            let got = self.take_from_node(node, need);
+            need -= got.len();
+            out.extend(got);
+        }
+        debug_assert_eq!(need, 0);
+        Some(out)
+    }
+
+    /// Pick `n` GPUs packing the most-fragmented nodes first (fewest free
+    /// GPUs first). This is the anti-fragmentation placement Tiresias uses
+    /// for skew-insensitive jobs.
+    pub fn take_defragmenting(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if self.total() < n {
+            return None;
+        }
+        let mut order: Vec<(usize, NodeId)> = self
+            .per_node
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(id, v)| (v.len(), *id))
+            .collect();
+        order.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut out = Vec::new();
+        let mut need = n as usize;
+        for (_, node) in order {
+            if need == 0 {
+                break;
+            }
+            let got = self.take_from_node(node, need);
+            need -= got.len();
+            out.extend(got);
+        }
+        Some(out)
+    }
+
+    /// Pick the first `n` free GPUs in global-id order (the paper's
+    /// First-Free policy used in the fidelity experiment).
+    pub fn take_first_free(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if self.total() < n {
+            return None;
+        }
+        let mut all: Vec<GpuGlobalId> = self
+            .per_node
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let chosen: Vec<GpuGlobalId> = all.into_iter().take(n as usize).collect();
+        self.remove(&chosen);
+        Some(chosen)
+    }
+
+    /// Pick `n` GPUs on a single node maximizing mean pairwise intra-node
+    /// bandwidth (the bandwidth-aware intra-node policy of Table 4).
+    ///
+    /// Exhaustive over subsets for small `n` (nodes have ≤ 8 GPUs, so the
+    /// subset count is tiny); falls back to consolidated picking when no
+    /// node fits.
+    pub fn take_bandwidth_aware(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if n <= 1 {
+            return self.take_consolidated(n);
+        }
+        let mut best: Option<(f64, NodeId, Vec<GpuGlobalId>)> = None;
+        for (&node, free) in &self.per_node {
+            if (free.len() as u32) < n {
+                continue;
+            }
+            let spec = &self.cluster.node(node).expect("pool nodes exist").spec;
+            for subset in k_subsets(free, n as usize) {
+                let mut sum = 0.0;
+                let mut pairs = 0u32;
+                for i in 0..subset.len() {
+                    for j in (i + 1)..subset.len() {
+                        let a = self.cluster.gpu(subset[i]).expect("gpu exists").local;
+                        let b = self.cluster.gpu(subset[j]).expect("gpu exists").local;
+                        sum += spec.intra_bw(a, b);
+                        pairs += 1;
+                    }
+                }
+                let mean = if pairs == 0 { 0.0 } else { sum / pairs as f64 };
+                let better = match &best {
+                    None => true,
+                    Some((bw, bn, _)) => mean > *bw || (mean == *bw && node < *bn),
+                };
+                if better {
+                    best = Some((mean, node, subset));
+                }
+            }
+        }
+        let (_, _, chosen) = best?;
+        self.remove(&chosen);
+        Some(chosen)
+    }
+}
+
+/// Enumerate all `k`-element subsets of `items`, in lexicographic order.
+fn k_subsets(items: &[GpuGlobalId], k: usize) -> Vec<Vec<GpuGlobalId>> {
+    let mut out = Vec::new();
+    if k == 0 || k > items.len() {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - k {
+                break;
+            }
+        }
+        if idx[i] == i + items.len() - k {
+            return out;
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// How a planner should pick GPUs for one job.
+pub enum PickStrategy {
+    /// Strictly one node; skip the job this round if impossible.
+    ConsolidatedStrict,
+    /// One node if possible, else fewest nodes.
+    ConsolidatedPreferred,
+    /// Pack fragmented nodes first.
+    Defragment,
+    /// First free GPUs in global order.
+    FirstFree,
+    /// Single node, maximize intra-node pairwise bandwidth.
+    BandwidthAware,
+}
+
+impl PickStrategy {
+    fn pick(&self, pool: &mut FreePool<'_>, n: u32) -> Option<Vec<GpuGlobalId>> {
+        match self {
+            PickStrategy::ConsolidatedStrict => pool.take_consolidated(n),
+            PickStrategy::ConsolidatedPreferred => pool.take_consolidated_or_spread(n),
+            PickStrategy::Defragment => pool.take_defragmenting(n),
+            PickStrategy::FirstFree => pool.take_first_free(n),
+            PickStrategy::BandwidthAware => pool
+                .take_bandwidth_aware(n)
+                .or_else(|| pool.take_consolidated_or_spread(n)),
+        }
+    }
+}
+
+/// Generic keep / suspend / launch planner shared by placement policies.
+///
+/// Walks the scheduling decision in priority order, grants GPUs while
+/// capacity lasts, keeps running jobs whose grant is unchanged, suspends
+/// running jobs that lost their allocation (or whose size changed), and
+/// launches newly granted jobs using a per-job pick strategy.
+///
+/// `strategy_for` lets policies choose a different strategy per job
+/// (Tiresias consolidates only high-skew jobs, for example).
+pub fn plan_placement<F>(
+    decision: &SchedulingDecision,
+    job_state: &JobState,
+    cluster: &ClusterState,
+    mut strategy_for: F,
+) -> Placement
+where
+    F: FnMut(JobId) -> PickStrategy,
+{
+    let total = cluster.total_gpus();
+    // Phase 1: decide target GPU counts in priority order under capacity.
+    let mut granted: BTreeMap<JobId, u32> = BTreeMap::new();
+    let mut order: Vec<JobId> = Vec::new();
+    let mut used = 0u32;
+    for (job, want) in &decision.allocations {
+        if *want == 0 || granted.contains_key(job) {
+            continue;
+        }
+        if job_state.get(*job).is_none() {
+            continue;
+        }
+        if used + *want <= total {
+            granted.insert(*job, *want);
+            order.push(*job);
+            used += *want;
+        }
+    }
+
+    let mut pool = FreePool::new(cluster);
+    let mut to_suspend = Vec::new();
+    let mut kept: BTreeMap<JobId, bool> = BTreeMap::new();
+
+    // Phase 2: keep running jobs whose grant matches their placement;
+    // suspend the rest of the running set, releasing their GPUs.
+    for job in job_state.active().filter(|j| j.status == JobStatus::Running) {
+        let keep = granted.get(&job.id).copied() == Some(job.placement.len() as u32);
+        if keep {
+            kept.insert(job.id, true);
+        } else {
+            to_suspend.push(job.id);
+            pool.add(&job.placement);
+        }
+    }
+
+    // Phase 3: launch newly granted jobs in priority order.
+    let mut to_launch = Vec::new();
+    for job in order {
+        if kept.contains_key(&job) {
+            continue;
+        }
+        let n = granted[&job];
+        let strategy = strategy_for(job);
+        if let Some(gpus) = strategy.pick(&mut pool, n) {
+            to_launch.push((job, gpus));
+        }
+    }
+
+    Placement {
+        to_launch,
+        to_suspend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeSpec;
+    use crate::job::Job;
+    use crate::profile::JobProfile;
+
+    fn cluster(nodes: u32) -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+        c
+    }
+
+    fn job(id: u64, gpus: u32) -> Job {
+        Job::new(
+            JobId(id),
+            0.0,
+            gpus,
+            100.0,
+            JobProfile::synthetic("toy", 0.1),
+        )
+    }
+
+    #[test]
+    fn consolidated_best_fit_prefers_small_node() {
+        let mut c = cluster(2);
+        // Occupy 2 GPUs of node 0 so it has 2 free; node 1 has 4 free.
+        let free = c.free_gpus();
+        c.allocate(JobId(99), &free[..2], 4.0).unwrap();
+        let mut pool = FreePool::new(&c);
+        let got = pool.take_consolidated(2).unwrap();
+        // Best fit: node 0 (2 free) rather than node 1 (4 free).
+        assert!(got.iter().all(|g| c.gpu(*g).unwrap().node == NodeId(0)));
+    }
+
+    #[test]
+    fn consolidated_strict_fails_when_fragmented() {
+        let mut c = cluster(2);
+        let free = c.free_gpus();
+        // Leave 2 free on each node.
+        c.allocate(JobId(99), &[free[0], free[1], free[4], free[5]], 4.0)
+            .unwrap();
+        let mut pool = FreePool::new(&c);
+        assert!(pool.take_consolidated(4).is_none());
+        let mut pool2 = FreePool::new(&c);
+        let got = pool2.take_consolidated_or_spread(4).unwrap();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn defragment_picks_smallest_nodes_first() {
+        let mut c = cluster(2);
+        let free = c.free_gpus();
+        // Node 0: 1 free, node 1: 4 free.
+        c.allocate(JobId(99), &free[..3], 4.0).unwrap();
+        let mut pool = FreePool::new(&c);
+        let got = pool.take_defragmenting(1).unwrap();
+        assert_eq!(c.gpu(got[0]).unwrap().node, NodeId(0));
+    }
+
+    #[test]
+    fn first_free_follows_global_order() {
+        let c = cluster(2);
+        let mut pool = FreePool::new(&c);
+        let got = pool.take_first_free(3).unwrap();
+        assert_eq!(got, vec![GpuGlobalId(0), GpuGlobalId(1), GpuGlobalId(2)]);
+    }
+
+    #[test]
+    fn bandwidth_aware_finds_nvlink_pair() {
+        let c = cluster(1);
+        let mut pool = FreePool::new(&c);
+        let got = pool.take_bandwidth_aware(2).unwrap();
+        let mut locals: Vec<u8> = got.iter().map(|g| c.gpu(*g).unwrap().local).collect();
+        locals.sort_unstable();
+        // Must be one of the 100 Gbps pairs: (0,3) or (1,2).
+        assert!(locals == vec![0, 3] || locals == vec![1, 2], "{locals:?}");
+    }
+
+    #[test]
+    fn k_subsets_counts() {
+        let items: Vec<GpuGlobalId> = (0..4).map(GpuGlobalId).collect();
+        assert_eq!(k_subsets(&items, 2).len(), 6);
+        assert_eq!(k_subsets(&items, 4).len(), 1);
+        assert_eq!(k_subsets(&items, 5).len(), 0);
+    }
+
+    #[test]
+    fn planner_keeps_matching_running_jobs() {
+        let mut c = cluster(2);
+        let mut js = JobState::new();
+        let mut j1 = job(1, 2);
+        j1.status = JobStatus::Running;
+        let free = c.free_gpus();
+        j1.placement = vec![free[0], free[1]];
+        c.allocate(JobId(1), &j1.placement, 4.0).unwrap();
+        js.add_new_jobs(vec![j1, job(2, 4)]);
+
+        let decision = SchedulingDecision {
+            allocations: vec![(JobId(1), 2), (JobId(2), 4)],
+            ..Default::default()
+        };
+        let p = plan_placement(&decision, &js, &c, |_| PickStrategy::ConsolidatedPreferred);
+        assert!(p.to_suspend.is_empty());
+        assert_eq!(p.to_launch.len(), 1);
+        assert_eq!(p.to_launch[0].0, JobId(2));
+        assert_eq!(p.to_launch[0].1.len(), 4);
+    }
+
+    #[test]
+    fn planner_suspends_descheduled_jobs_and_reuses_their_gpus() {
+        let mut c = cluster(1);
+        let mut js = JobState::new();
+        let mut j1 = job(1, 4);
+        j1.status = JobStatus::Running;
+        j1.placement = c.free_gpus();
+        c.allocate(JobId(1), &j1.placement, 4.0).unwrap();
+        js.add_new_jobs(vec![j1, job(2, 4)]);
+
+        // Only job 2 is scheduled this round.
+        let decision = SchedulingDecision {
+            allocations: vec![(JobId(2), 4)],
+            ..Default::default()
+        };
+        let p = plan_placement(&decision, &js, &c, |_| PickStrategy::ConsolidatedPreferred);
+        assert_eq!(p.to_suspend, vec![JobId(1)]);
+        assert_eq!(p.to_launch.len(), 1);
+        assert_eq!(p.to_launch[0].1.len(), 4);
+    }
+
+    #[test]
+    fn planner_respects_capacity_in_priority_order() {
+        let c = cluster(1); // 4 GPUs.
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 3), job(2, 2), job(3, 1)]);
+        let decision = SchedulingDecision {
+            allocations: vec![(JobId(1), 3), (JobId(2), 2), (JobId(3), 1)],
+            ..Default::default()
+        };
+        let p = plan_placement(&decision, &js, &c, |_| PickStrategy::ConsolidatedPreferred);
+        let launched: Vec<JobId> = p.to_launch.iter().map(|(j, _)| *j).collect();
+        // Job 2 (2 GPUs) does not fit after job 1 (3 GPUs); job 3 does.
+        assert_eq!(launched, vec![JobId(1), JobId(3)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Policy traits: job admission, scheduling, and placement.
+//!
+//! These are the paper's composable abstractions (Table 6). Each policy
+//! receives read-only views of the two shared data structures plus the
+//! round timestamp, and produces a well-defined output consumed by the next
+//! stage of the round loop.
+
+use std::collections::BTreeMap;
+
+use crate::cluster::ClusterState;
+use crate::ids::{GpuGlobalId, JobId};
+use crate::job::Job;
+use crate::state::JobState;
+
+/// Output of a scheduling policy for one round.
+///
+/// The core of the decision is `allocations`: a priority-ordered list of
+/// `(job, gpus-to-grant)`. Policies that only rank jobs (FIFO, LAS, SRTF)
+/// grant each job its requested GPU count; policies that resize jobs
+/// (Pollux, Optimus, Gavel) grant other counts. The placement policy walks
+/// this list in order and stops granting once the cluster is full.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulingDecision {
+    /// `(job, gpu count)` pairs in descending priority.
+    pub allocations: Vec<(JobId, u32)>,
+    /// Per-job batch size overrides (Pollux co-adapts batch sizes).
+    pub batch_sizes: BTreeMap<JobId, u64>,
+    /// Jobs the policy decided to finish early (e.g. loss-based
+    /// termination). The manager marks them `TerminatedEarly`.
+    pub terminate: Vec<JobId>,
+}
+
+impl SchedulingDecision {
+    /// A decision that schedules the given jobs at their requested size.
+    pub fn from_priority_order<'a, I>(jobs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Job>,
+    {
+        SchedulingDecision {
+            allocations: jobs
+                .into_iter()
+                .map(|j| (j.id, j.requested_gpus))
+                .collect(),
+            batch_sizes: BTreeMap::new(),
+            terminate: Vec::new(),
+        }
+    }
+}
+
+/// Output of a placement policy for one round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    /// Jobs to (re)start this round with their exact GPU assignment.
+    pub to_launch: Vec<(JobId, Vec<GpuGlobalId>)>,
+    /// Jobs running last round that must be checkpointed and stopped.
+    pub to_suspend: Vec<JobId>,
+}
+
+impl Placement {
+    /// True when the round changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.to_launch.is_empty() && self.to_suspend.is_empty()
+    }
+}
+
+/// Gatekeeper for newly submitted jobs (paper: Job Admission Policy).
+///
+/// Implementations may hold back jobs internally (e.g. threshold-based
+/// admission releases jobs FIFO as resources free up); `admit` is invoked
+/// every round with that round's fresh arrivals and returns every job that
+/// enters the schedulable set this round.
+pub trait AdmissionPolicy: Send {
+    /// Offer this round's arrivals; return the jobs admitted now (possibly
+    /// including jobs deferred in earlier rounds).
+    fn admit(
+        &mut self,
+        new_jobs: Vec<Job>,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> Vec<Job>;
+
+    /// Number of jobs currently held back by the policy.
+    fn pending(&self) -> usize {
+        0
+    }
+
+    /// Surrender all internally held-back jobs. Called when a policy is
+    /// swapped out at runtime (the automatic scheduler synthesizer) so no
+    /// queued submission is lost across the switch.
+    fn drain(&mut self) -> Vec<Job> {
+        Vec::new()
+    }
+
+    /// Short policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Round-based scheduling policy (paper: Job Scheduling Policy).
+pub trait SchedulingPolicy: Send {
+    /// Produce this round's priority-ordered allocation list.
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> SchedulingDecision;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Decides which GPUs each scheduled job runs on (paper: Job Placement
+/// Policy), and which running jobs to suspend.
+pub trait PlacementPolicy: Send {
+    /// Map the scheduling decision onto concrete GPUs.
+    fn place(
+        &mut self,
+        decision: &SchedulingDecision,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> Placement;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Factory closures used wherever fresh policy instances are needed
+/// (notably the automatic scheduler synthesizer, which forks simulations).
+pub type AdmissionFactory = Box<dyn Fn() -> Box<dyn AdmissionPolicy> + Send + Sync>;
+/// Factory for scheduling policies.
+pub type SchedulingFactory = Box<dyn Fn() -> Box<dyn SchedulingPolicy> + Send + Sync>;
+/// Factory for placement policies.
+pub type PlacementFactory = Box<dyn Fn() -> Box<dyn PlacementPolicy> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::JobProfile;
+
+    #[test]
+    fn decision_from_priority_order_uses_requested_gpus() {
+        let a = Job::new(JobId(1), 0.0, 4, 10.0, JobProfile::synthetic("a", 0.1));
+        let b = Job::new(JobId(2), 0.0, 2, 10.0, JobProfile::synthetic("b", 0.1));
+        let d = SchedulingDecision::from_priority_order([&a, &b]);
+        assert_eq!(d.allocations, vec![(JobId(1), 4), (JobId(2), 2)]);
+        assert!(d.terminate.is_empty());
+    }
+
+    #[test]
+    fn empty_placement_detection() {
+        let p = Placement::default();
+        assert!(p.is_empty());
+        let p2 = Placement {
+            to_launch: vec![(JobId(1), vec![])],
+            to_suspend: vec![],
+        };
+        assert!(!p2.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Per-model workload profiles used by the performance model.
+//!
+//! The paper associates each job in a trace with a DNN model (Table 2) and
+//! uses profiled data — per-iteration time across GPU counts, placement
+//! sensitivity, checkpoint/restore cost — to drive both scheduling policies
+//! (Optimus, Gavel, Pollux, Synergy all read profile data) and the
+//! simulator's progress model. Profiles are plain data defined here in the
+//! core crate so that the workload, policy, and simulator crates can share
+//! them without dependency cycles.
+
+use crate::cluster::GpuType;
+
+/// Scaling model for per-iteration time as a function of GPU count.
+///
+/// We use an Amdahl-style model calibrated by two parameters: the time of a
+/// single iteration on one reference GPU, and the fraction of that time that
+/// is inherently serial / communication-bound. For `n` data-parallel GPUs on
+/// a consolidated placement:
+///
+/// ```text
+/// iter_time(n) = base * (serial + (1 - serial) / n) * comm_growth(n)
+/// ```
+///
+/// where `comm_growth(n) = 1 + comm_frac * log2(n)` captures the growing
+/// all-reduce cost. Spreading the job across nodes inflates the
+/// communication term (see [`IterTimeModel::iter_time`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterTimeModel {
+    /// Seconds per iteration on a single reference (V100) GPU.
+    pub base_iter_s: f64,
+    /// Fraction of an iteration that does not parallelize (0.0..1.0).
+    pub serial_frac: f64,
+    /// Per-doubling growth of communication cost on consolidated placement.
+    pub comm_frac: f64,
+    /// Extra multiplicative penalty applied to the communication term when
+    /// the job spans multiple nodes. 0.0 means placement-insensitive.
+    pub spread_penalty: f64,
+}
+
+impl IterTimeModel {
+    /// Relative throughput of a GPU type against the V100 reference.
+    ///
+    /// Matches the paper's hardware-evolution case study (§4.3): P100s are
+    /// slower, V100s the reference, A100s faster.
+    pub fn gpu_speed(gpu: GpuType) -> f64 {
+        match gpu {
+            GpuType::K80 => 0.33,
+            GpuType::P100 => 0.60,
+            GpuType::V100 => 1.0,
+            GpuType::A100 => 2.2,
+            GpuType::T4 => 0.45,
+        }
+    }
+
+    /// Per-iteration time in seconds.
+    ///
+    /// * `n_gpus` — number of data-parallel workers (>= 1).
+    /// * `gpu` — accelerator type all workers run on.
+    /// * `consolidated` — whether all workers share one node.
+    /// * `inter_bw_gbps` — cross-node interconnect bandwidth; only used when
+    ///   `consolidated` is false. Lower bandwidth inflates the spread
+    ///   penalty linearly against a 100 Gbps reference fabric (the
+    ///   Tiresias testbed), which is what makes consolidation win on
+    ///   10 Gbps V100 clusters in Figure 10.
+    pub fn iter_time(
+        &self,
+        n_gpus: u32,
+        gpu: GpuType,
+        consolidated: bool,
+        inter_bw_gbps: f64,
+    ) -> f64 {
+        let n = n_gpus.max(1) as f64;
+        let compute = self.base_iter_s / Self::gpu_speed(gpu);
+        let parallel = self.serial_frac + (1.0 - self.serial_frac) / n;
+        let comm = self.comm_frac * n.log2();
+        let mut t = compute * (parallel + comm);
+        if !consolidated && n_gpus > 1 {
+            // A 100 Gbps fabric is the reference: slower fabrics scale the
+            // penalty up (sub-linearly, saturating at 3x — all-reduce
+            // overlaps with compute), faster fabrics scale it down.
+            let bw_factor = (100.0 / inter_bw_gbps.max(1.0)).powf(0.4).clamp(0.5, 3.0);
+            t *= 1.0 + self.spread_penalty * bw_factor;
+        }
+        t
+    }
+
+    /// Throughput in iterations per second for the given configuration.
+    pub fn throughput(
+        &self,
+        n_gpus: u32,
+        gpu: GpuType,
+        consolidated: bool,
+        inter_bw_gbps: f64,
+    ) -> f64 {
+        1.0 / self.iter_time(n_gpus, gpu, consolidated, inter_bw_gbps)
+    }
+
+    /// True if spreading this job across nodes costs more than
+    /// `threshold` relative slowdown at its requested GPU count.
+    pub fn is_placement_sensitive(&self, n_gpus: u32, inter_bw_gbps: f64, threshold: f64) -> bool {
+        if n_gpus <= 1 {
+            return false;
+        }
+        let cons = self.iter_time(n_gpus, GpuType::V100, true, inter_bw_gbps);
+        let spread = self.iter_time(n_gpus, GpuType::V100, false, inter_bw_gbps);
+        spread / cons - 1.0 > threshold
+    }
+}
+
+/// Loss-curve model: exponential decay towards an asymptote.
+///
+/// `loss(p) = l_min + (l0 - l_min) * exp(-k * p)` where `p` is the fraction
+/// of requested iterations completed. The workload generator picks `k` so
+/// that 75% of jobs reach within 0.1% of their final loss at 40% of their
+/// requested epochs, reproducing the Philly observation used by the
+/// loss-based-termination case study (Figure 16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossCurve {
+    /// Initial loss value at progress 0.
+    pub l0: f64,
+    /// Asymptotic (converged) loss value.
+    pub l_min: f64,
+    /// Decay rate against fractional progress.
+    pub k: f64,
+}
+
+impl LossCurve {
+    /// Loss after completing fraction `progress` (clamped to [0, 1]) of the
+    /// requested iterations.
+    pub fn loss_at(&self, progress: f64) -> f64 {
+        let p = progress.clamp(0.0, 1.0);
+        self.l_min + (self.l0 - self.l_min) * (-self.k * p).exp()
+    }
+
+    /// Fractional progress at which the loss first comes within
+    /// `rel_threshold` (e.g. 0.001 = 0.1%) of the converged loss, or 1.0 if
+    /// it never does before the job's requested end.
+    pub fn convergence_progress(&self, rel_threshold: f64) -> f64 {
+        // Solve l_min + (l0 - l_min) e^{-kp} <= l_min * (1 + rel_threshold).
+        let excess = self.l_min * rel_threshold;
+        if self.l0 - self.l_min <= excess || self.k <= 0.0 {
+            return 0.0;
+        }
+        let p = ((self.l0 - self.l_min) / excess).ln() / self.k;
+        p.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for LossCurve {
+    fn default() -> Self {
+        // A curve that converges exactly at the end of training.
+        LossCurve {
+            l0: 10.0,
+            l_min: 1.0,
+            k: (9.0f64 / 0.001).ln(),
+        }
+    }
+}
+
+/// Pollux-specific profile: goodput = throughput × statistical efficiency.
+///
+/// Follows the Pollux (OSDI '21) model in simplified form. Throughput for
+/// batch size `m` on `n` GPUs is `m / (t_grad * m / n + t_sync * log2(n)+c)`
+/// and statistical efficiency is `(gns + m0) / (gns + m)` where `gns` is the
+/// gradient noise scale and `m0` the job's initial batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolluxProfile {
+    /// Seconds of gradient computation per sample on one reference GPU.
+    pub t_grad_per_sample: f64,
+    /// Fixed per-iteration synchronization cost (seconds) per log2(GPUs).
+    pub t_sync: f64,
+    /// Initial (user-requested) batch size.
+    pub init_batch: u64,
+    /// Maximum batch size the model tolerates.
+    pub max_batch: u64,
+    /// Gradient noise scale, in samples.
+    pub gns: f64,
+}
+
+impl PolluxProfile {
+    /// Samples per second for batch `m` on `n` GPUs.
+    pub fn throughput(&self, n_gpus: u32, batch: u64) -> f64 {
+        let n = n_gpus.max(1) as f64;
+        let m = batch.max(1) as f64;
+        let iter = self.t_grad_per_sample * m / n + self.t_sync * (n.log2() + 1.0);
+        m / iter
+    }
+
+    /// Statistical efficiency of batch `m` relative to the initial batch.
+    pub fn efficiency(&self, batch: u64) -> f64 {
+        let m = batch.max(1) as f64;
+        let m0 = self.init_batch.max(1) as f64;
+        (self.gns + m0) / (self.gns + m)
+    }
+
+    /// Goodput: examples of *statistical* progress per second.
+    pub fn goodput(&self, n_gpus: u32, batch: u64) -> f64 {
+        self.throughput(n_gpus, batch) * self.efficiency(batch)
+    }
+
+    /// Batch size (multiple of the initial batch, capped at `max_batch`)
+    /// that maximizes goodput for `n` GPUs.
+    pub fn best_batch(&self, n_gpus: u32) -> u64 {
+        let mut best = self.init_batch;
+        let mut best_gp = self.goodput(n_gpus, best);
+        let mut m = self.init_batch;
+        while m * 2 <= self.max_batch {
+            m *= 2;
+            let gp = self.goodput(n_gpus, m);
+            if gp > best_gp {
+                best_gp = gp;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+/// Complete profile for one model / job class.
+///
+/// Combines the iteration-time model with resource footprints (used by
+/// Synergy), checkpoint costs (used by the preemption mechanism), the loss
+/// curve (used by Optimus and loss-based termination), and the optional
+/// Pollux goodput profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProfile {
+    /// Human-readable model name, e.g. `"resnet50"`.
+    pub model_name: String,
+    /// Iteration-time scaling model.
+    pub iter_model: IterTimeModel,
+    /// Tensor-size skew, read by the Tiresias placement heuristic. Jobs with
+    /// skew above the heuristic's threshold are consolidated.
+    pub skew: f64,
+    /// Ground truth: does this model actually benefit from consolidation on
+    /// the deployed hardware? Used by the profile-guided Tiresias+ policy.
+    pub consolidation_benefit: bool,
+    /// Seconds to checkpoint the job on preemption.
+    pub checkpoint_s: f64,
+    /// Seconds to restore + warm up the job on (re)launch.
+    pub restore_s: f64,
+    /// GPU memory per worker, GiB (Synergy / placement feasibility).
+    pub gpu_mem_gb: f64,
+    /// CPU cores per GPU the model ideally wants (Synergy).
+    pub cpus_per_gpu: f64,
+    /// Host DRAM per GPU, GiB (Synergy).
+    pub dram_per_gpu_gb: f64,
+    /// Relative slowdown when the job gets only its *proportional* CPU
+    /// share instead of its ideal share (Synergy's motivation: some models
+    /// are CPU-bound during data loading).
+    pub cpu_sensitivity: f64,
+    /// Loss curve for this job.
+    pub loss: LossCurve,
+    /// Pollux goodput profile, when the trace provides one.
+    pub pollux: Option<PolluxProfile>,
+}
+
+impl JobProfile {
+    /// A minimal synthetic profile, useful in tests.
+    pub fn synthetic(name: &str, base_iter_s: f64) -> Self {
+        JobProfile {
+            model_name: name.to_string(),
+            iter_model: IterTimeModel {
+                base_iter_s,
+                serial_frac: 0.05,
+                comm_frac: 0.02,
+                spread_penalty: 0.05,
+            },
+            skew: 0.5,
+            consolidation_benefit: true,
+            checkpoint_s: 10.0,
+            restore_s: 20.0,
+            gpu_mem_gb: 8.0,
+            cpus_per_gpu: 3.0,
+            dram_per_gpu_gb: 16.0,
+            cpu_sensitivity: 0.1,
+            loss: LossCurve::default(),
+            pollux: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IterTimeModel {
+        IterTimeModel {
+            base_iter_s: 1.0,
+            serial_frac: 0.1,
+            comm_frac: 0.02,
+            spread_penalty: 0.3,
+        }
+    }
+
+    #[test]
+    fn iter_time_decreases_with_gpus_when_consolidated() {
+        let m = model();
+        let t1 = m.iter_time(1, GpuType::V100, true, 100.0);
+        let t4 = m.iter_time(4, GpuType::V100, true, 100.0);
+        assert!(t4 < t1, "t4={t4} should be below t1={t1}");
+    }
+
+    #[test]
+    fn spread_placement_is_slower() {
+        let m = model();
+        let cons = m.iter_time(8, GpuType::V100, true, 100.0);
+        let spread = m.iter_time(8, GpuType::V100, false, 100.0);
+        assert!(spread > cons);
+    }
+
+    #[test]
+    fn slower_fabric_hurts_spread_more() {
+        let m = model();
+        let fast = m.iter_time(8, GpuType::V100, false, 100.0);
+        let slow = m.iter_time(8, GpuType::V100, false, 10.0);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn faster_gpu_is_faster() {
+        let m = model();
+        let v100 = m.iter_time(1, GpuType::V100, true, 100.0);
+        let a100 = m.iter_time(1, GpuType::A100, true, 100.0);
+        let p100 = m.iter_time(1, GpuType::P100, true, 100.0);
+        assert!(a100 < v100 && v100 < p100);
+    }
+
+    #[test]
+    fn single_gpu_jobs_are_never_placement_sensitive() {
+        let m = model();
+        assert!(!m.is_placement_sensitive(1, 10.0, 0.05));
+    }
+
+    #[test]
+    fn loss_curve_is_monotone_decreasing() {
+        let c = LossCurve { l0: 5.0, l_min: 1.0, k: 8.0 };
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let l = c.loss_at(i as f64 / 10.0);
+            assert!(l <= prev);
+            prev = l;
+        }
+        assert!(c.loss_at(0.0) > c.loss_at(1.0));
+    }
+
+    #[test]
+    fn convergence_progress_is_consistent_with_loss_at() {
+        let c = LossCurve { l0: 5.0, l_min: 1.0, k: 12.0 };
+        let p = c.convergence_progress(0.001);
+        let l = c.loss_at(p);
+        assert!(l <= c.l_min * 1.0011, "loss {l} at p={p}");
+    }
+
+    #[test]
+    fn pollux_goodput_has_interior_optimum_or_cap() {
+        let p = PolluxProfile {
+            t_grad_per_sample: 0.001,
+            t_sync: 0.05,
+            init_batch: 64,
+            max_batch: 4096,
+            gns: 800.0,
+        };
+        let b = p.best_batch(4);
+        assert!(b >= p.init_batch && b <= p.max_batch);
+        // Goodput at the chosen batch beats the initial batch.
+        assert!(p.goodput(4, b) >= p.goodput(4, p.init_batch));
+    }
+
+    #[test]
+    fn pollux_efficiency_declines_with_batch() {
+        let p = PolluxProfile {
+            t_grad_per_sample: 0.001,
+            t_sync: 0.05,
+            init_batch: 64,
+            max_batch: 4096,
+            gns: 800.0,
+        };
+        assert!(p.efficiency(64) > p.efficiency(1024));
+        assert!((p.efficiency(64) - 1.0).abs() < 1e-9);
+    }
+}

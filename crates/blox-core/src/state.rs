@@ -1,0 +1,181 @@
+//! The shared `JobState` data structure.
+
+use std::collections::BTreeMap;
+
+use crate::error::{BloxError, Result};
+use crate::ids::JobId;
+use crate::job::{Job, JobStatus};
+
+/// Tracks every job the scheduler knows about.
+///
+/// Active jobs (queued / running / suspended) live in an ordered map so
+/// policies iterate deterministically; finished jobs are moved to a
+/// completed list that keeps the full `Job` record for metric extraction —
+/// the paper's `JobState` keeps finished-job metrics around for the same
+/// reason.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobState {
+    active: BTreeMap<JobId, Job>,
+    finished: Vec<Job>,
+}
+
+impl JobState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add newly admitted jobs to the active set.
+    pub fn add_new_jobs(&mut self, jobs: Vec<Job>) {
+        for job in jobs {
+            self.active.insert(job.id, job);
+        }
+    }
+
+    /// Iterate active jobs in id (submission) order.
+    pub fn active(&self) -> impl Iterator<Item = &Job> {
+        self.active.values()
+    }
+
+    /// Mutable iteration over active jobs in id order.
+    pub fn active_mut(&mut self) -> impl Iterator<Item = &mut Job> {
+        self.active.values_mut()
+    }
+
+    /// Number of active jobs.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Look up one active job.
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        self.active.get(&id)
+    }
+
+    /// Mutable lookup of one active job.
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        self.active.get_mut(&id)
+    }
+
+    /// Look up one active job, erroring when absent.
+    pub fn require(&self, id: JobId) -> Result<&Job> {
+        self.get(id).ok_or(BloxError::UnknownJob(id))
+    }
+
+    /// Mutable lookup, erroring when absent.
+    pub fn require_mut(&mut self, id: JobId) -> Result<&mut Job> {
+        self.active.get_mut(&id).ok_or(BloxError::UnknownJob(id))
+    }
+
+    /// Jobs currently holding GPUs, in id order.
+    pub fn running(&self) -> impl Iterator<Item = &Job> {
+        self.active().filter(|j| j.status == JobStatus::Running)
+    }
+
+    /// Jobs waiting for GPUs (queued or suspended), in id order.
+    pub fn waiting(&self) -> impl Iterator<Item = &Job> {
+        self.active()
+            .filter(|j| matches!(j.status, JobStatus::Queued | JobStatus::Suspended))
+    }
+
+    /// Sum of requested GPUs across active jobs (admission-control input).
+    pub fn total_requested_gpus(&self) -> u64 {
+        self.active().map(|j| j.requested_gpus as u64).sum()
+    }
+
+    /// Move all done jobs (completed or terminated early) to the finished
+    /// list; returns how many were pruned. Mirrors the
+    /// `prune_completed_jobs` step of the paper's scheduling loop.
+    pub fn prune_completed(&mut self) -> usize {
+        let done: Vec<JobId> = self
+            .active
+            .values()
+            .filter(|j| j.status.is_done())
+            .map(|j| j.id)
+            .collect();
+        for id in &done {
+            if let Some(job) = self.active.remove(id) {
+                self.finished.push(job);
+            }
+        }
+        done.len()
+    }
+
+    /// Finished jobs in completion order.
+    pub fn finished(&self) -> &[Job] {
+        &self.finished
+    }
+
+    /// A finished job by id, if present.
+    pub fn finished_job(&self, id: JobId) -> Option<&Job> {
+        self.finished.iter().find(|j| j.id == id)
+    }
+
+    /// Total jobs ever seen (active + finished).
+    pub fn total_seen(&self) -> usize {
+        self.active.len() + self.finished.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::JobProfile;
+
+    fn job(id: u64) -> Job {
+        Job::new(
+            JobId(id),
+            0.0,
+            1,
+            100.0,
+            JobProfile::synthetic("toy", 0.1),
+        )
+    }
+
+    #[test]
+    fn add_and_iterate_in_id_order() {
+        let mut s = JobState::new();
+        s.add_new_jobs(vec![job(3), job(1), job(2)]);
+        let ids: Vec<u64> = s.active().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prune_moves_done_jobs() {
+        let mut s = JobState::new();
+        s.add_new_jobs(vec![job(1), job(2)]);
+        s.get_mut(JobId(1)).unwrap().status = JobStatus::Completed;
+        assert_eq!(s.prune_completed(), 1);
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.finished().len(), 1);
+        assert!(s.finished_job(JobId(1)).is_some());
+        assert!(s.get(JobId(1)).is_none());
+    }
+
+    #[test]
+    fn running_and_waiting_filters() {
+        let mut s = JobState::new();
+        s.add_new_jobs(vec![job(1), job(2), job(3)]);
+        s.get_mut(JobId(2)).unwrap().status = JobStatus::Running;
+        s.get_mut(JobId(3)).unwrap().status = JobStatus::Suspended;
+        assert_eq!(s.running().count(), 1);
+        assert_eq!(s.waiting().count(), 2);
+    }
+
+    #[test]
+    fn require_reports_unknown_jobs() {
+        let s = JobState::new();
+        assert!(s.require(JobId(9)).is_err());
+    }
+
+    #[test]
+    fn total_requested_gpus_sums_demands() {
+        let mut s = JobState::new();
+        let mut a = job(1);
+        a.requested_gpus = 4;
+        let mut b = job(2);
+        b.requested_gpus = 2;
+        s.add_new_jobs(vec![a, b]);
+        assert_eq!(s.total_requested_gpus(), 6);
+    }
+}

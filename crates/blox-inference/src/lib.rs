@@ -1,0 +1,428 @@
+//! Nexus-style inference scheduling on the Blox abstractions.
+//!
+//! Paper Appendix C sketches how Nexus (SOSP '19) maps onto Blox: the
+//! global scheduler becomes a scheduling-policy instance whose inputs are
+//! the request rates observed at the frontends (pushed through the client
+//! library) and whose outputs are per-model GPU counts and batch sizes,
+//! installed at the frontends as routing tables via the lease-extension
+//! mechanism. This crate implements that prototype:
+//!
+//! * [`ModelSession`] — one served model: request rate, latency SLO, and a
+//!   linear batch-latency profile.
+//! * [`squishy_bin_packing`] — Nexus' allocation algorithm: pick the
+//!   largest batch whose worst-case latency fits the SLO, size the GPU
+//!   count from the per-GPU throughput at that batch, then "squish"
+//!   fractional residues of different models onto shared GPUs as long as
+//!   their combined duty cycle fits.
+//! * [`RoutingTable`] — the frontend's view: which backend GPUs serve each
+//!   model and with what weight.
+//! * [`NexusPolicy`] — the whole thing packaged as a
+//!   [`blox_core::policy::SchedulingPolicy`], so the standard round loop
+//!   drives it.
+
+use std::collections::BTreeMap;
+
+use blox_core::cluster::ClusterState;
+use blox_core::ids::JobId;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// One model being served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSession {
+    /// Model name.
+    pub name: String,
+    /// Observed aggregate request rate, requests/second.
+    pub rate_rps: f64,
+    /// End-to-end latency SLO in milliseconds.
+    pub slo_ms: f64,
+    /// Fixed per-batch execution overhead, milliseconds.
+    pub lat_base_ms: f64,
+    /// Marginal latency per request in a batch, milliseconds.
+    pub lat_per_item_ms: f64,
+}
+
+impl ModelSession {
+    /// Execution latency of one batch of size `b`, milliseconds.
+    pub fn batch_latency_ms(&self, b: u32) -> f64 {
+        self.lat_base_ms + self.lat_per_item_ms * b as f64
+    }
+
+    /// Largest batch whose worst-case response time fits the SLO.
+    ///
+    /// Nexus uses the 2× rule: a request can wait up to one full batch
+    /// before executing in the next, so `2 * batch_latency <= slo`.
+    pub fn max_batch(&self) -> u32 {
+        let budget = self.slo_ms / 2.0 - self.lat_base_ms;
+        if budget <= self.lat_per_item_ms {
+            return 1;
+        }
+        (budget / self.lat_per_item_ms).floor().max(1.0) as u32
+    }
+
+    /// Per-GPU throughput (requests/second) at batch size `b`.
+    pub fn throughput_at(&self, b: u32) -> f64 {
+        b as f64 / (self.batch_latency_ms(b) / 1000.0)
+    }
+
+    /// GPUs needed to absorb the session's rate at its SLO-optimal batch,
+    /// as a real number (the fractional part is the squishable residue).
+    pub fn gpu_demand(&self) -> f64 {
+        let b = self.max_batch();
+        self.rate_rps / self.throughput_at(b).max(1e-9)
+    }
+}
+
+/// One model's share of one backend GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuShare {
+    /// Model served.
+    pub model: String,
+    /// Batch size to run.
+    pub batch: u32,
+    /// Fraction of the GPU's time dedicated to this model (duty cycle).
+    pub duty_cycle: f64,
+}
+
+/// The allocation: for each (virtual) backend GPU, the model shares
+/// scheduled onto it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Allocation {
+    /// Per-GPU share lists; length = GPUs used.
+    pub gpus: Vec<Vec<GpuShare>>,
+}
+
+impl Allocation {
+    /// Number of GPUs the allocation uses.
+    pub fn gpus_used(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Aggregate duty cycle on one GPU (must be ≤ 1 + ε).
+    pub fn load_of(&self, gpu: usize) -> f64 {
+        self.gpus
+            .get(gpu)
+            .map(|shares| shares.iter().map(|s| s.duty_cycle).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Effective serving capacity (requests/second) granted to a model.
+    pub fn capacity_rps(&self, sessions: &[ModelSession], model: &str) -> f64 {
+        let session = sessions.iter().find(|s| s.name == model);
+        let Some(session) = session else { return 0.0 };
+        let b = session.max_batch();
+        let tput = session.throughput_at(b);
+        self.gpus
+            .iter()
+            .flatten()
+            .filter(|s| s.model == model)
+            .map(|s| s.duty_cycle * tput)
+            .sum()
+    }
+}
+
+/// Nexus' squishy bin packing.
+///
+/// Phase 1 gives each session `floor(demand)` dedicated GPUs at the
+/// SLO-optimal batch. Phase 2 first-fit-decreasing packs the fractional
+/// residues onto shared GPUs, never letting a GPU's total duty cycle
+/// exceed 1.0 — the "squish".
+pub fn squishy_bin_packing(sessions: &[ModelSession]) -> Allocation {
+    let mut alloc = Allocation::default();
+    let mut residues: Vec<GpuShare> = Vec::new();
+    for s in sessions {
+        let demand = s.gpu_demand();
+        let whole = demand.floor() as usize;
+        let frac = demand - whole as f64;
+        let batch = s.max_batch();
+        for _ in 0..whole {
+            alloc.gpus.push(vec![GpuShare {
+                model: s.name.clone(),
+                batch,
+                duty_cycle: 1.0,
+            }]);
+        }
+        if frac > 1e-9 {
+            residues.push(GpuShare {
+                model: s.name.clone(),
+                batch,
+                duty_cycle: frac,
+            });
+        }
+    }
+    // First-fit decreasing over the residues.
+    residues.sort_by(|a, b| {
+        b.duty_cycle
+            .partial_cmp(&a.duty_cycle)
+            .expect("duty cycles are finite")
+    });
+    let first_shared = alloc.gpus.len();
+    for share in residues {
+        let slot = (first_shared..alloc.gpus.len())
+            .find(|&g| alloc.load_of(g) + share.duty_cycle <= 1.0 + 1e-9);
+        match slot {
+            Some(g) => alloc.gpus[g].push(share),
+            None => alloc.gpus.push(vec![share]),
+        }
+    }
+    alloc
+}
+
+/// The frontend routing table derived from an allocation: model → list of
+/// `(backend gpu index, weight)` entries, weights proportional to duty
+/// cycles and normalized per model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingTable {
+    routes: BTreeMap<String, Vec<(usize, f64)>>,
+}
+
+impl RoutingTable {
+    /// Build from an allocation.
+    pub fn from_allocation(alloc: &Allocation) -> Self {
+        let mut routes: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+        for (gpu, shares) in alloc.gpus.iter().enumerate() {
+            for share in shares {
+                routes
+                    .entry(share.model.clone())
+                    .or_default()
+                    .push((gpu, share.duty_cycle));
+            }
+        }
+        for entries in routes.values_mut() {
+            let total: f64 = entries.iter().map(|(_, w)| w).sum();
+            if total > 0.0 {
+                for (_, w) in entries.iter_mut() {
+                    *w /= total;
+                }
+            }
+        }
+        RoutingTable { routes }
+    }
+
+    /// Backends serving a model, with normalized weights.
+    pub fn backends_for(&self, model: &str) -> &[(usize, f64)] {
+        self.routes.get(model).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of routed models.
+    pub fn models(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// The Nexus global scheduler as a Blox scheduling policy.
+///
+/// Sessions are registered up front; each round the policy reads the
+/// per-session request rate from the metric store (frontends push
+/// `"request_rate"` through the client library), recomputes the packing,
+/// and emits one allocation per session job. Sessions that no longer fit
+/// the cluster are left unscheduled — the admission-control coupling the
+/// paper's Discussion section calls out.
+pub struct NexusPolicy {
+    sessions: Vec<(JobId, ModelSession)>,
+    last_table: RoutingTable,
+}
+
+impl NexusPolicy {
+    /// Policy over a fixed set of sessions, keyed by job id.
+    pub fn new(sessions: Vec<(JobId, ModelSession)>) -> Self {
+        NexusPolicy {
+            sessions,
+            last_table: RoutingTable::default(),
+        }
+    }
+
+    /// The routing table computed by the most recent round.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.last_table
+    }
+}
+
+impl SchedulingPolicy for NexusPolicy {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        // Refresh rates from the metric store (pushed by frontends).
+        let mut live: Vec<ModelSession> = Vec::new();
+        let mut ids: Vec<JobId> = Vec::new();
+        for (id, session) in &self.sessions {
+            let mut s = session.clone();
+            if let Some(job) = job_state.get(*id) {
+                if let Some(rate) = job.metric("request_rate") {
+                    s.rate_rps = rate.max(0.0);
+                }
+                live.push(s);
+                ids.push(*id);
+            }
+        }
+        let alloc = squishy_bin_packing(&live);
+        self.last_table = RoutingTable::from_allocation(&alloc);
+
+        // Translate per-model GPU usage into allocation sizes, dropping
+        // sessions (lowest rate first) if the cluster is too small.
+        let mut wants: Vec<(JobId, u32, f64)> = ids
+            .iter()
+            .zip(&live)
+            .map(|(id, s)| (*id, s.gpu_demand().ceil().max(1.0) as u32, s.rate_rps))
+            .collect();
+        wants.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("rates are finite"));
+        let mut used = 0;
+        let total = cluster.total_gpus();
+        let mut allocations = Vec::new();
+        for (id, gpus, _) in wants {
+            if used + gpus <= total {
+                allocations.push((id, gpus));
+                used += gpus;
+            }
+        }
+        SchedulingDecision {
+            allocations,
+            batch_sizes: BTreeMap::new(),
+            terminate: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "nexus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::job::Job;
+    use blox_core::profile::JobProfile;
+
+    fn session(name: &str, rate: f64, slo: f64) -> ModelSession {
+        ModelSession {
+            name: name.into(),
+            rate_rps: rate,
+            slo_ms: slo,
+            lat_base_ms: 5.0,
+            lat_per_item_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn max_batch_respects_the_two_x_rule() {
+        let s = session("m", 100.0, 100.0);
+        let b = s.max_batch();
+        assert!(2.0 * s.batch_latency_ms(b) <= s.slo_ms + 1e-9);
+        assert!(2.0 * s.batch_latency_ms(b + 1) > s.slo_ms);
+    }
+
+    #[test]
+    fn tight_slo_forces_batch_one() {
+        let s = session("m", 10.0, 11.0);
+        assert_eq!(s.max_batch(), 1);
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let s = session("m", 100.0, 200.0);
+        assert!(s.throughput_at(16) > s.throughput_at(1));
+    }
+
+    #[test]
+    fn packing_meets_every_sessions_demand() {
+        let sessions = vec![
+            session("a", 2_000.0, 100.0),
+            session("b", 300.0, 50.0),
+            session("c", 50.0, 200.0),
+        ];
+        let alloc = squishy_bin_packing(&sessions);
+        for s in &sessions {
+            let cap = alloc.capacity_rps(&sessions, &s.name);
+            assert!(
+                cap >= s.rate_rps * 0.999,
+                "{}: cap {cap} < rate {}",
+                s.name,
+                s.rate_rps
+            );
+        }
+        // No GPU is oversubscribed.
+        for g in 0..alloc.gpus_used() {
+            assert!(alloc.load_of(g) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn squishing_shares_gpus_across_models() {
+        // Two sessions each needing ~0.3 GPU must share one GPU.
+        let sessions = vec![
+            session("a", s_rate(0.3), 100.0),
+            session("b", s_rate(0.3), 100.0),
+        ];
+        let alloc = squishy_bin_packing(&sessions);
+        assert_eq!(alloc.gpus_used(), 1);
+        assert_eq!(alloc.gpus[0].len(), 2);
+    }
+
+    /// Rate that produces roughly `frac` GPU demand for the test profile.
+    fn s_rate(frac: f64) -> f64 {
+        let s = session("probe", 1.0, 100.0);
+        frac * s.throughput_at(s.max_batch())
+    }
+
+    #[test]
+    fn packing_uses_close_to_the_lower_bound_gpu_count() {
+        let sessions: Vec<ModelSession> = (0..10)
+            .map(|i| session(&format!("m{i}"), s_rate(0.4), 100.0))
+            .collect();
+        let alloc = squishy_bin_packing(&sessions);
+        // 10 x 0.4 = 4.0 GPUs of demand; FFD packs into <= 5.
+        assert!(alloc.gpus_used() <= 5, "used {}", alloc.gpus_used());
+    }
+
+    #[test]
+    fn routing_table_weights_normalize() {
+        let sessions = vec![session("a", s_rate(1.5), 100.0)];
+        let alloc = squishy_bin_packing(&sessions);
+        let table = RoutingTable::from_allocation(&alloc);
+        let entries = table.backends_for("a");
+        assert_eq!(entries.len(), 2);
+        let sum: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(table.backends_for("missing").is_empty());
+    }
+
+    #[test]
+    fn policy_reads_rates_from_the_metric_store() {
+        let mut cluster = ClusterState::new();
+        cluster.add_nodes(&NodeSpec::v100_p3_8xlarge(), 4);
+        let mut jobs = JobState::new();
+        let mut j = Job::new(JobId(1), 0.0, 1, 1e12, JobProfile::synthetic("serve", 0.1));
+        j.push_metric("request_rate", s_rate(2.5));
+        jobs.add_new_jobs(vec![j]);
+
+        let mut policy = NexusPolicy::new(vec![(JobId(1), session("a", 0.0, 100.0))]);
+        let d = policy.schedule(&jobs, &cluster, 0.0);
+        assert_eq!(d.allocations.len(), 1);
+        assert_eq!(d.allocations[0].1, 3, "2.5 GPUs of demand rounds up to 3");
+        assert_eq!(policy.routing_table().models(), 1);
+    }
+
+    #[test]
+    fn policy_sheds_sessions_when_cluster_is_too_small() {
+        let mut cluster = ClusterState::new();
+        cluster.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1); // 4 GPUs.
+        let mut jobs = JobState::new();
+        for i in 1..=3u64 {
+            let mut j = Job::new(JobId(i), 0.0, 1, 1e12, JobProfile::synthetic("serve", 0.1));
+            j.push_metric("request_rate", s_rate(3.0));
+            jobs.add_new_jobs(vec![j]);
+        }
+        let mut policy = NexusPolicy::new(
+            (1..=3u64)
+                .map(|i| (JobId(i), session(&format!("m{i}"), 0.0, 100.0)))
+                .collect(),
+        );
+        let d = policy.schedule(&jobs, &cluster, 0.0);
+        // Each session wants 3 GPUs; only one fits on 4 GPUs.
+        assert_eq!(d.allocations.len(), 1);
+    }
+}

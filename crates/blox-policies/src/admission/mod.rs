@@ -1,0 +1,240 @@
+//! Job admission policies: the gatekeepers for newly submitted jobs.
+
+use std::collections::VecDeque;
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::policy::AdmissionPolicy;
+use blox_core::state::JobState;
+
+/// Admit every job immediately (the paper's default).
+#[derive(Debug, Default)]
+pub struct AcceptAll;
+
+impl AcceptAll {
+    /// New accept-all policy.
+    pub fn new() -> Self {
+        AcceptAll
+    }
+}
+
+impl AdmissionPolicy for AcceptAll {
+    fn admit(
+        &mut self,
+        new_jobs: Vec<Job>,
+        _job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> Vec<Job> {
+        new_jobs
+    }
+
+    fn name(&self) -> &str {
+        "accept-all"
+    }
+}
+
+/// FIFO admission control with a GPU-demand threshold (paper §5.1):
+/// once the cumulative GPU request of schedulable jobs crosses
+/// `factor × cluster GPUs`, newly arriving jobs wait in an internal FIFO
+/// queue and are released as resources free up.
+#[derive(Debug)]
+pub struct ThresholdAdmission {
+    /// Admission cap as a multiple of cluster GPU capacity (the paper
+    /// sweeps 1.0×, 1.2×, 1.5×).
+    pub factor: f64,
+    queue: VecDeque<Job>,
+    name: String,
+}
+
+impl ThresholdAdmission {
+    /// New threshold admission policy with the given capacity factor.
+    pub fn new(factor: f64) -> Self {
+        ThresholdAdmission {
+            factor,
+            queue: VecDeque::new(),
+            name: format!("accept-{factor:.1}x"),
+        }
+    }
+}
+
+impl AdmissionPolicy for ThresholdAdmission {
+    fn admit(
+        &mut self,
+        new_jobs: Vec<Job>,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        _now: f64,
+    ) -> Vec<Job> {
+        self.queue.extend(new_jobs);
+        let cap = self.factor * cluster.total_gpus() as f64;
+        let mut admitted_gpus = job_state.total_requested_gpus() as f64;
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let want = front.requested_gpus as f64;
+            if admitted_gpus + want <= cap {
+                admitted_gpus += want;
+                out.push(self.queue.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<Job> {
+        self.queue.drain(..).collect()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Cap the number of concurrently schedulable jobs (a simple quota, one of
+/// the "possible instances" in paper Table 5).
+#[derive(Debug)]
+pub struct QuotaAdmission {
+    /// Maximum active jobs.
+    pub max_active_jobs: usize,
+    queue: VecDeque<Job>,
+}
+
+impl QuotaAdmission {
+    /// New quota admission policy.
+    pub fn new(max_active_jobs: usize) -> Self {
+        QuotaAdmission {
+            max_active_jobs,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl AdmissionPolicy for QuotaAdmission {
+    fn admit(
+        &mut self,
+        new_jobs: Vec<Job>,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> Vec<Job> {
+        self.queue.extend(new_jobs);
+        let mut slots = self.max_active_jobs.saturating_sub(job_state.active_count());
+        let mut out = Vec::new();
+        while slots > 0 {
+            match self.queue.pop_front() {
+                Some(job) => {
+                    out.push(job);
+                    slots -= 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<Job> {
+        self.queue.drain(..).collect()
+    }
+
+    fn name(&self) -> &str {
+        "quota"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 2); // 8 GPUs
+        c
+    }
+
+    fn job(id: u64, gpus: u32) -> Job {
+        Job::new(
+            JobId(id),
+            0.0,
+            gpus,
+            100.0,
+            JobProfile::synthetic("toy", 0.1),
+        )
+    }
+
+    #[test]
+    fn accept_all_passes_everything() {
+        let c = cluster();
+        let js = JobState::new();
+        let mut p = AcceptAll::new();
+        let out = p.admit(vec![job(1, 4), job(2, 8)], &js, &c, 0.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn threshold_holds_jobs_beyond_cap() {
+        let c = cluster(); // 8 GPUs; 1.5x cap = 12.
+        let js = JobState::new();
+        let mut p = ThresholdAdmission::new(1.5);
+        let out = p.admit(
+            vec![job(1, 8), job(2, 4), job(3, 1)],
+            &js,
+            &c,
+            0.0,
+        );
+        // 8 + 4 = 12 <= 12 admitted; job 3 would make 13 > 12.
+        assert_eq!(out.len(), 2);
+        assert_eq!(p.pending(), 1);
+        assert_eq!(p.name(), "accept-1.5x");
+    }
+
+    #[test]
+    fn threshold_releases_fifo_as_capacity_frees() {
+        let c = cluster();
+        let mut js = JobState::new();
+        let mut p = ThresholdAdmission::new(1.0); // cap 8
+        js.add_new_jobs(p.admit(vec![job(1, 8)], &js.clone(), &c, 0.0));
+        let out = p.admit(vec![job(2, 4)], &js, &c, 0.0);
+        assert!(out.is_empty());
+        assert_eq!(p.pending(), 1);
+        // Job 1 finishes: active set empties, the queued job releases.
+        let empty = JobState::new();
+        let out = p.admit(vec![], &empty, &c, 300.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, JobId(2));
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn threshold_preserves_fifo_order() {
+        let c = cluster();
+        let js = JobState::new();
+        let mut p = ThresholdAdmission::new(1.0); // cap 8
+        let out = p.admit(vec![job(1, 8), job(2, 8), job(3, 1)], &js, &c, 0.0);
+        // Job 2 blocks; job 3 must NOT jump the queue.
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.pending(), 2);
+    }
+
+    #[test]
+    fn quota_limits_active_jobs() {
+        let c = cluster();
+        let js = JobState::new();
+        let mut p = QuotaAdmission::new(2);
+        let out = p.admit(vec![job(1, 1), job(2, 1), job(3, 1)], &js, &c, 0.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(p.pending(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Policy library for the Blox toolkit.
+//!
+//! Concrete instances of the paper's admission / scheduling / placement
+//! abstractions (Tables 1 and 5):
+//!
+//! * **Admission**: [`admission::AcceptAll`], threshold-based FIFO release
+//!   ([`admission::ThresholdAdmission`]), job-count quota
+//!   ([`admission::QuotaAdmission`]).
+//! * **Scheduling**: [`scheduling::Fifo`], [`scheduling::Las`],
+//!   [`scheduling::Srtf`], discrete-LAS [`scheduling::Tiresias`],
+//!   [`scheduling::Optimus`], [`scheduling::Gavel`],
+//!   [`scheduling::Pollux`], [`scheduling::Themis`],
+//!   [`scheduling::Synergy`], and the loss-based termination wrapper
+//!   [`scheduling::LossTermination`].
+//! * **Placement**: [`placement::FirstFreePlacement`],
+//!   [`placement::ConsolidatedPlacement`],
+//!   [`placement::TiresiasPlacement`] (skew heuristic),
+//!   [`placement::ProfileGuidedPlacement`] (Tiresias+),
+//!   [`placement::BandwidthAwarePlacement`] (intra-node NVLink pairs),
+//!   [`placement::SynergyPlacement`] (CPU/DRAM aware).
+
+pub mod admission;
+pub mod placement;
+pub mod scheduling;

@@ -1,0 +1,184 @@
+//! The three baseline ordering policies: FIFO, LAS, and SRTF.
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Sort active jobs by a key and emit a requested-size decision.
+fn decision_sorted_by<K, F>(job_state: &JobState, mut key: F) -> SchedulingDecision
+where
+    K: PartialOrd,
+    F: FnMut(&Job) -> K,
+{
+    let mut jobs: Vec<&Job> = job_state.active().collect();
+    jobs.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .expect("scheduling keys are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    SchedulingDecision::from_priority_order(jobs)
+}
+
+/// First-in-first-out: jobs in arrival order (the Philly default and the
+/// baseline every other scheduler in the paper is measured against).
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl Fifo {
+    /// New FIFO policy.
+    pub fn new() -> Self {
+        Fifo
+    }
+}
+
+impl SchedulingPolicy for Fifo {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        decision_sorted_by(job_state, |j| j.arrival_time)
+    }
+
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// Single-queue Least Attained Service: jobs sorted by GPU-seconds of
+/// service received so far (Tiresias' simplified variant, 12 lines in the
+/// paper's Table 3).
+#[derive(Debug, Default)]
+pub struct Las;
+
+impl Las {
+    /// New LAS policy.
+    pub fn new() -> Self {
+        Las
+    }
+}
+
+impl SchedulingPolicy for Las {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        decision_sorted_by(job_state, |j| j.attained_service)
+    }
+
+    fn name(&self) -> &str {
+        "las"
+    }
+}
+
+/// Shortest Remaining Time First, using the profile-based remaining-time
+/// estimate (one of the synthesizer's candidate policies in §5.2).
+#[derive(Debug, Default)]
+pub struct Srtf;
+
+impl Srtf {
+    /// New SRTF policy.
+    pub fn new() -> Self {
+        Srtf
+    }
+}
+
+impl SchedulingPolicy for Srtf {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        decision_sorted_by(job_state, |j| j.estimated_remaining_time())
+    }
+
+    fn name(&self) -> &str {
+        "srtf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn job(id: u64, arrival: f64, iters: f64) -> Job {
+        Job::new(
+            JobId(id),
+            arrival,
+            1,
+            iters,
+            JobProfile::synthetic("toy", 1.0),
+        )
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(3, 30.0, 10.0), job(1, 10.0, 10.0), job(2, 20.0, 10.0)]);
+        let d = Fifo::new().schedule(&js, &cluster(), 0.0);
+        let order: Vec<u64> = d.allocations.iter().map(|(j, _)| j.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn las_prioritizes_least_served() {
+        let mut js = JobState::new();
+        let mut a = job(1, 0.0, 10.0);
+        a.attained_service = 500.0;
+        let b = job(2, 100.0, 10.0); // zero service, later arrival
+        js.add_new_jobs(vec![a, b]);
+        let d = Las::new().schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.allocations[0].0, JobId(2));
+    }
+
+    #[test]
+    fn las_breaks_ties_by_id() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(2, 0.0, 10.0), job(1, 0.0, 10.0)]);
+        let d = Las::new().schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.allocations[0].0, JobId(1));
+    }
+
+    #[test]
+    fn srtf_prioritizes_short_remaining_work() {
+        let mut js = JobState::new();
+        let long = job(1, 0.0, 100_000.0);
+        let mut short = job(2, 50.0, 100_000.0);
+        short.completed_iters = 99_900.0;
+        js.add_new_jobs(vec![long, short]);
+        let d = Srtf::new().schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.allocations[0].0, JobId(2));
+    }
+
+    #[test]
+    fn decisions_cover_all_active_jobs_at_requested_size() {
+        let mut js = JobState::new();
+        let mut a = job(1, 0.0, 10.0);
+        a.requested_gpus = 4;
+        js.add_new_jobs(vec![a, job(2, 1.0, 10.0)]);
+        for d in [
+            Fifo::new().schedule(&js, &cluster(), 0.0),
+            Las::new().schedule(&js, &cluster(), 0.0),
+            Srtf::new().schedule(&js, &cluster(), 0.0),
+        ] {
+            assert_eq!(d.allocations.len(), 2);
+            let one = d.allocations.iter().find(|(j, _)| *j == JobId(1)).unwrap();
+            assert_eq!(one.1, 4);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! HyperBand-style hyper-parameter-tuning scheduler (paper §8, "Beyond ML
+//! Training").
+//!
+//! The paper observes that HyperBand's successive-halving logic is just
+//! another scheduling-policy instance: group trial jobs into rungs by
+//! attained budget; at each rung boundary keep the best `1/eta` fraction
+//! (by reported loss, pushed through the client library) and terminate the
+//! rest. This wrapper composes the pruning with any inner ordering policy.
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Successive-halving pruning wrapped around an inner ordering policy.
+pub struct HyperBand<P: SchedulingPolicy> {
+    inner: P,
+    /// Downsampling factor between rungs (HyperBand's η, typically 3).
+    pub eta: f64,
+    /// Budget (seconds of service) that closes the first rung; each later
+    /// rung multiplies by η.
+    pub rung0_budget_s: f64,
+    /// Number of rungs before trials run to completion.
+    pub rungs: u32,
+    name: String,
+}
+
+impl<P: SchedulingPolicy> HyperBand<P> {
+    /// HyperBand with η = 3 and a one-hour first rung.
+    pub fn new(inner: P) -> Self {
+        Self::with_params(inner, 3.0, 3600.0, 3)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(inner: P, eta: f64, rung0_budget_s: f64, rungs: u32) -> Self {
+        let name = format!("hyperband({})", inner.name());
+        HyperBand {
+            inner,
+            eta,
+            rung0_budget_s,
+            rungs,
+            name,
+        }
+    }
+
+    /// The rung a job currently occupies given its attained service:
+    /// rung `k` spans `[budget * eta^(k-1), budget * eta^k)`; rung 0 is
+    /// everything below the first boundary.
+    pub fn rung_of(&self, attained_service: f64) -> u32 {
+        let mut bound = self.rung0_budget_s;
+        for k in 0..=self.rungs {
+            if attained_service < bound {
+                return k;
+            }
+            bound *= self.eta;
+        }
+        self.rungs + 1
+    }
+
+    /// Decide terminations: within each completed rung cohort, keep the
+    /// best `1/eta` fraction by reported loss and cut the rest. Jobs that
+    /// have not reported a loss are never cut (no evidence yet).
+    fn prune(&self, job_state: &JobState) -> Vec<blox_core::ids::JobId> {
+        let mut cut = Vec::new();
+        for rung in 1..=self.rungs {
+            let cohort: Vec<&Job> = job_state
+                .active()
+                .filter(|j| self.rung_of(j.attained_service) == rung)
+                .filter(|j| j.metric("loss").is_some())
+                .collect();
+            if cohort.len() < 2 {
+                continue;
+            }
+            let mut by_loss: Vec<&Job> = cohort.clone();
+            by_loss.sort_by(|a, b| {
+                a.metric("loss")
+                    .partial_cmp(&b.metric("loss"))
+                    .expect("losses are finite")
+            });
+            let keep = ((by_loss.len() as f64 / self.eta).ceil() as usize).max(1);
+            for job in by_loss.iter().skip(keep) {
+                cut.push(job.id);
+            }
+        }
+        cut
+    }
+}
+
+impl<P: SchedulingPolicy> SchedulingPolicy for HyperBand<P> {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> SchedulingDecision {
+        let mut decision = self.inner.schedule(job_state, cluster, now);
+        decision.terminate.extend(self.prune(job_state));
+        decision.terminate.sort_unstable();
+        decision.terminate.dedup();
+        decision
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduling::Fifo;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 2);
+        c
+    }
+
+    fn trial(id: u64, service: f64, loss: Option<f64>) -> Job {
+        let mut j = Job::new(JobId(id), 0.0, 1, 1e9, JobProfile::synthetic("t", 0.5));
+        j.attained_service = service;
+        if let Some(l) = loss {
+            j.push_metric("loss", l);
+        }
+        j
+    }
+
+    #[test]
+    fn rung_boundaries_scale_by_eta() {
+        let hb = HyperBand::with_params(Fifo::new(), 3.0, 100.0, 3);
+        assert_eq!(hb.rung_of(0.0), 0);
+        assert_eq!(hb.rung_of(99.0), 0);
+        assert_eq!(hb.rung_of(100.0), 1);
+        assert_eq!(hb.rung_of(299.0), 1);
+        assert_eq!(hb.rung_of(300.0), 2);
+        assert_eq!(hb.rung_of(900.0), 3);
+        assert_eq!(hb.rung_of(1e9), 4);
+    }
+
+    #[test]
+    fn worst_trials_in_a_rung_are_cut() {
+        let mut js = JobState::new();
+        // Six trials in rung 1 (service in [100, 300)): keep ceil(6/3)=2.
+        js.add_new_jobs(
+            (0..6)
+                .map(|i| trial(i, 150.0, Some(i as f64)))
+                .collect(),
+        );
+        let mut hb = HyperBand::with_params(Fifo::new(), 3.0, 100.0, 3);
+        let d = hb.schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.terminate.len(), 4);
+        // The two lowest losses (jobs 0 and 1) survive.
+        assert!(!d.terminate.contains(&JobId(0)));
+        assert!(!d.terminate.contains(&JobId(1)));
+    }
+
+    #[test]
+    fn trials_without_loss_reports_are_spared() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![
+            trial(0, 150.0, None),
+            trial(1, 150.0, None),
+            trial(2, 150.0, None),
+        ]);
+        let mut hb = HyperBand::with_params(Fifo::new(), 3.0, 100.0, 3);
+        let d = hb.schedule(&js, &cluster(), 0.0);
+        assert!(d.terminate.is_empty());
+    }
+
+    #[test]
+    fn rung_zero_is_never_pruned() {
+        let mut js = JobState::new();
+        js.add_new_jobs((0..5).map(|i| trial(i, 10.0, Some(i as f64))).collect());
+        let mut hb = HyperBand::with_params(Fifo::new(), 3.0, 100.0, 3);
+        let d = hb.schedule(&js, &cluster(), 0.0);
+        assert!(d.terminate.is_empty(), "rung 0 trials still accumulating");
+    }
+
+    #[test]
+    fn inner_ordering_is_preserved() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![trial(2, 0.0, None), trial(1, 0.0, None)]);
+        let mut hb = HyperBand::new(Fifo::new());
+        let d = hb.schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.allocations[0].0, JobId(1));
+        assert_eq!(hb.name(), "hyperband(fifo)");
+    }
+}

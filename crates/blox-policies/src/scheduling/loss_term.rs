@@ -1,0 +1,124 @@
+//! Loss-based job termination (paper §5.3, Figure 16).
+//!
+//! Wraps any scheduling policy and additionally marks jobs for early
+//! termination once their reported loss — pushed by the client library
+//! into the per-job metric store — is within the job's configured relative
+//! threshold of the converged loss. This mirrors the paper's four-line
+//! policy addition.
+
+use blox_core::cluster::ClusterState;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Decorator adding loss-based termination to an inner policy.
+pub struct LossTermination<P: SchedulingPolicy> {
+    inner: P,
+    name: String,
+}
+
+impl<P: SchedulingPolicy> LossTermination<P> {
+    /// Wrap an inner scheduling policy.
+    pub fn new(inner: P) -> Self {
+        let name = format!("{}+loss-term", inner.name());
+        LossTermination { inner, name }
+    }
+
+    /// Access the wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SchedulingPolicy> SchedulingPolicy for LossTermination<P> {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        now: f64,
+    ) -> SchedulingDecision {
+        let mut decision = self.inner.schedule(job_state, cluster, now);
+        // The four lines of the paper: check the collected loss metric
+        // against the per-job threshold and mark converged jobs done.
+        for job in job_state.active() {
+            let Some(threshold) = job.loss_termination_threshold else {
+                continue;
+            };
+            let Some(loss) = job.metric("loss") else {
+                continue;
+            };
+            if loss <= job.profile.loss.l_min * (1.0 + threshold) {
+                decision.terminate.push(job.id);
+            }
+        }
+        decision
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduling::Fifo;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::job::Job;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn job(id: u64, threshold: Option<f64>) -> Job {
+        let mut j = Job::new(
+            JobId(id),
+            0.0,
+            1,
+            1000.0,
+            JobProfile::synthetic("toy", 1.0),
+        );
+        j.loss_termination_threshold = threshold;
+        j
+    }
+
+    #[test]
+    fn converged_jobs_are_terminated() {
+        let mut js = JobState::new();
+        let mut a = job(1, Some(0.001));
+        let l_min = a.profile.loss.l_min;
+        a.push_metric("loss", l_min * 1.0005); // converged
+        let mut b = job(2, Some(0.001));
+        b.push_metric("loss", l_min * 1.5); // not converged
+        js.add_new_jobs(vec![a, b]);
+        let mut p = LossTermination::new(Fifo::new());
+        let d = p.schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.terminate, vec![JobId(1)]);
+        assert_eq!(p.name(), "fifo+loss-term");
+    }
+
+    #[test]
+    fn jobs_without_threshold_or_metric_are_untouched() {
+        let mut js = JobState::new();
+        let mut a = job(1, None);
+        a.push_metric("loss", 0.0);
+        let b = job(2, Some(0.001)); // no loss metric yet
+        js.add_new_jobs(vec![a, b]);
+        let mut p = LossTermination::new(Fifo::new());
+        let d = p.schedule(&js, &cluster(), 0.0);
+        assert!(d.terminate.is_empty());
+    }
+
+    #[test]
+    fn inner_ordering_is_preserved() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(2, None), job(1, None)]);
+        let mut p = LossTermination::new(Fifo::new());
+        let d = p.schedule(&js, &cluster(), 0.0);
+        assert_eq!(d.allocations.len(), 2);
+        assert_eq!(d.allocations[0].0, JobId(1));
+    }
+}

@@ -1,0 +1,21 @@
+//! Scheduling policies: who runs next round, with how many GPUs.
+
+mod basic;
+mod gavel;
+mod hyperband;
+mod loss_term;
+mod optimus;
+mod pollux;
+mod synergy;
+mod themis;
+mod tiresias;
+
+pub use basic::{Fifo, Las, Srtf};
+pub use gavel::Gavel;
+pub use hyperband::HyperBand;
+pub use loss_term::LossTermination;
+pub use optimus::Optimus;
+pub use pollux::Pollux;
+pub use synergy::{Synergy, SynergyMode};
+pub use themis::Themis;
+pub use tiresias::Tiresias;

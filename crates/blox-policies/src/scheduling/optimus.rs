@@ -1,0 +1,205 @@
+//! Optimus: convergence-aware resource allocation via largest marginal
+//! gain (EuroSys '18).
+//!
+//! Per the paper's Table 7 description: assign one GPU to each job in
+//! expected-convergence order, then hand out the remaining GPUs one at a
+//! time to the job whose estimated remaining time shrinks the most
+//! (largest marginal gain). Remaining time comes from the loss-curve /
+//! profile estimate the Optimus metric collector maintains.
+
+use std::collections::BTreeMap;
+
+use blox_core::cluster::{ClusterState, GpuType};
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Optimus scheduling policy.
+#[derive(Debug, Clone)]
+pub struct Optimus {
+    /// Maximum GPUs a job may receive, as a multiple of its request
+    /// (Optimus grows converging jobs past their ask; 4x by default).
+    pub max_scale: u32,
+    /// Absolute per-job GPU cap.
+    pub max_gpus_per_job: u32,
+}
+
+impl Optimus {
+    /// Default policy (scale jobs up to 4x their request, 16 GPUs max).
+    pub fn new() -> Self {
+        Optimus {
+            max_scale: 4,
+            max_gpus_per_job: 16,
+        }
+    }
+
+    /// Estimated remaining seconds for `job` when run with `gpus` GPUs.
+    ///
+    /// Uses the loss curve to estimate iterations to convergence when the
+    /// job converges before its requested end (the signal Optimus's metric
+    /// collection exists to provide), else the full remaining iterations.
+    fn remaining_time(job: &Job, gpus: u32) -> f64 {
+        let conv_progress = job.profile.loss.convergence_progress(0.001).max(1e-3);
+        let conv_iters = conv_progress * job.total_iters;
+        let target = conv_iters.max(job.completed_iters);
+        let remaining = (target - job.completed_iters).max(0.0);
+        let iter = job
+            .profile
+            .iter_model
+            .iter_time(gpus, GpuType::V100, true, 100.0);
+        remaining * iter
+    }
+
+    fn cap(&self, job: &Job) -> u32 {
+        (job.requested_gpus * self.max_scale).min(self.max_gpus_per_job)
+    }
+}
+
+impl Default for Optimus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for Optimus {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        let mut jobs: Vec<&Job> = job_state.active().collect();
+        // Expected convergence order: soonest-to-finish first.
+        jobs.sort_by(|a, b| {
+            Self::remaining_time(a, a.requested_gpus)
+                .partial_cmp(&Self::remaining_time(b, b.requested_gpus))
+                .expect("remaining times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+
+        let total = cluster.total_gpus();
+        let mut grants: BTreeMap<JobId, u32> = BTreeMap::new();
+        let mut order: Vec<JobId> = Vec::new();
+        let mut used = 0u32;
+
+        // Pass 1: one GPU each, in convergence order.
+        for job in &jobs {
+            if used >= total {
+                break;
+            }
+            grants.insert(job.id, 1);
+            order.push(job.id);
+            used += 1;
+        }
+
+        // Pass 2: remaining GPUs to the largest marginal gain.
+        let by_id: BTreeMap<JobId, &Job> = jobs.iter().map(|j| (j.id, *j)).collect();
+        while used < total {
+            let mut best: Option<(f64, JobId)> = None;
+            for id in &order {
+                let job = by_id[id];
+                let cur = grants[id];
+                if cur >= self.cap(job) {
+                    continue;
+                }
+                let gain = Self::remaining_time(job, cur) - Self::remaining_time(job, cur + 1);
+                let better = match best {
+                    None => gain > 0.0,
+                    Some((bg, bid)) => gain > bg || (gain == bg && *id < bid),
+                };
+                if better {
+                    best = Some((gain, *id));
+                }
+            }
+            match best {
+                Some((_, id)) => {
+                    *grants.get_mut(&id).expect("granted above") += 1;
+                    used += 1;
+                }
+                None => break,
+            }
+        }
+
+        SchedulingDecision {
+            allocations: order.into_iter().map(|id| (id, grants[&id])).collect(),
+            batch_sizes: BTreeMap::new(),
+            terminate: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "optimus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::profile::JobProfile;
+
+    fn cluster(nodes: u32) -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+        c
+    }
+
+    fn job(id: u64, iters: f64, done: f64) -> Job {
+        let mut j = Job::new(
+            JobId(id),
+            0.0,
+            2,
+            iters,
+            JobProfile::synthetic("toy", 1.0),
+        );
+        j.completed_iters = done;
+        j
+    }
+
+    #[test]
+    fn closest_to_convergence_ranks_first() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 100_000.0, 0.0), job(2, 100_000.0, 99_000.0)]);
+        let d = Optimus::new().schedule(&js, &cluster(8), 0.0);
+        assert_eq!(d.allocations[0].0, JobId(2));
+    }
+
+    #[test]
+    fn everyone_gets_at_least_one_gpu_when_capacity_allows() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 1e5, 0.0), job(2, 1e5, 0.0), job(3, 1e5, 0.0)]);
+        let d = Optimus::new().schedule(&js, &cluster(8), 0.0);
+        assert_eq!(d.allocations.len(), 3);
+        assert!(d.allocations.iter().all(|(_, g)| *g >= 1));
+    }
+
+    #[test]
+    fn spare_capacity_flows_to_marginal_gain() {
+        let mut js = JobState::new();
+        // One job with lots of remaining work: it should absorb extra GPUs.
+        js.add_new_jobs(vec![job(1, 1e6, 0.0)]);
+        let d = Optimus::new().schedule(&js, &cluster(8), 0.0);
+        // Capped at 4x request (2 GPUs) = 8.
+        assert_eq!(d.allocations[0].1, 8);
+    }
+
+    #[test]
+    fn grants_respect_absolute_cap() {
+        let mut js = JobState::new();
+        let mut j = job(1, 1e6, 0.0);
+        j.requested_gpus = 8;
+        js.add_new_jobs(vec![j]);
+        let d = Optimus::new().schedule(&js, &cluster(16), 0.0); // 64 GPUs
+        assert!(d.allocations[0].1 <= 16);
+    }
+
+    #[test]
+    fn oversubscribed_cluster_grants_one_each_to_front() {
+        let mut js = JobState::new();
+        js.add_new_jobs((0..10).map(|i| job(i, 1e5, 0.0)).collect());
+        let d = Optimus::new().schedule(&js, &cluster(1), 0.0); // 4 GPUs
+        assert_eq!(d.allocations.len(), 4);
+        assert!(d.allocations.iter().all(|(_, g)| *g == 1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Pollux: goodput-optimizing co-adaptive scheduling (OSDI '21).
+//!
+//! Pollux jointly decides each job's GPU count *and* batch size to
+//! maximize cluster-wide goodput (throughput × statistical efficiency).
+//! Two behaviours from the paper's analysis (§4.2) matter for fidelity:
+//!
+//! * Pollux **avoids preemptions**: running jobs keep at least one GPU
+//!   rather than being suspended; at high load incoming jobs queue.
+//! * When the cluster is underloaded, Pollux **expands** jobs (more GPUs,
+//!   larger batches) as long as marginal goodput increases; under load it
+//!   shrinks jobs toward one GPU each.
+
+use std::collections::BTreeMap;
+
+use blox_core::cluster::ClusterState;
+use blox_core::ids::JobId;
+use blox_core::job::{Job, JobStatus};
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Pollux scheduling policy.
+#[derive(Debug, Clone)]
+pub struct Pollux {
+    /// Absolute per-job GPU cap.
+    pub max_gpus_per_job: u32,
+    /// Minimum relative goodput gain to justify one more GPU.
+    pub expand_threshold: f64,
+}
+
+impl Pollux {
+    /// Default policy (cap 16 GPUs/job, 5% marginal-gain threshold).
+    pub fn new() -> Self {
+        Pollux {
+            max_gpus_per_job: 16,
+            expand_threshold: 0.05,
+        }
+    }
+
+    /// Goodput of `job` at `n` GPUs with the goodput-optimal batch size,
+    /// from its Pollux profile; jobs without a profile fall back to the
+    /// iteration-time model's throughput.
+    fn goodput(job: &Job, n: u32) -> f64 {
+        match &job.profile.pollux {
+            Some(p) => p.goodput(n, p.best_batch(n)),
+            None => job.profile.iter_model.throughput(
+                n,
+                blox_core::cluster::GpuType::V100,
+                true,
+                100.0,
+            ),
+        }
+    }
+}
+
+impl Default for Pollux {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for Pollux {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        let total = cluster.total_gpus();
+        // Running jobs first (Pollux avoids preemption), then queued, each
+        // in arrival order.
+        let mut running: Vec<&Job> = job_state
+            .active()
+            .filter(|j| j.status == JobStatus::Running)
+            .collect();
+        running.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut waiting: Vec<&Job> = job_state
+            .active()
+            .filter(|j| j.status != JobStatus::Running)
+            .collect();
+        waiting.sort_by(|a, b| a.id.cmp(&b.id));
+
+        let mut grants: BTreeMap<JobId, u32> = BTreeMap::new();
+        let mut order: Vec<JobId> = Vec::new();
+        let mut used = 0u32;
+        for job in running.iter().chain(waiting.iter()) {
+            if used >= total {
+                break;
+            }
+            grants.insert(job.id, 1);
+            order.push(job.id);
+            used += 1;
+        }
+
+        // Expand while spare capacity exists and marginal goodput is worth
+        // it — proportional gain, so small jobs expand first.
+        let by_id: BTreeMap<JobId, &Job> = running
+            .iter()
+            .chain(waiting.iter())
+            .map(|j| (j.id, *j))
+            .collect();
+        while used < total {
+            let mut best: Option<(f64, JobId)> = None;
+            for id in &order {
+                let job = by_id[id];
+                let cur = grants[id];
+                if cur >= self.max_gpus_per_job {
+                    continue;
+                }
+                let g_cur = Self::goodput(job, cur);
+                let g_next = Self::goodput(job, cur + 1);
+                if g_cur <= 0.0 {
+                    continue;
+                }
+                let gain = g_next / g_cur - 1.0;
+                if gain < self.expand_threshold {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bg, bid)) => gain > bg || (gain == bg && *id < bid),
+                };
+                if better {
+                    best = Some((gain, *id));
+                }
+            }
+            match best {
+                Some((_, id)) => {
+                    *grants.get_mut(&id).expect("granted above") += 1;
+                    used += 1;
+                }
+                None => break,
+            }
+        }
+
+        // Batch sizes: goodput-optimal at the granted GPU count.
+        let mut batch_sizes = BTreeMap::new();
+        for id in &order {
+            let job = by_id[id];
+            if let Some(p) = &job.profile.pollux {
+                batch_sizes.insert(*id, p.best_batch(grants[id]));
+            }
+        }
+
+        SchedulingDecision {
+            allocations: order.into_iter().map(|id| (id, grants[&id])).collect(),
+            batch_sizes,
+            terminate: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pollux"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::profile::{JobProfile, PolluxProfile};
+
+    fn cluster(nodes: u32) -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+        c
+    }
+
+    fn pollux_job(id: u64, status: JobStatus) -> Job {
+        let mut p = JobProfile::synthetic("px", 0.2);
+        p.pollux = Some(PolluxProfile {
+            t_grad_per_sample: 0.002,
+            t_sync: 0.01,
+            init_batch: 64,
+            max_batch: 2048,
+            gns: 600.0,
+        });
+        let mut j = Job::new(JobId(id), 0.0, 2, 1e6, p);
+        j.status = status;
+        j
+    }
+
+    #[test]
+    fn underload_expands_jobs_beyond_one_gpu() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![pollux_job(1, JobStatus::Queued)]);
+        let d = Pollux::new().schedule(&js, &cluster(4), 0.0); // 16 GPUs
+        assert!(d.allocations[0].1 > 1, "got {}", d.allocations[0].1);
+        // A batch size was co-adapted.
+        assert!(d.batch_sizes.contains_key(&JobId(1)));
+    }
+
+    #[test]
+    fn overload_gives_single_gpus_and_queues_the_rest() {
+        let mut js = JobState::new();
+        js.add_new_jobs((0..10).map(|i| pollux_job(i, JobStatus::Queued)).collect());
+        let d = Pollux::new().schedule(&js, &cluster(1), 0.0); // 4 GPUs
+        assert_eq!(d.allocations.len(), 4);
+        assert!(d.allocations.iter().all(|(_, g)| *g == 1));
+    }
+
+    #[test]
+    fn running_jobs_keep_priority_over_queued() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![
+            pollux_job(5, JobStatus::Queued),
+            pollux_job(9, JobStatus::Running),
+        ]);
+        let d = Pollux::new().schedule(&js, &cluster(1), 0.0);
+        // The running job (higher id!) is first in the grant order.
+        assert_eq!(d.allocations[0].0, JobId(9));
+    }
+
+    #[test]
+    fn expansion_respects_cap() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![pollux_job(1, JobStatus::Queued)]);
+        let policy = Pollux {
+            max_gpus_per_job: 2,
+            ..Pollux::new()
+        };
+        let mut p = policy;
+        let d = p.schedule(&js, &cluster(8), 0.0);
+        assert!(d.allocations[0].1 <= 2);
+    }
+
+    #[test]
+    fn batch_size_grows_with_gpu_count() {
+        let job = pollux_job(1, JobStatus::Queued);
+        let p = job.profile.pollux.as_ref().unwrap();
+        assert!(p.best_batch(8) >= p.best_batch(1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Synergy: resource-sensitive scheduling (OSDI '22).
+//!
+//! Synergy observes that DNN jobs differ in how much host CPU and DRAM
+//! they need alongside each GPU; allocating those resources *proportional*
+//! to GPU share starves CPU-bound jobs, while Synergy-Tune allocates along
+//! profiled demands. The scheduling order is resource-sensitive FIFO; the
+//! CPU/DRAM awareness lives in the paired
+//! [`SynergyPlacement`](crate::placement::SynergyPlacement) policy, which
+//! packs jobs so node CPU demand stays within capacity.
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Which Synergy allocation mode is active (paper Figure 5 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynergyMode {
+    /// CPU/DRAM proportional to GPU share (the baseline Synergy compares
+    /// against).
+    Proportional,
+    /// Profile-guided CPU/DRAM allocation (Synergy-Tune).
+    Tune,
+}
+
+/// Synergy scheduling policy.
+#[derive(Debug, Clone)]
+pub struct Synergy {
+    /// Active allocation mode.
+    pub mode: SynergyMode,
+}
+
+impl Synergy {
+    /// Proportional-mode policy.
+    pub fn proportional() -> Self {
+        Synergy {
+            mode: SynergyMode::Proportional,
+        }
+    }
+
+    /// Tune-mode policy.
+    pub fn tune() -> Self {
+        Synergy {
+            mode: SynergyMode::Tune,
+        }
+    }
+
+    /// The CPU cores a job should be co-scheduled with under this mode.
+    pub fn cpu_demand(&self, job: &Job, cluster: &ClusterState) -> f64 {
+        match self.mode {
+            SynergyMode::Proportional => {
+                // Cores proportional to GPU share of a node.
+                let (cores, gpus) = cluster
+                    .nodes()
+                    .next()
+                    .map(|n| (n.spec.cpu_cores as f64, n.spec.gpus as f64))
+                    .unwrap_or((1.0, 1.0));
+                job.requested_gpus as f64 * cores / gpus
+            }
+            SynergyMode::Tune => job.requested_gpus as f64 * job.profile.cpus_per_gpu,
+        }
+    }
+}
+
+impl SchedulingPolicy for Synergy {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        // Resource-sensitive FIFO: arrival order; the resource awareness is
+        // enforced at placement.
+        let mut jobs: Vec<&Job> = job_state.active().collect();
+        jobs.sort_by(|a, b| {
+            a.arrival_time
+                .partial_cmp(&b.arrival_time)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        SchedulingDecision::from_priority_order(jobs)
+    }
+
+    fn name(&self) -> &str {
+        match self.mode {
+            SynergyMode::Proportional => "synergy-proportional",
+            SynergyMode::Tune => "synergy-tune",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1); // 32 cores / 4 GPUs
+        c
+    }
+
+    fn job(id: u64, gpus: u32, cpus_per_gpu: f64) -> Job {
+        let mut p = JobProfile::synthetic("toy", 1.0);
+        p.cpus_per_gpu = cpus_per_gpu;
+        Job::new(JobId(id), id as f64, gpus, 1e5, p)
+    }
+
+    #[test]
+    fn proportional_cpu_demand_follows_gpu_share() {
+        let s = Synergy::proportional();
+        let j = job(1, 2, 12.0);
+        // 2 GPUs of 4 on a 32-core node: 16 cores, regardless of profile.
+        assert_eq!(s.cpu_demand(&j, &cluster()), 16.0);
+    }
+
+    #[test]
+    fn tune_cpu_demand_follows_profile() {
+        let s = Synergy::tune();
+        let j = job(1, 2, 12.0);
+        assert_eq!(s.cpu_demand(&j, &cluster()), 24.0);
+    }
+
+    #[test]
+    fn scheduling_order_is_fifo_in_both_modes() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(2, 1, 3.0), job(1, 1, 3.0)]);
+        for mut s in [Synergy::proportional(), Synergy::tune()] {
+            let d = s.schedule(&js, &cluster(), 0.0);
+            assert_eq!(d.allocations[0].0, JobId(1));
+        }
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(Synergy::proportional().name(), "synergy-proportional");
+        assert_eq!(Synergy::tune().name(), "synergy-tune");
+    }
+}

@@ -1,0 +1,150 @@
+//! Tiresias' discrete-LAS (Discretized Two-Dimensional LAS) policy.
+//!
+//! Jobs live in `K` priority queues partitioned by attained service
+//! (GPU-seconds). Within a queue jobs run FIFO (by arrival); across queues
+//! lower-service queues have strict priority. This discretization bounds
+//! how often long jobs are preempted compared to continuous LAS while
+//! still letting fresh jobs grab resources quickly.
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
+use blox_core::state::JobState;
+
+/// Discrete-LAS scheduling policy.
+#[derive(Debug, Clone)]
+pub struct Tiresias {
+    /// Queue boundaries in GPU-seconds of attained service; a job with
+    /// service `s` lives in the first queue whose threshold exceeds `s`
+    /// (jobs beyond the last threshold live in the final queue).
+    pub thresholds: Vec<f64>,
+}
+
+impl Tiresias {
+    /// The paper's default: two queues split at one GPU-hour.
+    pub fn new() -> Self {
+        Tiresias {
+            thresholds: vec![3600.0],
+        }
+    }
+
+    /// Custom queue thresholds (must be increasing).
+    pub fn with_thresholds(thresholds: Vec<f64>) -> Self {
+        Tiresias { thresholds }
+    }
+
+    /// Queue index for a given attained service.
+    pub fn queue_of(&self, attained_service: f64) -> usize {
+        self.thresholds
+            .iter()
+            .position(|t| attained_service < *t)
+            .unwrap_or(self.thresholds.len())
+    }
+}
+
+impl Default for Tiresias {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for Tiresias {
+    fn schedule(
+        &mut self,
+        job_state: &JobState,
+        _cluster: &ClusterState,
+        _now: f64,
+    ) -> SchedulingDecision {
+        let mut jobs: Vec<&Job> = job_state.active().collect();
+        jobs.sort_by(|a, b| {
+            let qa = self.queue_of(a.attained_service);
+            let qb = self.queue_of(b.attained_service);
+            qa.cmp(&qb)
+                .then(
+                    a.arrival_time
+                        .partial_cmp(&b.arrival_time)
+                        .expect("arrival times are finite"),
+                )
+                .then(a.id.cmp(&b.id))
+        });
+        SchedulingDecision::from_priority_order(jobs)
+    }
+
+    fn name(&self) -> &str {
+        "tiresias"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn job(id: u64, arrival: f64, service: f64) -> Job {
+        let mut j = Job::new(
+            JobId(id),
+            arrival,
+            1,
+            1e6,
+            JobProfile::synthetic("toy", 1.0),
+        );
+        j.attained_service = service;
+        j
+    }
+
+    #[test]
+    fn queue_partitioning() {
+        let t = Tiresias::with_thresholds(vec![100.0, 1000.0]);
+        assert_eq!(t.queue_of(0.0), 0);
+        assert_eq!(t.queue_of(99.9), 0);
+        assert_eq!(t.queue_of(100.0), 1);
+        assert_eq!(t.queue_of(5000.0), 2);
+    }
+
+    #[test]
+    fn fresh_jobs_beat_old_heavy_jobs() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![
+            job(1, 0.0, 10_000.0), // old, much service -> queue 1
+            job(2, 500.0, 0.0),    // fresh -> queue 0
+        ]);
+        let d = Tiresias::new().schedule(&js, &cluster(), 600.0);
+        assert_eq!(d.allocations[0].0, JobId(2));
+    }
+
+    #[test]
+    fn fifo_within_queue_unlike_pure_las() {
+        // Two jobs in the same (low) queue with different service: discrete
+        // LAS orders them FIFO by arrival, not by service.
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![
+            job(1, 0.0, 900.0),  // earlier arrival, more service
+            job(2, 100.0, 10.0), // later arrival, less service
+        ]);
+        let d = Tiresias::new().schedule(&js, &cluster(), 600.0);
+        assert_eq!(d.allocations[0].0, JobId(1), "FIFO within a queue");
+        // Continuous LAS would order job 2 first.
+        let las = super::super::basic::Las::new().schedule(&js, &cluster(), 600.0);
+        assert_eq!(las.allocations[0].0, JobId(2));
+    }
+
+    #[test]
+    fn demotion_crossing_threshold_changes_order() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 0.0, 3599.0), job(2, 50.0, 0.0)]);
+        let d = Tiresias::new().schedule(&js, &cluster(), 600.0);
+        assert_eq!(d.allocations[0].0, JobId(1), "both in queue 0: FIFO");
+        // Job 1 crosses the one-GPU-hour boundary: demoted below job 2.
+        js.get_mut(JobId(1)).unwrap().attained_service = 3601.0;
+        let d = Tiresias::new().schedule(&js, &cluster(), 900.0);
+        assert_eq!(d.allocations[0].0, JobId(2));
+    }
+}

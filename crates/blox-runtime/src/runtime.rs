@@ -1,0 +1,729 @@
+//! The emulated cluster runtime: worker managers, the client library, and
+//! the [`RuntimeBackend`] that plugs them into the core scheduling loop.
+//!
+//! Training is emulated under a configurable time scale: one simulated
+//! second costs `time_scale` wall seconds, so a multi-day trace replays in
+//! seconds while still exercising launch RPCs, per-iteration lease checks,
+//! two-phase preemption, metric pushes, and completion reporting — the
+//! code paths Figure 18 validates against the simulator.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use blox_core::cluster::ClusterState;
+use blox_core::ids::{JobId, NodeId};
+use blox_core::job::{Job, JobStatus};
+use blox_core::manager::{apply_placement, Backend};
+use blox_core::policy::Placement;
+use blox_core::state::JobState;
+
+use crate::lease::LeaseTable;
+use crate::wire::{wire_bus, Endpoint, Message, WireRx, WireTx};
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Wall-clock seconds per simulated second (e.g. `1e-4`: a 300 s round
+    /// takes 30 ms of wall time).
+    pub time_scale: f64,
+    /// Simulated seconds per emulated training iteration; the lease-check
+    /// granularity. Real iteration times are far below the round length,
+    /// and so is this.
+    pub emu_iter_sim_s: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            time_scale: 1e-4,
+            emu_iter_sim_s: 30.0,
+        }
+    }
+}
+
+/// Shared wall-clock → simulated-time mapping.
+#[derive(Debug)]
+struct SimClock {
+    start: Instant,
+    scale: f64,
+}
+
+impl SimClock {
+    fn sim_now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() / self.scale
+    }
+
+    fn sleep_until(&self, sim_t: f64) {
+        let target = self.start + Duration::from_secs_f64(sim_t * self.scale);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+    }
+}
+
+// The client library ---------------------------------------------------------
+
+/// The data-loader wrapper of `BloxClientLibrary`: checks the job's lease
+/// at every iteration boundary and reports progress.
+pub struct BloxDataLoader {
+    job: JobId,
+    lease: Arc<LeaseTable>,
+    iter: Arc<AtomicU64>,
+}
+
+impl BloxDataLoader {
+    /// Wrap a job's iteration loop.
+    pub fn new(job: JobId, lease: Arc<LeaseTable>) -> Self {
+        BloxDataLoader {
+            job,
+            lease,
+            iter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared iteration counter (read by the worker manager when it needs
+    /// the current iteration for a two-phase revocation).
+    pub fn iter_counter(&self) -> Arc<AtomicU64> {
+        self.iter.clone()
+    }
+
+    /// Called at the top of each iteration; false means "checkpoint and
+    /// exit now" — the optimistic lease was revoked.
+    pub fn next_iteration(&self) -> bool {
+        let i = self.iter.fetch_add(1, Ordering::SeqCst);
+        self.lease.may_run(self.job, i)
+    }
+}
+
+/// The metric-push half of `BloxClientLibrary`: forwards arbitrary
+/// key/value application metrics to the central scheduler through the
+/// worker's bus.
+pub struct WorkerMetricsCollector {
+    job: JobId,
+    bus: WireTx,
+}
+
+impl WorkerMetricsCollector {
+    /// Collector for one job.
+    pub fn new(job: JobId, bus: WireTx) -> Self {
+        WorkerMetricsCollector { job, bus }
+    }
+
+    /// Push one metric sample.
+    pub fn push(&self, key: &str, value: f64) {
+        let _ = self.bus.send(&Message::PushMetric {
+            job: self.job,
+            key: key.to_string(),
+            value,
+        });
+    }
+}
+
+// Worker manager --------------------------------------------------------------
+
+struct WorkerShared {
+    lease: Arc<LeaseTable>,
+    /// Rank-0 iteration counters for jobs hosted here.
+    counters: parking_lot::Mutex<BTreeMap<JobId, Arc<AtomicU64>>>,
+}
+
+/// Handle the central scheduler holds per worker.
+struct WorkerHandle {
+    cmd: Endpoint,
+    shared: Arc<WorkerShared>,
+    _thread: JoinHandle<()>,
+}
+
+impl WorkerHandle {
+    /// The worker's local lease table (inspection / tests).
+    fn lease(&self) -> Arc<LeaseTable> {
+        self.shared.lease.clone()
+    }
+}
+
+fn spawn_worker(
+    node: NodeId,
+    bus: WireTx,
+    clock: Arc<SimClock>,
+    cfg: RuntimeConfig,
+) -> WorkerHandle {
+    let (central_side, worker_side) = Endpoint::pair();
+    let shared = Arc::new(WorkerShared {
+        lease: Arc::new(LeaseTable::new()),
+        counters: parking_lot::Mutex::new(BTreeMap::new()),
+    });
+    let shared2 = shared.clone();
+    let thread = std::thread::spawn(move || {
+        worker_loop(node, worker_side, bus, shared2, clock, cfg);
+    });
+    WorkerHandle {
+        cmd: central_side,
+        shared,
+        _thread: thread,
+    }
+}
+
+fn worker_loop(
+    node: NodeId,
+    cmd: Endpoint,
+    bus: WireTx,
+    shared: Arc<WorkerShared>,
+    clock: Arc<SimClock>,
+    cfg: RuntimeConfig,
+) {
+    let _ = bus.send(&Message::RegisterWorker { node, gpus: 0 });
+    loop {
+        let msg = match cmd.recv() {
+            Ok(m) => m,
+            Err(_) => return, // Central scheduler shut down.
+        };
+        match msg {
+            Message::Launch {
+                job,
+                iter_time_s,
+                start_iters,
+                total_iters,
+                warmup_s,
+                is_rank0,
+                ..
+            } => {
+                shared.lease.grant(job);
+                let loader = BloxDataLoader::new(job, shared.lease.clone());
+                shared
+                    .counters
+                    .lock()
+                    .insert(job, loader.iter_counter());
+                let metrics = WorkerMetricsCollector::new(job, bus.clone());
+                let bus = bus.clone();
+                let clock = clock.clone();
+                let lease = shared.lease.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    run_emulated_job(
+                        job, loader, metrics, bus, clock, lease, cfg, iter_time_s, start_iters,
+                        total_iters, warmup_s, is_rank0,
+                    );
+                });
+            }
+            Message::Revoke { job } => {
+                // Two-phase exit, phase 1: rank 0's worker decides the exit
+                // iteration from the live counter and reports it upstream
+                // so the scheduler can propagate it to peer shards.
+                let current = shared
+                    .counters
+                    .lock()
+                    .get(&job)
+                    .map(|c| c.load(Ordering::SeqCst))
+                    .unwrap_or(0);
+                let exit_iter = current + 1;
+                shared.lease.revoke_at(job, exit_iter);
+                let _ = bus.send(&Message::ExitAt { job, exit_iter });
+            }
+            Message::ExitAt { job, exit_iter } => {
+                // Phase 2 at a peer shard.
+                shared.lease.revoke_at(job, exit_iter);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The emulated training process: a loop of time-scaled iterations wrapped
+/// in the client library's lease check, exactly as the paper's
+/// `BloxDataLoader` wraps a PyTorch loader.
+#[allow(clippy::too_many_arguments)]
+fn run_emulated_job(
+    job: JobId,
+    loader: BloxDataLoader,
+    metrics: WorkerMetricsCollector,
+    bus: WireTx,
+    clock: Arc<SimClock>,
+    lease: Arc<LeaseTable>,
+    cfg: RuntimeConfig,
+    iter_time_s: f64,
+    start_iters: f64,
+    total_iters: f64,
+    warmup_s: f64,
+    is_rank0: bool,
+) {
+    // Restore / warm-up before the first iteration.
+    if warmup_s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(warmup_s * cfg.time_scale));
+    }
+    // Progress is derived from the shared simulated clock rather than from
+    // counting nominal sleeps: OS timers overshoot sub-millisecond sleeps,
+    // and accumulating that error would make emulated jobs run slower than
+    // real time (breaking the Figure 18 fidelity comparison).
+    let progress_start = clock.sim_now();
+    let mut done = start_iters;
+    loop {
+        if !loader.next_iteration() {
+            // Lease revoked: checkpoint and report.
+            if is_rank0 {
+                let _ = bus.send(&Message::JobSuspended { job, iters: done });
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_secs_f64(cfg.emu_iter_sim_s * cfg.time_scale));
+        done = start_iters + (clock.sim_now() - progress_start) / iter_time_s.max(1e-9);
+        if is_rank0 {
+            metrics.push("iter_time", iter_time_s);
+            if bus.send(&Message::Progress { job, iters: done }).is_err() {
+                return; // Scheduler gone.
+            }
+        }
+        if done >= total_iters {
+            lease.remove(job);
+            if is_rank0 {
+                // Back-date the completion to the exact sub-tick moment the
+                // work ran out, mirroring the simulator's sub-round times.
+                let overshoot = (done - total_iters) * iter_time_s;
+                let _ = bus.send(&Message::JobDone {
+                    job,
+                    sim_time: (clock.sim_now() - overshoot).max(0.0),
+                });
+            }
+            return;
+        }
+    }
+}
+
+// The emulated cluster + backend ----------------------------------------------
+
+/// A running set of worker managers plus the central message bus.
+pub struct EmulatedCluster {
+    workers: BTreeMap<NodeId, WorkerHandle>,
+    bus_rx: WireRx,
+    clock: Arc<SimClock>,
+    cfg: RuntimeConfig,
+}
+
+impl EmulatedCluster {
+    /// The runtime configuration this cluster was started with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// A node's local lease table, if the node has a worker.
+    pub fn lease_table(&self, node: NodeId) -> Option<Arc<LeaseTable>> {
+        self.workers.get(&node).map(|w| w.lease())
+    }
+}
+
+impl EmulatedCluster {
+    /// Start one worker manager per live node of the cluster.
+    pub fn start(cluster: &ClusterState, cfg: RuntimeConfig) -> Self {
+        let (bus_tx, bus_rx) = wire_bus();
+        let clock = Arc::new(SimClock {
+            start: Instant::now(),
+            scale: cfg.time_scale,
+        });
+        let mut workers = BTreeMap::new();
+        for node in cluster.nodes() {
+            workers.insert(
+                node.id,
+                spawn_worker(node.id, bus_tx.clone(), clock.clone(), cfg.clone()),
+            );
+        }
+        EmulatedCluster {
+            workers,
+            bus_rx,
+            clock,
+            cfg,
+        }
+    }
+}
+
+/// Execution backend that drives the emulated cluster; the deployment
+/// counterpart of `blox_sim::SimBackend` — the only other module that
+/// changes between simulation and a cluster run.
+pub struct RuntimeBackend {
+    cluster: EmulatedCluster,
+    arrivals: std::collections::VecDeque<Job>,
+    round_now: f64,
+    last_update: f64,
+}
+
+impl RuntimeBackend {
+    /// Backend over an emulated cluster and an arrival-sorted job list.
+    pub fn new(cluster: EmulatedCluster, jobs: Vec<Job>) -> Self {
+        RuntimeBackend {
+            cluster,
+            arrivals: jobs.into(),
+            round_now: 0.0,
+            last_update: 0.0,
+        }
+    }
+
+    /// Placement-adjusted per-iteration time, mirroring the simulator's
+    /// model so fidelity differences come from mechanism, not model.
+    fn iter_time_for(job: &Job, cluster: &ClusterState) -> f64 {
+        let n = job.placement.len() as u32;
+        let consolidated = cluster.is_consolidated(&job.placement);
+        let inter_bw = cluster.alloc_inter_bw(&job.placement);
+        let gpu_type = job
+            .placement
+            .first()
+            .and_then(|g| cluster.gpu(*g))
+            .map(|r| r.gpu_type)
+            .unwrap_or(blox_core::cluster::GpuType::V100);
+        job.profile
+            .iter_model
+            .iter_time(n, gpu_type, consolidated, inter_bw)
+    }
+
+    fn worker_of(&self, cluster: &ClusterState, job: &Job) -> Option<NodeId> {
+        job.placement
+            .first()
+            .and_then(|g| cluster.gpu(*g))
+            .map(|r| r.node)
+    }
+
+    /// Drain the bus, applying messages to shared state; returns messages
+    /// we were waiting for (filtered by `keep`).
+    fn drain_bus(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
+        while let Ok(Some(msg)) = self.cluster.bus_rx.try_recv() {
+            Self::apply_message(msg, cluster, jobs);
+        }
+    }
+
+    fn apply_message(msg: Message, cluster: &mut ClusterState, jobs: &mut JobState) {
+        match msg {
+            Message::Progress { job, iters } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    if j.status == JobStatus::Running {
+                        j.completed_iters = iters.min(j.total_iters);
+                    }
+                }
+            }
+            Message::PushMetric { job, key, value } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    j.push_metric(&key, value);
+                }
+            }
+            Message::JobDone { job, sim_time } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    if j.status == JobStatus::Running {
+                        j.completed_iters = j.total_iters;
+                        j.completion_time = Some(sim_time);
+                        j.status = JobStatus::Completed;
+                        j.placement.clear();
+                        cluster.release(job);
+                    }
+                }
+            }
+            Message::JobSuspended { job, iters } => {
+                if let Some(j) = jobs.get_mut(job) {
+                    j.completed_iters = iters.min(j.total_iters);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Wait (bounded) for a specific job's suspension ack, applying other
+    /// messages as they arrive. Returns the checkpointed iterations.
+    fn wait_for_suspension(
+        &mut self,
+        job: JobId,
+        cluster: &mut ClusterState,
+        jobs: &mut JobState,
+    ) -> Option<f64> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match self.cluster.bus_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(Message::JobSuspended { job: j, iters })) if j == job => {
+                    if let Some(jref) = jobs.get_mut(job) {
+                        jref.completed_iters = iters.min(jref.total_iters);
+                    }
+                    return Some(iters);
+                }
+                Ok(Some(Message::ExitAt { job: j, exit_iter })) => {
+                    // Propagate the exit decision to peer shards (phase 2).
+                    if let Some(jref) = jobs.get(j) {
+                        let nodes = cluster.nodes_of(&jref.placement);
+                        for node in nodes.iter().skip(1) {
+                            if let Some(w) = self.cluster.workers.get(node) {
+                                let _ = w.cmd.send(&Message::ExitAt { job: j, exit_iter });
+                            }
+                        }
+                    }
+                }
+                Ok(Some(other)) => Self::apply_message(other, cluster, jobs),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Backend for RuntimeBackend {
+    fn now(&self) -> f64 {
+        self.round_now
+    }
+
+    fn update_cluster(&mut self, _cluster: &mut ClusterState) {
+        // Node churn in the emulated runtime would re-spawn worker
+        // threads; not exercised by the paper's runtime experiments.
+    }
+
+    fn pop_wait_queue(&mut self, now: f64) -> Vec<Job> {
+        let mut out = Vec::new();
+        while let Some(front) = self.arrivals.front() {
+            if front.arrival_time <= now {
+                out.push(self.arrivals.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+        self.arrivals.front().map(|j| (j.id, j.arrival_time))
+    }
+
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+        let elapsed = (self.round_now - self.last_update).max(0.0);
+        self.last_update = self.round_now;
+        self.drain_bus(cluster, jobs);
+        // Attained service accrues at round granularity like the sim.
+        if elapsed > 0.0 {
+            for job in jobs.active_mut() {
+                if job.status == JobStatus::Running {
+                    job.attained_service += job.placement.len() as f64 * elapsed;
+                    job.running_time += elapsed;
+                }
+            }
+        }
+    }
+
+    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState) {
+        // Preempt via optimistic lease revocation + two-phase exit.
+        for id in &placement.to_suspend {
+            let Some(job) = jobs.get(*id) else { continue };
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let Some(rank0) = self.worker_of(cluster, job) else {
+                continue;
+            };
+            if let Some(w) = self.cluster.workers.get(&rank0) {
+                let _ = w.cmd.send(&Message::Revoke { job: *id });
+            }
+            self.wait_for_suspension(*id, cluster, jobs);
+        }
+
+        // Apply the shared-state transitions (suspend bookkeeping, GPU
+        // allocation for launches) exactly as the simulator does.
+        let filtered = Placement {
+            to_suspend: placement.to_suspend.clone(),
+            to_launch: placement
+                .to_launch
+                .iter()
+                .filter(|(id, _)| {
+                    jobs.get(*id)
+                        .map(|j| j.status != JobStatus::Completed)
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect(),
+        };
+        let result = apply_placement(&filtered, cluster, jobs, self.round_now);
+        debug_assert!(result.is_ok(), "placement conflict: {result:?}");
+
+        // Send launch RPCs, one per worker hosting a shard.
+        for (id, gpus) in &filtered.to_launch {
+            let Some(job) = jobs.get(*id) else { continue };
+            let iter_time = Self::iter_time_for(job, cluster);
+            let nodes = cluster.nodes_of(gpus);
+            for (rank, node) in nodes.iter().enumerate() {
+                let local: Vec<u8> = gpus
+                    .iter()
+                    .filter_map(|g| cluster.gpu(*g))
+                    .filter(|r| r.node == *node)
+                    .map(|r| r.local)
+                    .collect();
+                if let Some(w) = self.cluster.workers.get(node) {
+                    let _ = w.cmd.send(&Message::Launch {
+                        job: *id,
+                        local_gpus: local,
+                        iter_time_s: iter_time,
+                        start_iters: job.completed_iters,
+                        total_iters: job.total_iters,
+                        warmup_s: job.profile.restore_s,
+                        is_rank0: rank == 0,
+                    });
+                }
+            }
+        }
+    }
+
+    fn advance_round(&mut self, round_duration: f64) {
+        self.round_now += round_duration;
+        self.cluster.clock.sleep_until(self.round_now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+    use blox_core::policy::{
+        AdmissionPolicy, SchedulingDecision, SchedulingPolicy, PlacementPolicy,
+    };
+    use blox_core::profile::JobProfile;
+
+    struct PassAll;
+    impl AdmissionPolicy for PassAll {
+        fn admit(
+            &mut self,
+            new_jobs: Vec<Job>,
+            _job_state: &JobState,
+            _cluster: &ClusterState,
+            _now: f64,
+        ) -> Vec<Job> {
+            new_jobs
+        }
+        fn name(&self) -> &str {
+            "pass"
+        }
+    }
+
+    struct FifoSched;
+    impl SchedulingPolicy for FifoSched {
+        fn schedule(
+            &mut self,
+            job_state: &JobState,
+            _cluster: &ClusterState,
+            _now: f64,
+        ) -> SchedulingDecision {
+            SchedulingDecision::from_priority_order(job_state.active())
+        }
+        fn name(&self) -> &str {
+            "fifo"
+        }
+    }
+
+    struct FirstFree;
+    impl PlacementPolicy for FirstFree {
+        fn place(
+            &mut self,
+            decision: &SchedulingDecision,
+            job_state: &JobState,
+            cluster: &ClusterState,
+            _now: f64,
+        ) -> Placement {
+            blox_core::place_util::plan_placement(decision, job_state, cluster, |_| {
+                blox_core::place_util::PickStrategy::FirstFree
+            })
+        }
+        fn name(&self) -> &str {
+            "first-free"
+        }
+    }
+
+    fn quick_profile() -> JobProfile {
+        let mut p = JobProfile::synthetic("emu", 1.0);
+        p.iter_model.serial_frac = 1.0;
+        p.iter_model.comm_frac = 0.0;
+        p.restore_s = 0.0;
+        p
+    }
+
+    fn cluster(nodes: u32) -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+        c
+    }
+
+    #[test]
+    fn jobs_run_to_completion_on_the_emulated_cluster() {
+        let cstate = cluster(1);
+        // Two jobs, 600 simulated seconds of work each.
+        let jobs: Vec<Job> = (0..2)
+            .map(|i| Job::new(JobId(i), 0.0, 1, 600.0, quick_profile()))
+            .collect();
+        let emu = EmulatedCluster::start(&cstate, RuntimeConfig::default());
+        let backend = RuntimeBackend::new(emu, jobs);
+        let mut mgr = BloxManager::new(
+            backend,
+            cstate,
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 50,
+                stop: StopCondition::AllJobsDone,
+            },
+        );
+        let stats = mgr.run(&mut PassAll, &mut FifoSched, &mut FirstFree);
+        assert_eq!(stats.records.len(), 2);
+        for r in &stats.records {
+            let jct = r.jct();
+            assert!(
+                (jct - 600.0).abs() < 200.0,
+                "expected ~600 s JCT, got {jct}"
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_round_trips_through_lease_revocation() {
+        let cstate = cluster(1); // 4 GPUs.
+        // Job 0 wants all 4 GPUs and runs long; job 1 arrives later; FIFO +
+        // first-free means job 0 runs to completion, then job 1. The
+        // interesting part: job 0 completes mid-round and job 1 launches.
+        let long = Job::new(JobId(0), 0.0, 4, 900.0, quick_profile());
+        let short = Job::new(JobId(1), 0.0, 4, 300.0, quick_profile());
+        let emu = EmulatedCluster::start(&cstate, RuntimeConfig::default());
+        let backend = RuntimeBackend::new(emu, vec![long, short]);
+        let mut mgr = BloxManager::new(
+            backend,
+            cstate,
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 60,
+                stop: StopCondition::AllJobsDone,
+            },
+        );
+        let stats = mgr.run(&mut PassAll, &mut FifoSched, &mut FirstFree);
+        assert_eq!(stats.records.len(), 2);
+    }
+
+    #[test]
+    fn suspended_jobs_checkpoint_their_progress() {
+        // LAS-like forced suspension: run one job, then explicitly suspend
+        // it via the backend and confirm its progress was checkpointed.
+        let mut cstate = cluster(1);
+        let mut jobs = JobState::new();
+        jobs.add_new_jobs(vec![Job::new(JobId(0), 0.0, 1, 100_000.0, quick_profile())]);
+        let emu = EmulatedCluster::start(&cstate, RuntimeConfig::default());
+        let mut backend = RuntimeBackend::new(emu, vec![]);
+        let launch = Placement {
+            to_launch: vec![(JobId(0), vec![cstate.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        backend.exec_jobs(&launch, &mut cstate, &mut jobs);
+        // Let it run ~3000 simulated seconds (0.3 s wall).
+        backend.advance_round(3000.0);
+        backend.update_metrics(&mut cstate, &mut jobs, 3000.0);
+        let suspend = Placement {
+            to_launch: vec![],
+            to_suspend: vec![JobId(0)],
+        };
+        backend.exec_jobs(&suspend, &mut cstate, &mut jobs);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert_eq!(j.status, JobStatus::Suspended);
+        assert!(
+            j.completed_iters > 0.0,
+            "checkpoint must carry progress, got {}",
+            j.completed_iters
+        );
+        assert_eq!(cstate.free_gpu_count(), 4);
+    }
+}

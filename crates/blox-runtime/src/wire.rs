@@ -1,0 +1,519 @@
+//! Hand-rolled binary wire format and in-process transport.
+//!
+//! Every runtime message crosses a channel as a length-prefixed byte frame
+//! encoded by this module — the same discipline a gRPC deployment imposes
+//! — so the lease-renewal benchmark measures real serialize / transfer /
+//! deserialize work, and a TCP transport can be swapped in without
+//! touching the protocol.
+
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::{JobId, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// Runtime protocol messages (scheduler ⇄ worker ⇄ client library).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker announces itself and its GPU count.
+    RegisterWorker {
+        /// Registering node.
+        node: NodeId,
+        /// GPUs on the node.
+        gpus: u32,
+    },
+    /// Scheduler launches (or resumes) a job shard on a worker.
+    Launch {
+        /// Job to run.
+        job: JobId,
+        /// Local GPU indices assigned on this worker.
+        local_gpus: Vec<u8>,
+        /// Seconds per emulated iteration (already placement-adjusted).
+        iter_time_s: f64,
+        /// Iterations already completed (restore point).
+        start_iters: f64,
+        /// Total iterations to run.
+        total_iters: f64,
+        /// Restore/warm-up seconds to pay before progress resumes.
+        warmup_s: f64,
+        /// True when this worker hosts rank 0 of the job.
+        is_rank0: bool,
+    },
+    /// Scheduler revokes a job's lease (two-phase: sent to rank 0 only).
+    Revoke {
+        /// Job being preempted.
+        job: JobId,
+    },
+    /// Rank 0 announces the agreed exit iteration for a distributed job.
+    ExitAt {
+        /// Job being preempted.
+        job: JobId,
+        /// Iteration count after which every shard stops.
+        exit_iter: u64,
+    },
+    /// Centralized-lease-mode check: "may job X run another iteration?".
+    LeaseCheck {
+        /// Job asking.
+        job: JobId,
+    },
+    /// Reply to [`Message::LeaseCheck`].
+    LeaseStatus {
+        /// Job asked about.
+        job: JobId,
+        /// False once revoked.
+        valid: bool,
+    },
+    /// Client library pushes an application metric.
+    PushMetric {
+        /// Reporting job.
+        job: JobId,
+        /// Metric key (e.g. `"loss"`).
+        key: String,
+        /// Metric value.
+        value: f64,
+    },
+    /// Worker reports job progress (iterations completed so far).
+    Progress {
+        /// Reporting job.
+        job: JobId,
+        /// Iterations completed.
+        iters: f64,
+    },
+    /// Worker reports a job finished all its work.
+    JobDone {
+        /// Finished job.
+        job: JobId,
+        /// Simulated-time completion timestamp.
+        sim_time: f64,
+    },
+    /// Worker acknowledges a preemption with the checkpointed progress.
+    JobSuspended {
+        /// Preempted job.
+        job: JobId,
+        /// Iterations in the checkpoint.
+        iters: f64,
+    },
+    /// Generic acknowledgement.
+    Ack,
+}
+
+// Encoding -----------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+/// Cursor-based reader over a received frame.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(BloxError::Transport(format!(
+                "truncated frame: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| BloxError::Transport(format!("invalid utf-8 in frame: {e}")))
+    }
+
+    fn boolean(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+}
+
+impl Message {
+    /// Encode into a self-describing frame (1-byte tag + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Message::RegisterWorker { node, gpus } => {
+                put_u8(&mut buf, 0);
+                put_u32(&mut buf, node.0);
+                put_u32(&mut buf, *gpus);
+            }
+            Message::Launch {
+                job,
+                local_gpus,
+                iter_time_s,
+                start_iters,
+                total_iters,
+                warmup_s,
+                is_rank0,
+            } => {
+                put_u8(&mut buf, 1);
+                put_u64(&mut buf, job.0);
+                put_u32(&mut buf, local_gpus.len() as u32);
+                buf.extend_from_slice(local_gpus);
+                put_f64(&mut buf, *iter_time_s);
+                put_f64(&mut buf, *start_iters);
+                put_f64(&mut buf, *total_iters);
+                put_f64(&mut buf, *warmup_s);
+                put_bool(&mut buf, *is_rank0);
+            }
+            Message::Revoke { job } => {
+                put_u8(&mut buf, 2);
+                put_u64(&mut buf, job.0);
+            }
+            Message::ExitAt { job, exit_iter } => {
+                put_u8(&mut buf, 3);
+                put_u64(&mut buf, job.0);
+                put_u64(&mut buf, *exit_iter);
+            }
+            Message::LeaseCheck { job } => {
+                put_u8(&mut buf, 4);
+                put_u64(&mut buf, job.0);
+            }
+            Message::LeaseStatus { job, valid } => {
+                put_u8(&mut buf, 5);
+                put_u64(&mut buf, job.0);
+                put_bool(&mut buf, *valid);
+            }
+            Message::PushMetric { job, key, value } => {
+                put_u8(&mut buf, 6);
+                put_u64(&mut buf, job.0);
+                put_str(&mut buf, key);
+                put_f64(&mut buf, *value);
+            }
+            Message::Progress { job, iters } => {
+                put_u8(&mut buf, 7);
+                put_u64(&mut buf, job.0);
+                put_f64(&mut buf, *iters);
+            }
+            Message::JobDone { job, sim_time } => {
+                put_u8(&mut buf, 8);
+                put_u64(&mut buf, job.0);
+                put_f64(&mut buf, *sim_time);
+            }
+            Message::JobSuspended { job, iters } => {
+                put_u8(&mut buf, 9);
+                put_u64(&mut buf, job.0);
+                put_f64(&mut buf, *iters);
+            }
+            Message::Ack => put_u8(&mut buf, 10),
+        }
+        buf
+    }
+
+    /// Decode a frame produced by [`Message::encode`].
+    pub fn decode(frame: &[u8]) -> Result<Message> {
+        let mut r = Reader::new(frame);
+        let tag = r.u8()?;
+        let msg = match tag {
+            0 => Message::RegisterWorker {
+                node: NodeId(r.u32()?),
+                gpus: r.u32()?,
+            },
+            1 => {
+                let job = JobId(r.u64()?);
+                let n = r.u32()? as usize;
+                let local_gpus = r.take(n)?.to_vec();
+                Message::Launch {
+                    job,
+                    local_gpus,
+                    iter_time_s: r.f64()?,
+                    start_iters: r.f64()?,
+                    total_iters: r.f64()?,
+                    warmup_s: r.f64()?,
+                    is_rank0: r.boolean()?,
+                }
+            }
+            2 => Message::Revoke { job: JobId(r.u64()?) },
+            3 => Message::ExitAt {
+                job: JobId(r.u64()?),
+                exit_iter: r.u64()?,
+            },
+            4 => Message::LeaseCheck { job: JobId(r.u64()?) },
+            5 => Message::LeaseStatus {
+                job: JobId(r.u64()?),
+                valid: r.boolean()?,
+            },
+            6 => Message::PushMetric {
+                job: JobId(r.u64()?),
+                key: r.string()?,
+                value: r.f64()?,
+            },
+            7 => Message::Progress {
+                job: JobId(r.u64()?),
+                iters: r.f64()?,
+            },
+            8 => Message::JobDone {
+                job: JobId(r.u64()?),
+                sim_time: r.f64()?,
+            },
+            9 => Message::JobSuspended {
+                job: JobId(r.u64()?),
+                iters: r.f64()?,
+            },
+            10 => Message::Ack,
+            other => {
+                return Err(BloxError::Transport(format!("unknown message tag {other}")))
+            }
+        };
+        Ok(msg)
+    }
+}
+
+// Transport -----------------------------------------------------------------
+
+/// One side of a bidirectional message channel. All traffic is encoded to
+/// byte frames and decoded on receipt.
+pub struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Endpoint {
+    /// Create a connected endpoint pair.
+    pub fn pair() -> (Endpoint, Endpoint) {
+        let (atx, brx) = unbounded();
+        let (btx, arx) = unbounded();
+        (
+            Endpoint { tx: atx, rx: arx },
+            Endpoint { tx: btx, rx: brx },
+        )
+    }
+
+    /// Encode and send a message.
+    pub fn send(&self, msg: &Message) -> Result<()> {
+        self.tx
+            .send(msg.encode())
+            .map_err(|_| BloxError::Transport("peer disconnected".into()))
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Message> {
+        let frame = self
+            .rx
+            .recv()
+            .map_err(|_| BloxError::Transport("peer disconnected".into()))?;
+        Message::decode(&frame)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no message is waiting.
+    pub fn try_recv(&self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(BloxError::Transport("peer disconnected".into()))
+            }
+        }
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(BloxError::Transport("peer disconnected".into()))
+            }
+        }
+    }
+}
+
+/// Send half of a shared message bus (clonable: many producers).
+#[derive(Clone)]
+pub struct WireTx {
+    tx: Sender<Vec<u8>>,
+}
+
+impl WireTx {
+    /// Encode and send a message.
+    pub fn send(&self, msg: &Message) -> Result<()> {
+        self.tx
+            .send(msg.encode())
+            .map_err(|_| BloxError::Transport("bus receiver dropped".into()))
+    }
+}
+
+/// Receive half of a shared message bus.
+pub struct WireRx {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl WireRx {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(BloxError::Transport("bus senders dropped".into()))
+            }
+        }
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(BloxError::Transport("bus senders dropped".into()))
+            }
+        }
+    }
+}
+
+/// Create a many-producer single-consumer message bus.
+pub fn wire_bus() -> (WireTx, WireRx) {
+    let (tx, rx) = unbounded();
+    (WireTx { tx }, WireRx { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::RegisterWorker { node: NodeId(3), gpus: 4 },
+            Message::Launch {
+                job: JobId(42),
+                local_gpus: vec![0, 3],
+                iter_time_s: 0.25,
+                start_iters: 100.5,
+                total_iters: 5000.0,
+                warmup_s: 12.0,
+                is_rank0: true,
+            },
+            Message::Revoke { job: JobId(7) },
+            Message::ExitAt { job: JobId(7), exit_iter: 991 },
+            Message::LeaseCheck { job: JobId(1) },
+            Message::LeaseStatus { job: JobId(1), valid: false },
+            Message::PushMetric {
+                job: JobId(9),
+                key: "loss".into(),
+                value: 1.25,
+            },
+            Message::Progress { job: JobId(2), iters: 123.0 },
+            Message::JobDone { job: JobId(2), sim_time: 4200.0 },
+            Message::JobSuspended { job: JobId(2), iters: 55.5 },
+            Message::Ack,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let frame = msg.encode();
+            let back = Message::decode(&frame).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        for msg in all_messages() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                // Every strict prefix must fail to decode or decode to a
+                // different-but-valid message; it must never panic.
+                let _ = Message::decode(&frame[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(Message::decode(&[200]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn endpoint_pair_carries_messages_both_ways() {
+        let (a, b) = Endpoint::pair();
+        a.send(&Message::LeaseCheck { job: JobId(5) }).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::LeaseCheck { job: JobId(5) });
+        b.send(&Message::LeaseStatus { job: JobId(5), valid: true })
+            .unwrap();
+        assert_eq!(
+            a.recv().unwrap(),
+            Message::LeaseStatus { job: JobId(5), valid: true }
+        );
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (a, b) = Endpoint::pair();
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(&Message::Ack).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(Message::Ack));
+    }
+
+    #[test]
+    fn disconnect_is_an_error() {
+        let (a, b) = Endpoint::pair();
+        drop(b);
+        assert!(a.send(&Message::Ack).is_err());
+    }
+
+    #[test]
+    fn bad_utf8_in_metric_key_is_rejected() {
+        let msg = Message::PushMetric {
+            job: JobId(1),
+            key: "loss".into(),
+            value: 0.0,
+        };
+        let mut frame = msg.encode();
+        // Corrupt the key bytes with invalid UTF-8.
+        let key_start = frame.len() - 8 - 4;
+        frame[key_start] = 0xFF;
+        frame[key_start + 1] = 0xFE;
+        assert!(Message::decode(&frame).is_err());
+    }
+}

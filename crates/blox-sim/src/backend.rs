@@ -1,0 +1,365 @@
+//! The simulator execution backend.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use blox_core::cluster::ClusterState;
+use blox_core::ids::JobId;
+use blox_core::job::{Job, JobStatus};
+use blox_core::manager::{apply_placement, Backend};
+use blox_core::policy::Placement;
+use blox_core::state::JobState;
+
+use crate::churn::{ChurnEvent, ChurnScript};
+use crate::perf::PerfModel;
+
+/// Simulated execution backend: drives the clock, feeds trace arrivals,
+/// applies the performance model, and mimics the launch/preempt mechanism
+/// with overhead accounting.
+///
+/// `SimBackend` is `Clone`, which the automatic scheduler synthesizer uses
+/// to fork lookahead simulations from live state.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    clock: f64,
+    last_metrics_update: f64,
+    arrivals: VecDeque<Job>,
+    perf: PerfModel,
+    churn: ChurnScript,
+    /// Charge checkpoint/restore overheads on preemption and launch. The
+    /// lease-renewal fidelity experiments disable this to isolate effects.
+    pub charge_overheads: bool,
+}
+
+impl SimBackend {
+    /// Backend over a trace (jobs are arrival-sorted, which
+    /// `Trace::new` guarantees).
+    pub fn new(trace: blox_workloads::Trace) -> Self {
+        Self::from_jobs(trace.jobs)
+    }
+
+    /// Backend directly over a job list.
+    pub fn from_jobs(jobs: Vec<Job>) -> Self {
+        SimBackend {
+            clock: 0.0,
+            last_metrics_update: 0.0,
+            arrivals: jobs.into(),
+            perf: PerfModel::default(),
+            churn: ChurnScript::default(),
+            charge_overheads: true,
+        }
+    }
+
+    /// Replace the performance model.
+    pub fn with_perf(mut self, perf: PerfModel) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// Attach a churn script (scheduled node failures/recoveries).
+    pub fn with_churn(mut self, events: Vec<ChurnEvent>) -> Self {
+        self.churn = ChurnScript::new(events);
+        self
+    }
+
+    /// Disable launch/restore overhead charging.
+    pub fn without_overheads(mut self) -> Self {
+        self.charge_overheads = false;
+        self
+    }
+
+    /// The performance model in use.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Remaining (not yet arrived) jobs.
+    pub fn arrivals_remaining(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+impl Backend for SimBackend {
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn update_cluster(&mut self, cluster: &mut ClusterState) {
+        for event in self.churn.due(self.clock) {
+            match event {
+                ChurnEvent::Fail { node, .. } => {
+                    if let Ok(_evicted) = cluster.fail_node(node) {
+                        // Eviction handling happens in update_metrics via
+                        // placement scanning: jobs whose GPUs vanished are
+                        // requeued there. Here we only flip node state.
+                    }
+                }
+                ChurnEvent::Revive { node, .. } => {
+                    let _ = cluster.revive_node(node);
+                }
+            }
+        }
+    }
+
+    fn pop_wait_queue(&mut self, now: f64) -> Vec<Job> {
+        let mut out = Vec::new();
+        while let Some(front) = self.arrivals.front() {
+            if front.arrival_time <= now {
+                out.push(self.arrivals.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+        self.arrivals.front().map(|j| (j.id, j.arrival_time))
+    }
+
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+        let elapsed = (self.clock - self.last_metrics_update).max(0.0);
+        self.last_metrics_update = self.clock;
+        let round_start = self.clock - elapsed;
+
+        // Requeue jobs that lost GPUs to node failures: their recorded
+        // placement no longer matches the cluster's allocation table.
+        let mut failed = Vec::new();
+        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+            let owned = cluster.gpus_of_job(job.id);
+            if owned.len() != job.placement.len() {
+                failed.push(job.id);
+            }
+        }
+        for id in failed {
+            cluster.release(id);
+            if let Some(job) = jobs.get_mut(id) {
+                job.placement.clear();
+                job.status = JobStatus::Suspended;
+                job.preemptions += 1;
+            }
+        }
+
+        if elapsed <= 0.0 {
+            return;
+        }
+
+        // Pass 1: progress rates from the (immutable) shared state.
+        let rates: BTreeMap<JobId, f64> = jobs
+            .active()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| (j.id, self.perf.progress_rate(j, jobs, cluster)))
+            .collect();
+
+        // Pass 2: apply progress, detect completions sub-round.
+        let mut completed = Vec::new();
+        for job in jobs.active_mut() {
+            let Some(&rate) = rates.get(&job.id) else {
+                continue;
+            };
+            let gpus = job.placement.len() as f64;
+            job.attained_service += gpus * elapsed;
+            job.running_time += elapsed;
+
+            let overhead = if self.charge_overheads {
+                job.pending_overhead.min(elapsed)
+            } else {
+                job.pending_overhead = 0.0;
+                0.0
+            };
+            job.pending_overhead -= overhead;
+            let effective = elapsed - overhead;
+            if rate <= 0.0 || effective <= 0.0 {
+                continue;
+            }
+            let gained = rate * effective;
+            if job.completed_iters + gained >= job.total_iters {
+                let needed = (job.total_iters - job.completed_iters).max(0.0);
+                let finish_offset = overhead + needed / rate;
+                job.completed_iters = job.total_iters;
+                job.completion_time = Some(round_start + finish_offset);
+                job.status = JobStatus::Completed;
+                completed.push(job.id);
+            } else {
+                job.completed_iters += gained;
+            }
+
+            // Application metrics the client library would push.
+            let loss = job.current_loss();
+            job.push_metric("loss", loss);
+            job.push_metric("iter_time", 1.0 / rate);
+            if job.profile.pollux.is_some() {
+                job.push_metric("goodput", rate);
+            }
+        }
+        for id in completed {
+            cluster.release(id);
+            if let Some(job) = jobs.get_mut(id) {
+                job.placement.clear();
+            }
+        }
+    }
+
+    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState) {
+        let result = apply_placement(placement, cluster, jobs, self.clock);
+        debug_assert!(
+            result.is_ok(),
+            "placement policies must not double-book GPUs: {result:?}"
+        );
+        if !self.charge_overheads {
+            for (id, _) in &placement.to_launch {
+                if let Some(job) = jobs.get_mut(*id) {
+                    job.pending_overhead = 0.0;
+                }
+            }
+        }
+    }
+
+    fn advance_round(&mut self, round_duration: f64) {
+        self.clock += round_duration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::NodeId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn quick_job(id: u64, arrival: f64, iters: f64) -> Job {
+        // base_iter_s=1.0 on one V100 => `iters` seconds of isolated work.
+        let mut p = JobProfile::synthetic("quick", 1.0);
+        p.iter_model.serial_frac = 1.0; // no scaling effects
+        p.iter_model.comm_frac = 0.0;
+        p.restore_s = 0.0;
+        Job::new(JobId(id), arrival, 1, iters, p)
+    }
+
+    #[test]
+    fn arrivals_pop_in_time_order() {
+        let mut b = SimBackend::from_jobs(vec![quick_job(0, 10.0, 5.0), quick_job(1, 400.0, 5.0)]);
+        assert_eq!(b.peek_next_arrival().unwrap().0, JobId(0));
+        assert!(b.pop_wait_queue(5.0).is_empty());
+        let first = b.pop_wait_queue(10.0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(b.arrivals_remaining(), 1);
+        let second = b.pop_wait_queue(1000.0);
+        assert_eq!(second.len(), 1);
+        assert!(b.peek_next_arrival().is_none());
+    }
+
+    #[test]
+    fn running_job_progresses_and_completes_sub_round() {
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        let job = quick_job(0, 0.0, 100.0); // 100 s of work
+        jobs.add_new_jobs(vec![job]);
+        let mut b = SimBackend::from_jobs(vec![]);
+
+        // Launch at t=0 on one GPU.
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+
+        // One 300 s round: job (100 s of work) finishes at t=100 exactly.
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert_eq!(j.status, JobStatus::Completed);
+        assert!((j.completion_time.unwrap() - 100.0).abs() < 1e-6);
+        assert_eq!(c.free_gpu_count(), 4, "GPUs released on completion");
+        assert_eq!(j.attained_service, 300.0);
+    }
+
+    #[test]
+    fn restore_overhead_delays_completion() {
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        let mut job = quick_job(0, 0.0, 100.0);
+        job.profile.restore_s = 30.0;
+        jobs.add_new_jobs(vec![job]);
+        let mut b = SimBackend::from_jobs(vec![]);
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert!((j.completion_time.unwrap() - 130.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn without_overheads_skips_restore() {
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        let mut job = quick_job(0, 0.0, 100.0);
+        job.profile.restore_s = 30.0;
+        jobs.add_new_jobs(vec![job]);
+        let mut b = SimBackend::from_jobs(vec![]).without_overheads();
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert!((j.completion_time.unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_failure_requeues_running_jobs() {
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        jobs.add_new_jobs(vec![quick_job(0, 0.0, 1e6)]);
+        let mut b = SimBackend::from_jobs(vec![]).with_churn(vec![ChurnEvent::Fail {
+            at: 150.0,
+            node: NodeId(0),
+        }]);
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+        b.advance_round(300.0);
+        b.update_cluster(&mut c);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert_eq!(j.status, JobStatus::Suspended);
+        assert_eq!(j.preemptions, 1);
+        assert!(j.placement.is_empty());
+        assert_eq!(c.total_gpus(), 0, "failed node's GPUs are gone");
+    }
+
+    #[test]
+    fn clock_advances_by_round() {
+        let mut b = SimBackend::from_jobs(vec![]);
+        assert_eq!(b.now(), 0.0);
+        b.advance_round(300.0);
+        b.advance_round(300.0);
+        assert_eq!(b.now(), 600.0);
+    }
+
+    #[test]
+    fn clone_forks_independent_state() {
+        let mut a = SimBackend::from_jobs(vec![quick_job(0, 10.0, 5.0)]);
+        let mut b = a.clone();
+        a.advance_round(300.0);
+        assert_eq!(b.now(), 0.0);
+        let popped = a.pop_wait_queue(300.0);
+        assert_eq!(popped.len(), 1);
+        assert_eq!(b.arrivals_remaining(), 1);
+        b.advance_round(300.0);
+        assert_eq!(b.pop_wait_queue(300.0).len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cluster churn injection: scheduled node failures and recoveries.
+
+use blox_core::ids::NodeId;
+
+/// One scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// Fail the node at the given simulated time; running jobs on it are
+    /// requeued by the backend.
+    Fail {
+        /// When the failure occurs.
+        at: f64,
+        /// Which node fails.
+        node: NodeId,
+    },
+    /// Bring a failed node back at the given simulated time.
+    Revive {
+        /// When the node returns.
+        at: f64,
+        /// Which node returns.
+        node: NodeId,
+    },
+}
+
+impl ChurnEvent {
+    /// Event timestamp.
+    pub fn at(&self) -> f64 {
+        match self {
+            ChurnEvent::Fail { at, .. } | ChurnEvent::Revive { at, .. } => *at,
+        }
+    }
+}
+
+/// An ordered script of churn events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnScript {
+    events: Vec<ChurnEvent>,
+    cursor: usize,
+}
+
+impl ChurnScript {
+    /// Build a script; events are sorted by time.
+    pub fn new(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by(|a, b| a.at().partial_cmp(&b.at()).expect("finite times"));
+        ChurnScript { events, cursor: 0 }
+    }
+
+    /// Drain events due at or before `now`.
+    pub fn due(&mut self, now: f64) -> Vec<ChurnEvent> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].at() <= now {
+            out.push(self.events[self.cursor]);
+            self.cursor += 1;
+        }
+        out
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_delivers_in_time_order() {
+        let mut s = ChurnScript::new(vec![
+            ChurnEvent::Revive { at: 50.0, node: NodeId(1) },
+            ChurnEvent::Fail { at: 10.0, node: NodeId(1) },
+        ]);
+        assert_eq!(s.remaining(), 2);
+        let first = s.due(10.0);
+        assert_eq!(first.len(), 1);
+        assert!(matches!(first[0], ChurnEvent::Fail { .. }));
+        assert!(s.due(20.0).is_empty());
+        let second = s.due(100.0);
+        assert_eq!(second.len(), 1);
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Discrete round-based cluster simulator for the Blox toolkit.
+//!
+//! Implements the [`blox_core::Backend`] trait so the exact same scheduling
+//! loop and policies used for deployment run in simulation — the paper's
+//! core reproducibility claim (§3, §7). The simulator provides:
+//!
+//! * a performance model ([`perf`]) translating a job's placement into a
+//!   progress rate (iteration scaling, placement/spread penalties tied to
+//!   interconnect bandwidth, CPU contention, Pollux goodput);
+//! * exact sub-round completion timestamps;
+//! * launch/restore overhead accounting;
+//! * cluster churn injection (node failures and recoveries).
+
+pub mod backend;
+pub mod churn;
+pub mod perf;
+
+pub use backend::SimBackend;
+pub use churn::ChurnEvent;
+pub use perf::PerfModel;
+
+use blox_core::cluster::{ClusterState, NodeSpec};
+
+/// Convenience: a cluster of `nodes` p3.8xlarge-style servers
+/// (4× V100, 10 Gbps interconnect), the paper's default hardware.
+pub fn cluster_of_v100(nodes: u32) -> ClusterState {
+    let mut c = ClusterState::new();
+    c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+    c
+}
+
+/// Convenience: a cluster of Tiresias-style servers (4× P100, 100 Gbps).
+pub fn cluster_of_p100(nodes: u32) -> ClusterState {
+    let mut c = ClusterState::new();
+    c.add_nodes(&NodeSpec::p100_tiresias(), nodes);
+    c
+}

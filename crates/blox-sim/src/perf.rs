@@ -1,0 +1,282 @@
+//! The simulator's performance model.
+//!
+//! Maps a job's current placement onto a progress rate in iterations per
+//! second. Three effects compose:
+//!
+//! 1. **Scaling & placement**: the job profile's [`IterTimeModel`] gives
+//!    the per-iteration time from GPU count, GPU type, whether the
+//!    placement is consolidated, and the interconnect bandwidth between
+//!    the spanned nodes.
+//! 2. **CPU contention** (Synergy's motivation): when the jobs co-located
+//!    on a node together want more CPU cores than the node has, each job
+//!    is slowed proportionally to its `cpu_sensitivity`.
+//! 3. **Pollux goodput**: jobs with a Pollux profile progress in
+//!    *effective* iterations — throughput × statistical efficiency at the
+//!    current batch size, normalized to the initial batch.
+//!
+//! [`IterTimeModel`]: blox_core::profile::IterTimeModel
+
+use std::collections::BTreeMap;
+
+use blox_core::cluster::{ClusterState, GpuType};
+use blox_core::ids::NodeId;
+use blox_core::job::{Job, JobStatus};
+use blox_core::state::JobState;
+
+/// Performance-model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfModel {
+    /// Enable the CPU-contention slowdown term.
+    pub model_cpu_contention: bool,
+    /// Multiplier on the Pollux synchronization cost when the placement
+    /// spans nodes.
+    pub pollux_spread_sync_factor: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel {
+            model_cpu_contention: true,
+            pollux_spread_sync_factor: 2.0,
+        }
+    }
+}
+
+impl PerfModel {
+    /// Per-node CPU oversubscription ratio: ideal cores wanted by all jobs
+    /// on the node divided by available cores, clamped to >= 1.
+    fn cpu_pressure(&self, jobs: &JobState, cluster: &ClusterState) -> BTreeMap<NodeId, f64> {
+        let mut wanted: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+            for node in cluster.nodes_of(&job.placement) {
+                let gpus_here = job
+                    .placement
+                    .iter()
+                    .filter(|g| cluster.gpu(**g).map(|r| r.node) == Some(node))
+                    .count() as f64;
+                *wanted.entry(node).or_default() += gpus_here * job.profile.cpus_per_gpu;
+            }
+        }
+        wanted
+            .into_iter()
+            .map(|(node, want)| {
+                let cores = cluster
+                    .node(node)
+                    .map(|n| n.spec.cpu_cores as f64)
+                    .unwrap_or(1.0);
+                (node, (want / cores).max(1.0))
+            })
+            .collect()
+    }
+
+    /// Progress rate of `job` in iterations/second under its current
+    /// placement, including all contention effects. Returns 0 for jobs
+    /// without GPUs.
+    pub fn progress_rate(&self, job: &Job, jobs: &JobState, cluster: &ClusterState) -> f64 {
+        if job.placement.is_empty() {
+            return 0.0;
+        }
+        let n = job.placement.len() as u32;
+        let consolidated = cluster.is_consolidated(&job.placement);
+        let inter_bw = cluster.alloc_inter_bw(&job.placement);
+        let gpu_type = job
+            .placement
+            .first()
+            .and_then(|g| cluster.gpu(*g))
+            .map(|r| r.gpu_type)
+            .unwrap_or(GpuType::V100);
+
+        let base_rate = match &job.profile.pollux {
+            Some(p) => {
+                // Effective iterations: goodput normalized by the initial
+                // batch so `total_iters` keeps its trace meaning.
+                let mut sync_scale = 1.0;
+                if !consolidated {
+                    sync_scale = self.pollux_spread_sync_factor;
+                }
+                let m = job.batch_size.max(1);
+                let nn = n.max(1) as f64;
+                let iter =
+                    p.t_grad_per_sample * m as f64 / nn + p.t_sync * sync_scale * (nn.log2() + 1.0);
+                let throughput = m as f64 / iter;
+                let goodput = throughput * p.efficiency(m);
+                goodput / p.init_batch.max(1) as f64
+            }
+            None => job
+                .profile
+                .iter_model
+                .throughput(n, gpu_type, consolidated, inter_bw),
+        };
+
+        if !self.model_cpu_contention {
+            return base_rate;
+        }
+        let pressure = self.cpu_pressure(jobs, cluster);
+        let worst = cluster
+            .nodes_of(&job.placement)
+            .into_iter()
+            .filter_map(|node| pressure.get(&node))
+            .fold(1.0f64, |acc, p| acc.max(*p));
+        if worst <= 1.0 {
+            base_rate
+        } else {
+            // Share deficit scaled by the model's CPU sensitivity.
+            let deficit = 1.0 - 1.0 / worst;
+            base_rate / (1.0 + job.profile.cpu_sensitivity * deficit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::cluster::NodeSpec;
+    use blox_core::ids::JobId;
+    use blox_core::profile::JobProfile;
+
+    fn cluster(nodes: u32) -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
+        c
+    }
+
+    fn running_job(id: u64, gpus: u32, profile: JobProfile) -> Job {
+        let mut j = Job::new(JobId(id), 0.0, gpus, 1e9, profile);
+        j.status = JobStatus::Running;
+        j
+    }
+
+    #[test]
+    fn idle_job_has_zero_rate() {
+        let c = cluster(1);
+        let js = JobState::new();
+        let j = Job::new(JobId(1), 0.0, 1, 10.0, JobProfile::synthetic("t", 0.1));
+        assert_eq!(PerfModel::default().progress_rate(&j, &js, &c), 0.0);
+    }
+
+    #[test]
+    fn consolidated_beats_spread_for_sensitive_models() {
+        let mut c = cluster(2);
+        let mut profile = JobProfile::synthetic("t", 0.2);
+        profile.iter_model.spread_penalty = 0.4;
+        let free = c.free_gpus();
+
+        let mut cons = running_job(1, 4, profile.clone());
+        cons.placement = free[..4].to_vec();
+        c.allocate(JobId(1), &cons.placement, 4.0).unwrap();
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![cons.clone()]);
+        let rate_cons = PerfModel::default().progress_rate(&cons, &js, &c);
+
+        let mut c2 = cluster(2);
+        let free2 = c2.free_gpus();
+        let mut spread = running_job(1, 4, profile);
+        spread.placement = vec![free2[0], free2[1], free2[4], free2[5]];
+        c2.allocate(JobId(1), &spread.placement, 4.0).unwrap();
+        let mut js2 = JobState::new();
+        js2.add_new_jobs(vec![spread.clone()]);
+        let rate_spread = PerfModel::default().progress_rate(&spread, &js2, &c2);
+
+        assert!(rate_cons > rate_spread * 1.2, "{rate_cons} vs {rate_spread}");
+    }
+
+    #[test]
+    fn cpu_contention_slows_sensitive_jobs() {
+        let mut c = cluster(1);
+        // Node has 32 cores; two jobs wanting 8 cores/GPU on 4 GPUs
+        // oversubscribe it 2x.
+        let mut profile = JobProfile::synthetic("cpu-hungry", 0.2);
+        profile.cpus_per_gpu = 16.0;
+        profile.cpu_sensitivity = 0.5;
+        let free = c.free_gpus();
+
+        let mut a = running_job(1, 2, profile.clone());
+        a.placement = free[..2].to_vec();
+        c.allocate(JobId(1), &a.placement, 4.0).unwrap();
+        let mut b = running_job(2, 2, profile.clone());
+        b.placement = free[2..4].to_vec();
+        c.allocate(JobId(2), &b.placement, 4.0).unwrap();
+
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![a.clone(), b]);
+        let contended = PerfModel::default().progress_rate(&a, &js, &c);
+
+        // Same job alone on the node.
+        let mut c2 = cluster(1);
+        let free2 = c2.free_gpus();
+        let mut solo = running_job(1, 2, profile);
+        solo.placement = free2[..2].to_vec();
+        c2.allocate(JobId(1), &solo.placement, 4.0).unwrap();
+        let mut js2 = JobState::new();
+        js2.add_new_jobs(vec![solo.clone()]);
+        let alone = PerfModel::default().progress_rate(&solo, &js2, &c2);
+
+        assert!(contended < alone, "{contended} vs {alone}");
+        // Disabling the term removes the penalty.
+        let off = PerfModel {
+            model_cpu_contention: false,
+            ..Default::default()
+        };
+        assert_eq!(off.progress_rate(&a, &js, &c), alone);
+    }
+
+    #[test]
+    fn pollux_rate_improves_with_more_gpus() {
+        let mut c = cluster(2);
+        let zoo_profile = {
+            let mut p = JobProfile::synthetic("px", 0.2);
+            p.pollux = Some(blox_core::profile::PolluxProfile {
+                t_grad_per_sample: 0.002,
+                t_sync: 0.02,
+                init_batch: 64,
+                max_batch: 1024,
+                gns: 500.0,
+            });
+            p
+        };
+        let free = c.free_gpus();
+        let mut one = running_job(1, 1, zoo_profile.clone());
+        one.placement = free[..1].to_vec();
+        c.allocate(JobId(1), &one.placement, 4.0).unwrap();
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![one.clone()]);
+        let r1 = PerfModel::default().progress_rate(&one, &js, &c);
+
+        let mut c2 = cluster(2);
+        let free2 = c2.free_gpus();
+        let mut four = running_job(1, 4, zoo_profile);
+        four.placement = free2[..4].to_vec();
+        c2.allocate(JobId(1), &four.placement, 4.0).unwrap();
+        let mut js2 = JobState::new();
+        js2.add_new_jobs(vec![four.clone()]);
+        let r4 = PerfModel::default().progress_rate(&four, &js2, &c2);
+        assert!(r4 > r1 * 1.5, "r1={r1} r4={r4}");
+    }
+
+    #[test]
+    fn pollux_larger_batch_raises_throughput_but_caps_goodput() {
+        let mut c = cluster(1);
+        let mut p = JobProfile::synthetic("px", 0.2);
+        p.pollux = Some(blox_core::profile::PolluxProfile {
+            t_grad_per_sample: 0.002,
+            t_sync: 0.02,
+            init_batch: 64,
+            max_batch: 4096,
+            gns: 200.0,
+        });
+        let free = c.free_gpus();
+        let mut j = running_job(1, 2, p);
+        j.placement = free[..2].to_vec();
+        c.allocate(JobId(1), &j.placement, 4.0).unwrap();
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![j.clone()]);
+        let model = PerfModel::default();
+        let r_small = model.progress_rate(&j, &js, &c);
+        let mut big = j.clone();
+        big.batch_size = 4096;
+        // Very large batches lose statistical efficiency: effective rate
+        // must not scale with raw throughput.
+        let r_big = model.progress_rate(&big, &js, &c);
+        assert!(r_big < r_small * 4.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Small distribution helpers built on a seeded RNG.
+//!
+//! We avoid a dependency on `rand_distr`: the three distributions trace
+//! generation needs (exponential inter-arrivals, log-normal durations and a
+//! discrete demand mix) are a handful of lines each.
+
+use rand::Rng;
+
+/// Sample an exponential variate with the given rate (events per unit
+/// time). Used for Poisson-process inter-arrival gaps.
+///
+/// # Panics
+///
+/// Never panics; a non-positive rate yields `f64::INFINITY`.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    // Inverse CDF with u in (0, 1]: avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a log-normal variate parameterized by its *median* and the sigma
+/// of the underlying normal — the natural parameterization for job
+/// durations ("median 2 hours with a heavy tail").
+pub fn log_normal_median<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    let mu = median.max(f64::MIN_POSITIVE).ln();
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample an index from a discrete distribution given (unnormalized)
+/// weights. Used for the GPU-demand mix.
+///
+/// # Panics
+///
+/// Never panics; an empty or all-zero weight set returns index 0.
+pub fn discrete<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if *w <= 0.0 {
+            continue;
+        }
+        if x < *w {
+            return i;
+        }
+        x -= *w;
+    }
+    weights.len() - 1
+}
+
+/// Sample uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen::<f64>() * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let rate = 2.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_of_zero_rate_is_infinite() {
+        let mut r = rng();
+        assert!(exponential(&mut r, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn log_normal_median_is_respected() {
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001)
+            .map(|_| log_normal_median(&mut r, 10.0, 1.5))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median / 10.0 - 1.0).abs() < 0.1, "median={median}");
+        // Heavy tail: max far above the median.
+        assert!(*xs.last().unwrap() > 100.0);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let mut r = rng();
+        let w = [0.7, 0.0, 0.3];
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[discrete(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!((frac0 - 0.7).abs() < 0.02, "frac0={frac0}");
+    }
+
+    #[test]
+    fn discrete_handles_degenerate_weights() {
+        let mut r = rng();
+        assert_eq!(discrete(&mut r, &[0.0, 0.0]), 0);
+        assert_eq!(discrete(&mut r, &[]), 0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, 3.0, 5.0);
+            assert!((3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn distributions_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut a, 1.0), exponential(&mut b, 1.0));
+        }
+    }
+}

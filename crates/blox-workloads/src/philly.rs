@@ -1,0 +1,163 @@
+//! Synthetic Philly-like trace generator.
+//!
+//! Preserves the properties the paper's Philly experiments depend on
+//! (§4, Workloads): Poisson arrivals with a sweepable rate λ (jobs/hour),
+//! heavy-tailed isolated runtimes, a GPU-demand mix dominated by small
+//! jobs (as reported in the Philly ATC '19 analysis), and a model drawn
+//! uniformly from the Table-2 zoo.
+
+use blox_core::cluster::GpuType;
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+use crate::models::ModelZoo;
+use crate::trace::Trace;
+
+/// GPU demand options and their probabilities in the synthetic mix.
+pub const GPU_MIX: [(u32, f64); 4] = [(1, 0.65), (2, 0.15), (4, 0.12), (8, 0.08)];
+
+/// Philly-like trace generator.
+#[derive(Debug, Clone)]
+pub struct PhillyTraceGen {
+    zoo: ModelZoo,
+    /// Poisson arrival rate, jobs per hour.
+    pub jobs_per_hour: f64,
+    /// Median isolated runtime, hours.
+    pub median_runtime_h: f64,
+    /// Log-normal sigma of the runtime distribution.
+    pub runtime_sigma: f64,
+}
+
+impl PhillyTraceGen {
+    /// Generator with the defaults used by the paper-shaped experiments
+    /// (median 4 h, σ = 1.4: mean ≈ 10.7 h with a multi-hundred-hour tail).
+    pub fn new(zoo: &ModelZoo, jobs_per_hour: f64) -> Self {
+        PhillyTraceGen {
+            zoo: zoo.clone(),
+            jobs_per_hour,
+            median_runtime_h: 4.0,
+            runtime_sigma: 1.4,
+        }
+    }
+
+    /// Override the runtime distribution.
+    pub fn runtimes(mut self, median_h: f64, sigma: f64) -> Self {
+        self.median_runtime_h = median_h;
+        self.runtime_sigma = sigma;
+        self
+    }
+
+    /// Generate `n_jobs` jobs with the given RNG seed.
+    pub fn generate(&self, n_jobs: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let rate_per_s = self.jobs_per_hour / 3600.0;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for i in 0..n_jobs {
+            t += dist::exponential(&mut rng, rate_per_s);
+            let gpus = sample_gpu_demand(&mut rng);
+            let model_idx = dist::discrete(&mut rng, &vec![1.0; self.zoo.len()]);
+            let profile = self.zoo.profile(model_idx).clone();
+            let runtime_s =
+                dist::log_normal_median(&mut rng, self.median_runtime_h * 3600.0, self.runtime_sigma);
+            // Convert the isolated runtime into iterations at the job's
+            // requested configuration on the reference hardware.
+            let iter_s = profile
+                .iter_model
+                .iter_time(gpus, GpuType::V100, true, 100.0);
+            let total_iters = (runtime_s / iter_s).max(1.0);
+            jobs.push(Job::new(JobId(i as u64), t, gpus, total_iters, profile));
+        }
+        Trace::new(jobs)
+    }
+}
+
+/// Draw a GPU demand from the Philly-like mix.
+pub fn sample_gpu_demand(rng: &mut StdRng) -> u32 {
+    let weights: Vec<f64> = GPU_MIX.iter().map(|(_, w)| *w).collect();
+    GPU_MIX[dist::discrete(rng, &weights)].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_sorted_by_arrival() {
+        let zoo = ModelZoo::standard();
+        let t = PhillyTraceGen::new(&zoo, 8.0).generate(500, 1);
+        assert_eq!(t.len(), 500);
+        assert!(t
+            .jobs
+            .windows(2)
+            .all(|w| w[0].arrival_time <= w[1].arrival_time));
+    }
+
+    #[test]
+    fn arrival_rate_matches_lambda() {
+        let zoo = ModelZoo::standard();
+        let lambda = 6.0;
+        let t = PhillyTraceGen::new(&zoo, lambda).generate(3000, 2);
+        let hours = t.span() / 3600.0;
+        let rate = 3000.0 / hours;
+        assert!(
+            (rate / lambda - 1.0).abs() < 0.08,
+            "rate={rate} lambda={lambda}"
+        );
+    }
+
+    #[test]
+    fn demand_mix_is_small_job_dominated() {
+        let zoo = ModelZoo::standard();
+        let t = PhillyTraceGen::new(&zoo, 8.0).generate(4000, 3);
+        let ones = t.jobs.iter().filter(|j| j.requested_gpus == 1).count();
+        let frac = ones as f64 / 4000.0;
+        assert!((frac - 0.65).abs() < 0.05, "frac={frac}");
+        assert!(t.jobs.iter().all(|j| [1, 2, 4, 8].contains(&j.requested_gpus)));
+    }
+
+    #[test]
+    fn runtime_distribution_is_heavy_tailed() {
+        let zoo = ModelZoo::standard();
+        let t = PhillyTraceGen::new(&zoo, 8.0).generate(3000, 4);
+        let mut runtimes: Vec<f64> = t
+            .jobs
+            .iter()
+            .map(|j| j.estimated_total_time() / 3600.0)
+            .collect();
+        runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = runtimes[runtimes.len() / 2];
+        assert!((median / 4.0 - 1.0).abs() < 0.15, "median={median}h");
+        // Tail: the largest job is at least 20x the median.
+        assert!(*runtimes.last().unwrap() > 20.0 * median);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let zoo = ModelZoo::standard();
+        let a = PhillyTraceGen::new(&zoo, 5.0).generate(100, 9);
+        let b = PhillyTraceGen::new(&zoo, 5.0).generate(100, 9);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.arrival_time, y.arrival_time);
+            assert_eq!(x.requested_gpus, y.requested_gpus);
+            assert_eq!(x.total_iters, y.total_iters);
+            assert_eq!(x.profile.model_name, y.profile.model_name);
+        }
+    }
+
+    #[test]
+    fn uses_every_model_in_the_zoo() {
+        let zoo = ModelZoo::standard();
+        let t = PhillyTraceGen::new(&zoo, 8.0).generate(2000, 5);
+        for p in zoo.profiles() {
+            assert!(
+                t.jobs.iter().any(|j| j.profile.model_name == p.model_name),
+                "model {} never sampled",
+                p.model_name
+            );
+        }
+    }
+}

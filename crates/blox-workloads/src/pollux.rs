@@ -1,0 +1,167 @@
+//! Synthetic Pollux-like trace generator.
+//!
+//! The Pollux OSDI '21 artifact trace samples 160 jobs from the busiest
+//! 8-hour window of the Philly trace and annotates each with batch-size /
+//! gradient-noise metadata so the Pollux policy can co-adapt GPU count and
+//! batch size. We synthesize an equivalent: 160 jobs across 8 hours,
+//! sub-10-hour isolated runtimes, each carrying a [`PolluxProfile`].
+
+use blox_core::cluster::GpuType;
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use blox_core::profile::PolluxProfile;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::dist;
+use crate::models::ModelZoo;
+use crate::philly::sample_gpu_demand;
+use crate::trace::Trace;
+
+/// Pollux-like trace generator.
+#[derive(Debug, Clone)]
+pub struct PolluxTraceGen {
+    zoo: ModelZoo,
+    /// Window to spread arrivals over, hours (8 in the original trace).
+    pub window_h: f64,
+    /// Median isolated runtime, hours (short jobs dominate this trace).
+    pub median_runtime_h: f64,
+    /// Log-normal sigma of the runtime distribution.
+    pub runtime_sigma: f64,
+}
+
+impl PolluxTraceGen {
+    /// Generator matching the original trace's shape.
+    pub fn new(zoo: &ModelZoo) -> Self {
+        PolluxTraceGen {
+            zoo: zoo.clone(),
+            window_h: 8.0,
+            median_runtime_h: 0.9,
+            runtime_sigma: 1.1,
+        }
+    }
+
+    /// Generate the default 160-job trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        self.generate_n(160, seed)
+    }
+
+    /// Generate `n` jobs (other sizes support load sweeps: Figures 8/9
+    /// scale arrivals from 1 to 40 jobs/hour by regenerating arrivals).
+    pub fn generate_n(&self, n: usize, seed: u64) -> Trace {
+        let rate_per_hour = n as f64 / self.window_h;
+        self.generate_rate(n, rate_per_hour, seed)
+    }
+
+    /// Generate `n` jobs at an explicit Poisson rate (jobs/hour).
+    pub fn generate_rate(&self, n: usize, jobs_per_hour: f64, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let rate_per_s = jobs_per_hour / 3600.0;
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            t += dist::exponential(&mut rng, rate_per_s);
+            let gpus = sample_gpu_demand(&mut rng);
+            let model_idx = dist::discrete(&mut rng, &vec![1.0; self.zoo.len()]);
+            let mut profile = self.zoo.profile(model_idx).clone();
+            let runtime_s = dist::log_normal_median(
+                &mut rng,
+                self.median_runtime_h * 3600.0,
+                self.runtime_sigma,
+            )
+            // Pollux-trace jobs run under 10 hours in isolation.
+            .min(10.0 * 3600.0);
+
+            // Batch-size metadata: initial batch 32–128, headroom 8–32x.
+            let init_batch = 32u64 << rng.gen_range(0..3);
+            let max_batch = init_batch << rng.gen_range(3..6);
+            let gns = dist::uniform(&mut rng, 2.0, 24.0) * init_batch as f64;
+            // Calibrate per-sample gradient time so the isolated runtime at
+            // the initial configuration matches the sampled runtime.
+            let iter_s = profile
+                .iter_model
+                .iter_time(gpus, GpuType::V100, true, 100.0);
+            let total_iters = (runtime_s / iter_s).max(1.0);
+            let t_sync = 0.1 * iter_s;
+            let t_grad_per_sample =
+                ((iter_s - t_sync) * gpus as f64 / init_batch as f64).max(1e-6);
+            profile.pollux = Some(PolluxProfile {
+                t_grad_per_sample,
+                t_sync,
+                init_batch,
+                max_batch,
+                gns,
+            });
+            let mut job = Job::new(JobId(i as u64), t, gpus, total_iters, profile);
+            job.batch_size = init_batch;
+            jobs.push(job);
+        }
+        Trace::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_trace_has_160_jobs_in_8_hours() {
+        let zoo = ModelZoo::standard();
+        let t = PolluxTraceGen::new(&zoo).generate(1);
+        assert_eq!(t.len(), 160);
+        // Arrival span close to the 8h window (Poisson noise allowed).
+        assert!((t.span() / 3600.0 - 8.0).abs() < 2.5, "span={}", t.span());
+    }
+
+    #[test]
+    fn every_job_has_a_pollux_profile() {
+        let zoo = ModelZoo::standard();
+        let t = PolluxTraceGen::new(&zoo).generate(2);
+        for j in &t.jobs {
+            let p = j.profile.pollux.as_ref().expect("pollux profile");
+            assert!(p.max_batch > p.init_batch);
+            assert!(p.gns > 0.0);
+            assert_eq!(j.batch_size, p.init_batch);
+        }
+    }
+
+    #[test]
+    fn runtimes_are_sub_ten_hours() {
+        let zoo = ModelZoo::standard();
+        let t = PolluxTraceGen::new(&zoo).generate(3);
+        for j in &t.jobs {
+            assert!(j.estimated_total_time() <= 10.0 * 3600.0 * 1.01);
+        }
+    }
+
+    #[test]
+    fn calibration_matches_initial_config_throughput() {
+        // The Pollux goodput model at (requested gpus, init batch) must
+        // reproduce the iteration time the iter model predicts, so that
+        // Pollux and non-Pollux schedulers see consistent job lengths.
+        let zoo = ModelZoo::standard();
+        let t = PolluxTraceGen::new(&zoo).generate(4);
+        for j in t.jobs.iter().take(20) {
+            let p = j.profile.pollux.as_ref().unwrap();
+            let iter_model = j
+                .profile
+                .iter_model
+                .iter_time(j.requested_gpus, GpuType::V100, true, 100.0);
+            let iter_pollux = p.init_batch as f64 / p.throughput(j.requested_gpus, p.init_batch);
+            let sync_extra = p.t_sync * (j.requested_gpus as f64).log2();
+            assert!(
+                (iter_pollux - iter_model - sync_extra).abs() / iter_model < 0.35,
+                "pollux={iter_pollux} model={iter_model}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_parameter_controls_load() {
+        let zoo = ModelZoo::standard();
+        let slow = PolluxTraceGen::new(&zoo).generate_rate(400, 5.0, 5);
+        let fast = PolluxTraceGen::new(&zoo).generate_rate(400, 40.0, 5);
+        assert!(slow.span() > 5.0 * fast.span());
+    }
+}

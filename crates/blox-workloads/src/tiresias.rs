@@ -1,0 +1,96 @@
+//! Synthetic Tiresias-like trace generator.
+//!
+//! Stands in for the `csv-60` trace from the Tiresias open-source
+//! simulator: a stream of jobs whose service times span five orders of
+//! magnitude (minutes to multi-week stragglers), which is what gives the
+//! Figure 4 JCT CDF its very wide log-scale spread.
+
+use blox_core::cluster::GpuType;
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+use crate::models::ModelZoo;
+use crate::philly::sample_gpu_demand;
+use crate::trace::Trace;
+
+/// Tiresias-like trace generator.
+#[derive(Debug, Clone)]
+pub struct TiresiasTraceGen {
+    zoo: ModelZoo,
+    /// Poisson arrival rate, jobs per hour.
+    pub jobs_per_hour: f64,
+    /// Median isolated runtime, hours.
+    pub median_runtime_h: f64,
+    /// Log-normal sigma (larger than Philly: a wider tail).
+    pub runtime_sigma: f64,
+}
+
+impl TiresiasTraceGen {
+    /// Generator with the default shape.
+    pub fn new(zoo: &ModelZoo, jobs_per_hour: f64) -> Self {
+        TiresiasTraceGen {
+            zoo: zoo.clone(),
+            jobs_per_hour,
+            median_runtime_h: 1.0,
+            runtime_sigma: 2.0,
+        }
+    }
+
+    /// Generate `n_jobs` jobs with the given seed.
+    pub fn generate(&self, n_jobs: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let rate_per_s = self.jobs_per_hour / 3600.0;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for i in 0..n_jobs {
+            t += dist::exponential(&mut rng, rate_per_s);
+            let gpus = sample_gpu_demand(&mut rng);
+            let model_idx = dist::discrete(&mut rng, &vec![1.0; self.zoo.len()]);
+            let profile = self.zoo.profile(model_idx).clone();
+            let runtime_s = dist::log_normal_median(
+                &mut rng,
+                self.median_runtime_h * 3600.0,
+                self.runtime_sigma,
+            );
+            let iter_s = profile
+                .iter_model
+                .iter_time(gpus, GpuType::V100, true, 100.0);
+            let total_iters = (runtime_s / iter_s).max(1.0);
+            jobs.push(Job::new(JobId(i as u64), t, gpus, total_iters, profile));
+        }
+        Trace::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_spans_orders_of_magnitude() {
+        let zoo = ModelZoo::standard();
+        let t = TiresiasTraceGen::new(&zoo, 4.0).generate(2000, 1);
+        let mut runtimes: Vec<f64> = t.jobs.iter().map(|j| j.estimated_total_time()).collect();
+        runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p10 = runtimes[runtimes.len() / 10];
+        let p99 = runtimes[runtimes.len() * 99 / 100];
+        assert!(
+            p99 / p10 > 100.0,
+            "tail spread too narrow: p10={p10} p99={p99}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let zoo = ModelZoo::standard();
+        let a = TiresiasTraceGen::new(&zoo, 4.0).generate(50, 2);
+        let b = TiresiasTraceGen::new(&zoo, 4.0).generate(50, 2);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.total_iters, y.total_iters);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Trace container and CSV serialization.
+//!
+//! A trace is an arrival-ordered list of fully specified jobs. The CSV
+//! schema carries the trace-level fields (arrival, demand, work, model
+//! name); profiles are re-attached from a [`ModelZoo`] at parse time, the
+//! same split the paper uses between trace files and profile data.
+
+use std::fmt::Write as _;
+
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+
+use crate::models::ModelZoo;
+
+/// An arrival-ordered job trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Jobs sorted by arrival time, ids dense from 0.
+    pub jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Build a trace from jobs; sorts by arrival and reassigns dense ids in
+    /// arrival order so tracked-window measurements stay meaningful.
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| {
+            a.arrival_time
+                .partial_cmp(&b.arrival_time)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(i as u64);
+        }
+        Trace { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Last arrival time, or 0 for an empty trace.
+    pub fn span(&self) -> f64 {
+        self.jobs.last().map(|j| j.arrival_time).unwrap_or(0.0)
+    }
+
+    /// Merge another set of jobs into this trace (re-sorting and re-iding).
+    pub fn merged_with(self, extra: Vec<Job>) -> Trace {
+        let mut jobs = self.jobs;
+        jobs.extend(extra);
+        Trace::new(jobs)
+    }
+
+    /// Keep only the first `n` jobs by arrival.
+    pub fn truncated(mut self, n: usize) -> Trace {
+        self.jobs.truncate(n);
+        self
+    }
+
+    /// Serialize to the Blox CSV schema.
+    ///
+    /// Columns: `job_id,arrival_s,gpus,total_iters,model,batch,loss_thresh`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("job_id,arrival_s,gpus,total_iters,model,batch,loss_thresh\n");
+        for j in &self.jobs {
+            let thresh = j
+                .loss_termination_threshold
+                .map(|t| t.to_string())
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                j.id.0,
+                j.arrival_time,
+                j.requested_gpus,
+                j.total_iters,
+                j.profile.model_name,
+                j.batch_size,
+                thresh
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+
+    /// Parse the Blox CSV schema, attaching profiles from the zoo.
+    pub fn from_csv(csv: &str, zoo: &ModelZoo) -> Result<Trace> {
+        let mut jobs = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || lineno == 0 {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() < 6 {
+                return Err(BloxError::Parse(format!(
+                    "line {}: expected >=6 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            let parse_f = |s: &str, what: &str| -> Result<f64> {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| BloxError::Parse(format!("line {}: {what}: {e}", lineno + 1)))
+            };
+            let id = fields[0]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| BloxError::Parse(format!("line {}: job_id: {e}", lineno + 1)))?;
+            let arrival = parse_f(fields[1], "arrival_s")?;
+            let gpus = fields[2]
+                .trim()
+                .parse::<u32>()
+                .map_err(|e| BloxError::Parse(format!("line {}: gpus: {e}", lineno + 1)))?;
+            let iters = parse_f(fields[3], "total_iters")?;
+            let model = fields[4].trim();
+            let profile = zoo
+                .by_name(model)
+                .ok_or_else(|| {
+                    BloxError::Parse(format!("line {}: unknown model `{model}`", lineno + 1))
+                })?
+                .clone();
+            let mut job = Job::new(JobId(id), arrival, gpus, iters, profile);
+            if let Ok(batch) = fields[5].trim().parse::<u64>() {
+                job.batch_size = batch;
+            }
+            if fields.len() > 6 && !fields[6].trim().is_empty() {
+                job.loss_termination_threshold = Some(parse_f(fields[6], "loss_thresh")?);
+            }
+            jobs.push(job);
+        }
+        Ok(Trace::new(jobs))
+    }
+
+    /// Assign early loss convergence to a fraction of jobs: their loss
+    /// curve reaches within 0.1% of the converged value at `at_progress`
+    /// of the requested iterations (the Philly observation reproduced in
+    /// Figure 16: 75% of jobs converge at 40% of their epochs).
+    ///
+    /// Selection is deterministic by job id hash with the given seed.
+    pub fn assign_early_convergence(mut self, frac: f64, at_progress: f64, seed: u64) -> Trace {
+        for job in &mut self.jobs {
+            // Cheap splittable hash for a stable per-job coin flip.
+            let h = split_mix(job.id.0 ^ seed);
+            let coin = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < frac {
+                let c = &mut job.profile.loss;
+                // Solve k so convergence_progress(0.001) == at_progress.
+                let ratio = ((c.l0 - c.l_min) / (c.l_min * 0.001)).max(1.001);
+                c.k = ratio.ln() / at_progress.max(1e-6);
+            }
+        }
+        self
+    }
+
+    /// Set a loss-termination threshold on every job (Figure 16).
+    pub fn with_loss_termination(mut self, rel_threshold: f64) -> Trace {
+        for job in &mut self.jobs {
+            job.loss_termination_threshold = Some(rel_threshold);
+        }
+        self
+    }
+}
+
+/// SplitMix64 hash step, used for deterministic per-job coin flips.
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::profile::JobProfile;
+
+    fn job(id: u64, arrival: f64) -> Job {
+        Job::new(
+            JobId(id),
+            arrival,
+            2,
+            500.0,
+            ModelZoo::resnet18(),
+        )
+    }
+
+    #[test]
+    fn new_sorts_and_reassigns_ids() {
+        let t = Trace::new(vec![job(10, 30.0), job(11, 10.0), job(12, 20.0)]);
+        let arrivals: Vec<f64> = t.jobs.iter().map(|j| j.arrival_time).collect();
+        assert_eq!(arrivals, vec![10.0, 20.0, 30.0]);
+        let ids: Vec<u64> = t.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(t.span(), 30.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_fields() {
+        let zoo = ModelZoo::standard();
+        let mut a = job(0, 5.0);
+        a.loss_termination_threshold = Some(0.002);
+        let t = Trace::new(vec![a, job(1, 9.0)]);
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv, &zoo).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.jobs[0].arrival_time, 5.0);
+        assert_eq!(back.jobs[0].requested_gpus, 2);
+        assert_eq!(back.jobs[0].total_iters, 500.0);
+        assert_eq!(back.jobs[0].profile.model_name, "resnet18");
+        assert_eq!(back.jobs[0].loss_termination_threshold, Some(0.002));
+        assert_eq!(back.jobs[1].loss_termination_threshold, None);
+    }
+
+    #[test]
+    fn csv_rejects_unknown_model() {
+        let zoo = ModelZoo::standard();
+        let csv = "job_id,arrival_s,gpus,total_iters,model,batch,loss_thresh\n0,1.0,1,10,nosuch,32,\n";
+        assert!(Trace::from_csv(csv, &zoo).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_short_lines() {
+        let zoo = ModelZoo::standard();
+        let csv = "header\n0,1.0,1\n";
+        assert!(Trace::from_csv(csv, &zoo).is_err());
+    }
+
+    #[test]
+    fn early_convergence_hits_requested_fraction() {
+        let jobs: Vec<Job> = (0..2000).map(|i| job(i, i as f64)).collect();
+        let t = Trace::new(jobs).assign_early_convergence(0.75, 0.4, 3);
+        let early = t
+            .jobs
+            .iter()
+            .filter(|j| {
+                let p = j.profile.loss.convergence_progress(0.001);
+                (p - 0.4).abs() < 0.01
+            })
+            .count();
+        let frac = early as f64 / 2000.0;
+        assert!((frac - 0.75).abs() < 0.04, "frac={frac}");
+    }
+
+    #[test]
+    fn merged_with_keeps_order() {
+        let t = Trace::new(vec![job(0, 10.0)]);
+        let merged = t.merged_with(vec![job(5, 5.0), job(6, 15.0)]);
+        assert_eq!(merged.len(), 3);
+        let arrivals: Vec<f64> = merged.jobs.iter().map(|j| j.arrival_time).collect();
+        assert_eq!(arrivals, vec![5.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn loss_termination_applies_to_all() {
+        let t = Trace::new(vec![job(0, 0.0), job(1, 1.0)]).with_loss_termination(0.001);
+        assert!(t
+            .jobs
+            .iter()
+            .all(|j| j.loss_termination_threshold == Some(0.001)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace transforms: arrival spikes and bursty short-job load.
+//!
+//! These reproduce the two workload perturbations in §5 of the paper:
+//!
+//! * **Spikes** (Figure 13): an extra 16 jobs injected during one hour of
+//!   each day on top of the base trace.
+//! * **Bursty load** (Figures 14/15): short jobs (10–60 min) at twice the
+//!   base rate for two consecutive hours out of every four.
+
+use blox_core::cluster::GpuType;
+use blox_core::ids::JobId;
+use blox_core::job::Job;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+use crate::models::ModelZoo;
+use crate::philly::sample_gpu_demand;
+use crate::trace::Trace;
+
+/// Inject `jobs_per_spike` extra jobs during one hour of each simulated
+/// day across the span of the trace (Figure 13's workload).
+pub fn inject_daily_spikes(
+    trace: Trace,
+    zoo: &ModelZoo,
+    jobs_per_spike: usize,
+    spike_hour: f64,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let day = 24.0 * 3600.0;
+    let days = (trace.span() / day).ceil() as usize;
+    let mut extra = Vec::new();
+    for d in 0..days {
+        let start = d as f64 * day + spike_hour * 3600.0;
+        for _ in 0..jobs_per_spike {
+            let arrival = start + dist::uniform(&mut rng, 0.0, 3600.0);
+            extra.push(short_job(&mut rng, zoo, arrival, 0.5, 3.0));
+        }
+    }
+    trace.merged_with(extra)
+}
+
+/// Overlay bursts of short jobs: for `burst_len_h` consecutive hours out of
+/// every `period_h`, add short jobs (runtime uniform in 10–60 minutes) at
+/// `burst_rate_per_hour` (Figures 14/15's bursty workload).
+pub fn inject_bursty_load(
+    trace: Trace,
+    zoo: &ModelZoo,
+    burst_rate_per_hour: f64,
+    period_h: f64,
+    burst_len_h: f64,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = trace.span();
+    let mut extra = Vec::new();
+    let mut window_start = 0.0f64;
+    while window_start < span {
+        let burst_end = window_start + burst_len_h * 3600.0;
+        let mut t = window_start;
+        loop {
+            t += dist::exponential(&mut rng, burst_rate_per_hour / 3600.0);
+            if t >= burst_end || t >= span {
+                break;
+            }
+            extra.push(short_burst_job(&mut rng, zoo, t));
+        }
+        window_start += period_h * 3600.0;
+    }
+    trace.merged_with(extra)
+}
+
+/// A short job with runtime uniform between 10 and 60 minutes — the
+/// paper's bursty-load job description.
+fn short_burst_job(rng: &mut StdRng, zoo: &ModelZoo, arrival: f64) -> Job {
+    short_job(rng, zoo, arrival, 10.0 / 60.0, 1.0)
+}
+
+fn short_job(rng: &mut StdRng, zoo: &ModelZoo, arrival: f64, min_h: f64, max_h: f64) -> Job {
+    let gpus = sample_gpu_demand(rng);
+    let model_idx = dist::discrete(rng, &vec![1.0; zoo.len()]);
+    let profile = zoo.profile(model_idx).clone();
+    let runtime_s = dist::uniform(rng, min_h * 3600.0, max_h * 3600.0);
+    let iter_s = profile
+        .iter_model
+        .iter_time(gpus, GpuType::V100, true, 100.0);
+    let total_iters = (runtime_s / iter_s).max(1.0);
+    // Placeholder id; Trace::merged_with reassigns ids by arrival order.
+    Job::new(JobId(u64::MAX), arrival, gpus, total_iters, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::philly::PhillyTraceGen;
+
+    fn base(hours: f64, seed: u64) -> Trace {
+        let zoo = ModelZoo::standard();
+        let n = (hours * 4.0) as usize;
+        PhillyTraceGen::new(&zoo, 4.0).generate(n, seed)
+    }
+
+    #[test]
+    fn spikes_add_jobs_per_day() {
+        let zoo = ModelZoo::standard();
+        let t = base(72.0, 1);
+        let days = (t.span() / 86_400.0).ceil() as usize;
+        let before = t.len();
+        let spiked = inject_daily_spikes(t, &zoo, 16, 10.0, 2);
+        assert_eq!(spiked.len(), before + 16 * days);
+        // All arrivals stay sorted with dense ids.
+        assert!(spiked
+            .jobs
+            .windows(2)
+            .all(|w| w[0].arrival_time <= w[1].arrival_time));
+        assert!(spiked.jobs.iter().enumerate().all(|(i, j)| j.id.0 == i as u64));
+    }
+
+    #[test]
+    fn spike_jobs_land_in_spike_hours() {
+        let zoo = ModelZoo::standard();
+        let t = base(48.0, 3);
+        let before: Vec<f64> = t.jobs.iter().map(|j| j.arrival_time).collect();
+        let spiked = inject_daily_spikes(t, &zoo, 16, 6.0, 4);
+        let added: Vec<&Job> = spiked
+            .jobs
+            .iter()
+            .filter(|j| !before.contains(&j.arrival_time))
+            .collect();
+        for j in added {
+            let hour_of_day = (j.arrival_time % 86_400.0) / 3600.0;
+            assert!(
+                (6.0..7.0).contains(&hour_of_day),
+                "spike at hour {hour_of_day}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_load_adds_short_jobs_in_burst_windows() {
+        let zoo = ModelZoo::standard();
+        let t = base(24.0, 5);
+        let before = t.len();
+        let bursty = inject_bursty_load(t, &zoo, 8.0, 4.0, 2.0, 6);
+        assert!(bursty.len() > before);
+        // Short jobs: every added job's runtime is below one hour (plus
+        // epsilon). We identify them by runtime since ids were reassigned.
+        let shorts = bursty
+            .jobs
+            .iter()
+            .filter(|j| j.estimated_total_time() <= 3600.0 * 1.01)
+            .count();
+        assert!(shorts >= bursty.len() - before);
+    }
+
+    #[test]
+    fn burst_jobs_fall_in_on_windows() {
+        let zoo = ModelZoo::standard();
+        let t = base(24.0, 7);
+        let before: Vec<f64> = t.jobs.iter().map(|j| j.arrival_time).collect();
+        let bursty = inject_bursty_load(t, &zoo, 8.0, 4.0, 2.0, 8);
+        for j in bursty.jobs.iter().filter(|j| !before.contains(&j.arrival_time)) {
+            let in_period = j.arrival_time % (4.0 * 3600.0);
+            assert!(in_period <= 2.0 * 3600.0, "burst job outside window");
+        }
+    }
+}

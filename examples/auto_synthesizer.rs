@@ -1,0 +1,36 @@
+//! The automatic scheduler synthesizer: let Blox pick the (admission,
+//! scheduling) combination at runtime via forked lookahead simulations.
+//!
+//! Run with: `cargo run --release --example auto_synthesizer`
+
+use blox::core::{BloxManager, RunConfig, StopCondition};
+use blox::sim::{cluster_of_v100, SimBackend};
+use blox::synth::{AutoSynthesizer, CandidateSet, Objective};
+use blox::workloads::transforms::inject_bursty_load;
+use blox::workloads::{ModelZoo, PhillyTraceGen};
+
+fn main() {
+    let zoo = ModelZoo::standard();
+    let base = PhillyTraceGen::new(&zoo, 4.0).generate(150, 2);
+    let trace = inject_bursty_load(base, &zoo, 8.0, 4.0, 2.0, 3);
+
+    let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+    synth.eval_every = 10;
+    synth.lookahead = 40;
+
+    let mut mgr = BloxManager::new(
+        SimBackend::new(trace),
+        cluster_of_v100(16),
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 100_000,
+            stop: StopCondition::AllJobsDone,
+        },
+    );
+    let stats = synth.run(&mut mgr);
+    println!("avg JCT under synthesizer: {:.0} s", stats.summary().avg_jct);
+    println!("policy timeline:");
+    for rec in &synth.history {
+        println!("  round {:>5}: {} + {}", rec.round, rec.admission, rec.scheduling);
+    }
+}

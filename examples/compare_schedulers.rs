@@ -1,0 +1,47 @@
+//! Compare seven schedulers on the same trace and cluster — the paper's
+//! core use case: evaluating scheduling research on a common footing.
+//!
+//! Run with: `cargo run --release --example compare_schedulers`
+
+use blox::core::policy::SchedulingPolicy;
+use blox::core::{BloxManager, RunConfig};
+use blox::policies::admission::AcceptAll;
+use blox::policies::placement::ConsolidatedPlacement;
+use blox::policies::scheduling::{Fifo, Gavel, Las, Optimus, Srtf, Themis, Tiresias};
+use blox::sim::{cluster_of_v100, SimBackend};
+use blox::workloads::{ModelZoo, PhillyTraceGen};
+
+fn main() {
+    let zoo = ModelZoo::standard();
+    let trace = PhillyTraceGen::new(&zoo, 8.0).generate(300, 3);
+
+    let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+        Box::new(Fifo::new()),
+        Box::new(Las::new()),
+        Box::new(Srtf::new()),
+        Box::new(Tiresias::new()),
+        Box::new(Optimus::new()),
+        Box::new(Gavel::new()),
+        Box::new(Themis::new()),
+    ];
+
+    println!("{:<10} {:>12} {:>16} {:>12}", "policy", "avg JCT (s)", "avg resp (s)", "preempts");
+    for mut sched in policies {
+        let mut mgr = BloxManager::new(
+            SimBackend::new(trace.clone()),
+            cluster_of_v100(32),
+            RunConfig::default(),
+        );
+        let name = sched.name().to_string();
+        let stats = mgr.run(
+            &mut AcceptAll::new(),
+            sched.as_mut(),
+            &mut ConsolidatedPlacement::preferred(),
+        );
+        let s = stats.summary();
+        println!(
+            "{:<10} {:>12.0} {:>16.0} {:>12.2}",
+            name, s.avg_jct, s.avg_responsiveness, s.avg_preemptions
+        );
+    }
+}

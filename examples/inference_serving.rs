@@ -1,0 +1,86 @@
+//! Nexus-style inference serving through the Blox round loop (paper
+//! Appendix C): the global scheduler is just another scheduling policy,
+//! frontends push request rates through the metric store, and the
+//! routing table falls out of the allocation.
+//!
+//! Run with: `cargo run --release --example inference_serving`
+
+use blox::core::ids::JobId;
+use blox::core::{BloxManager, Job, RunConfig, StopCondition};
+use blox::core::profile::JobProfile;
+use blox::inference::{ModelSession, NexusPolicy};
+use blox::policies::admission::AcceptAll;
+use blox::policies::placement::ConsolidatedPlacement;
+use blox::sim::{cluster_of_v100, SimBackend};
+
+fn main() {
+    // Three served models with different rates and SLOs.
+    let sessions = vec![
+        (JobId(0), ModelSession {
+            name: "resnet50-classify".into(),
+            rate_rps: 1_800.0,
+            slo_ms: 100.0,
+            lat_base_ms: 6.0,
+            lat_per_item_ms: 1.2,
+        }),
+        (JobId(1), ModelSession {
+            name: "bert-qa".into(),
+            rate_rps: 250.0,
+            slo_ms: 50.0,
+            lat_base_ms: 9.0,
+            lat_per_item_ms: 2.5,
+        }),
+        (JobId(2), ModelSession {
+            name: "detector".into(),
+            rate_rps: 90.0,
+            slo_ms: 200.0,
+            lat_base_ms: 14.0,
+            lat_per_item_ms: 4.0,
+        }),
+    ];
+
+    // Sessions are long-running "jobs" whose request_rate metric the
+    // frontends keep refreshed; here we seed it once.
+    let jobs: Vec<Job> = sessions
+        .iter()
+        .map(|(id, s)| {
+            let mut j = Job::new(*id, 0.0, 1, f64::MAX / 4.0, JobProfile::synthetic(&s.name, 0.1));
+            j.push_metric("request_rate", s.rate_rps);
+            j
+        })
+        .collect();
+
+    let mut policy = NexusPolicy::new(sessions.clone());
+    let mut mgr = BloxManager::new(
+        SimBackend::from_jobs(jobs),
+        cluster_of_v100(16),
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 3,
+            stop: StopCondition::TimeLimit(900.0),
+        },
+    );
+    // A few rounds: allocations converge immediately for static rates.
+    let mut adm = AcceptAll::new();
+    let mut place = ConsolidatedPlacement::preferred();
+    for _ in 0..3 {
+        mgr.step(&mut adm, &mut policy, &mut place);
+    }
+
+    println!("routing table after {} rounds:", 3);
+    for (_, s) in &sessions {
+        let backends = policy.routing_table().backends_for(&s.name);
+        let demand = s.gpu_demand();
+        println!(
+            "  {:<20} demand {:>5.2} GPUs, batch {:>3}, {} backend(s): {:?}",
+            s.name,
+            demand,
+            s.max_batch(),
+            backends.len(),
+            backends
+                .iter()
+                .map(|(g, w)| format!("gpu{g}@{w:.2}"))
+                .collect::<Vec<_>>()
+        );
+    }
+}

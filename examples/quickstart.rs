@@ -1,0 +1,36 @@
+//! Quickstart: the paper's Figure 2 workflow — compose admission,
+//! scheduling, and placement policies and run them in simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use blox::core::{BloxManager, RunConfig};
+use blox::policies::admission::AcceptAll;
+use blox::policies::placement::ConsolidatedPlacement;
+use blox::policies::scheduling::Fifo;
+use blox::sim::{cluster_of_v100, SimBackend};
+use blox::workloads::{ModelZoo, PhillyTraceGen};
+
+fn main() {
+    // A 64-GPU cluster of p3.8xlarge-style servers.
+    let cluster = cluster_of_v100(16);
+
+    // 200 jobs arriving at 6 jobs/hour, Philly-like mix.
+    let zoo = ModelZoo::standard();
+    let trace = PhillyTraceGen::new(&zoo, 6.0).generate(200, 1);
+
+    // The classic composition: accept-all + FIFO + consolidation.
+    let mut admission = AcceptAll::new();
+    let mut scheduling = Fifo::new();
+    let mut placement = ConsolidatedPlacement::preferred();
+
+    let mut mgr = BloxManager::new(SimBackend::new(trace), cluster, RunConfig::default());
+    let stats = mgr.run(&mut admission, &mut scheduling, &mut placement);
+
+    let s = stats.summary();
+    println!("jobs completed:       {}", s.jobs);
+    println!("avg JCT:              {:.0} s", s.avg_jct);
+    println!("median JCT:           {:.0} s", s.p50_jct);
+    println!("avg responsiveness:   {:.0} s", s.avg_responsiveness);
+    println!("makespan:             {:.0} s", s.makespan);
+    println!("mean GPU utilization: {:.1}%", stats.mean_utilization() * 100.0);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on core invariants.
+
+use blox::core::cluster::{ClusterState, NodeSpec};
+use blox::core::ids::{JobId, NodeId};
+use blox::core::metrics::{cdf, percentile};
+use blox::core::policy::SchedulingPolicy;
+use blox::core::state::JobState;
+use blox::core::Job;
+use blox::core::profile::JobProfile;
+use blox::policies::admission::ThresholdAdmission;
+use blox::policies::scheduling::{Las, Srtf};
+use blox::runtime::Message;
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(n, g)| Message::RegisterWorker { node: NodeId(n), gpus: g }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..8),
+            0.0f64..1e6,
+            0.0f64..1e9,
+            0.0f64..1e9,
+            0.0f64..1e4,
+            any::<bool>()
+        )
+            .prop_map(|(j, g, it, s, t, w, r)| Message::Launch {
+                job: JobId(j),
+                local_gpus: g,
+                iter_time_s: it,
+                start_iters: s,
+                total_iters: t,
+                warmup_s: w,
+                is_rank0: r,
+            }),
+        any::<u64>().prop_map(|j| Message::Revoke { job: JobId(j) }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(j, i)| Message::ExitAt { job: JobId(j), exit_iter: i }),
+        (any::<u64>(), ".{0,32}", any::<f64>().prop_filter("finite", |v| v.is_finite()))
+            .prop_map(|(j, k, v)| Message::PushMetric { job: JobId(j), key: k, value: v }),
+        (any::<u64>(), 0.0f64..1e12)
+            .prop_map(|(j, t)| Message::JobDone { job: JobId(j), sim_time: t }),
+        Just(Message::Ack),
+    ]
+}
+
+proptest! {
+    /// Every protocol message survives an encode/decode round trip.
+    #[test]
+    fn wire_codec_roundtrips(msg in arb_message()) {
+        let frame = msg.encode();
+        let back = Message::decode(&frame).expect("decode");
+        prop_assert_eq!(msg, back);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Random allocate/release sequences keep the GPU table consistent and
+    /// never double-book a GPU.
+    #[test]
+    fn gpu_accounting_is_consistent(ops in proptest::collection::vec((0u64..12, 1u32..6, any::<bool>()), 1..60)) {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 4);
+        for (job, want, release) in ops {
+            let id = JobId(job);
+            if release {
+                c.release(id);
+            } else if c.gpus_of_job(id).is_empty() {
+                let free = c.free_gpus();
+                if free.len() >= want as usize {
+                    c.allocate(id, &free[..want as usize], 4.0).expect("free GPUs allocate");
+                }
+            }
+            c.check_invariants().expect("invariants");
+            let busy: usize = c.gpus().filter(|g| g.job.is_some()).count();
+            prop_assert_eq!(busy as u32 + c.free_gpu_count(), c.total_gpus());
+        }
+    }
+
+    /// LAS emits jobs ordered by attained service.
+    #[test]
+    fn las_orders_by_service(services in proptest::collection::vec(0.0f64..1e6, 1..40)) {
+        let mut js = JobState::new();
+        let jobs: Vec<Job> = services.iter().enumerate().map(|(i, s)| {
+            let mut j = Job::new(JobId(i as u64), 0.0, 1, 1e5, JobProfile::synthetic("p", 0.5));
+            j.attained_service = *s;
+            j
+        }).collect();
+        js.add_new_jobs(jobs);
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        let d = Las::new().schedule(&js, &c, 0.0);
+        let ordered: Vec<f64> = d.allocations.iter()
+            .map(|(id, _)| js.get(*id).unwrap().attained_service)
+            .collect();
+        prop_assert!(ordered.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// SRTF emits jobs ordered by estimated remaining time.
+    #[test]
+    fn srtf_orders_by_remaining(iters in proptest::collection::vec(1.0f64..1e6, 1..40)) {
+        let mut js = JobState::new();
+        let jobs: Vec<Job> = iters.iter().enumerate().map(|(i, it)| {
+            Job::new(JobId(i as u64), 0.0, 1, *it, JobProfile::synthetic("p", 0.5))
+        }).collect();
+        js.add_new_jobs(jobs);
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        let d = Srtf::new().schedule(&js, &c, 0.0);
+        let ordered: Vec<f64> = d.allocations.iter()
+            .map(|(id, _)| js.get(*id).unwrap().estimated_remaining_time())
+            .collect();
+        prop_assert!(ordered.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Threshold admission never lets admitted demand exceed its cap, and
+    /// never loses a job (admitted + pending == offered).
+    #[test]
+    fn threshold_admission_respects_cap(demands in proptest::collection::vec(1u32..9, 1..50), factor in 1.0f64..2.0) {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 4); // 16 GPUs.
+        let js = JobState::new();
+        let jobs: Vec<Job> = demands.iter().enumerate().map(|(i, d)| {
+            Job::new(JobId(i as u64), 0.0, *d, 1e4, JobProfile::synthetic("p", 0.5))
+        }).collect();
+        let offered = jobs.len();
+        let mut adm = ThresholdAdmission::new(factor);
+        let admitted = {
+            use blox::core::policy::AdmissionPolicy;
+            adm.admit(jobs, &js, &c, 0.0)
+        };
+        use blox::core::policy::AdmissionPolicy;
+        let admitted_gpus: u32 = admitted.iter().map(|j| j.requested_gpus).sum();
+        prop_assert!(admitted_gpus as f64 <= factor * 16.0 + 1e-9);
+        prop_assert_eq!(admitted.len() + adm.pending(), offered);
+    }
+
+    /// `percentile` over a sorted slice is monotone in q and bounded by
+    /// the extremes; `cdf` is a valid distribution function.
+    #[test]
+    fn percentile_and_cdf_are_well_formed(values in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let p = percentile(&sorted, q);
+            prop_assert!(p >= prev - 1e-9);
+            prop_assert!(p >= sorted[0] - 1e-9 && p <= sorted[sorted.len() - 1] + 1e-9);
+            prev = p;
+        }
+        let points = cdf(&values);
+        prop_assert_eq!(points.len(), values.len());
+        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}
