@@ -1,8 +1,8 @@
 //! Criterion microbenchmark behind Figure 19: centralized vs optimistic
 //! lease renewal cycles as the GPU count scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use blox_runtime::lease::{centralized_renewal_cycle, optimistic_renewal_cycle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lease(c: &mut Criterion) {
     let mut group = c.benchmark_group("lease_renewal");

@@ -6,10 +6,10 @@
 
 use blox_bench::reference::{avg_jct, run_reference, RefPolicy};
 use blox_bench::{banner, row, run_to_completion_perf, s0, shape_check};
-use blox_sim::PerfModel;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::Pollux;
+use blox_sim::PerfModel;
 use blox_workloads::{ModelZoo, PolluxTraceGen};
 
 fn main() {
@@ -19,14 +19,22 @@ fn main() {
     );
     let zoo = ModelZoo::standard();
     let trace = PolluxTraceGen::new(&zoo).generate(7);
-    row(&["interval_s".into(), "blox_avg_jct_s".into(), "reference_avg_jct_s".into(), "rel_diff".into()]);
+    row(&[
+        "interval_s".into(),
+        "blox_avg_jct_s".into(),
+        "reference_avg_jct_s".into(),
+        "rel_diff".into(),
+    ]);
     let mut max_diff: f64 = 0.0;
     for interval in [60.0, 120.0, 240.0, 480.0] {
         let stats = run_to_completion_perf(
             trace.clone(),
             16, // 64 GPUs, the paper's Pollux cluster.
             interval,
-            PerfModel { model_cpu_contention: false, ..Default::default() },
+            PerfModel {
+                model_cpu_contention: false,
+                ..Default::default()
+            },
             &mut AcceptAll::new(),
             &mut Pollux::new(),
             &mut ConsolidatedPlacement::preferred(),
@@ -35,7 +43,12 @@ fn main() {
         let reference = avg_jct(&run_reference(&trace, 64, interval, RefPolicy::Pollux));
         let diff = (blox - reference).abs() / reference.max(1e-9);
         max_diff = max_diff.max(diff);
-        row(&[s0(interval), s0(blox), s0(reference), format!("{:.1}%", diff * 100.0)]);
+        row(&[
+            s0(interval),
+            s0(blox),
+            s0(reference),
+            format!("{:.1}%", diff * 100.0),
+        ]);
     }
     // The paper reports a 2.4% max deviation against the author simulator.
     // Our reference is overhead-free (no checkpoint/restore, no placement

@@ -3,11 +3,11 @@
 
 use blox_bench::reference::{run_reference, RefPolicy};
 use blox_bench::{banner, row, run_to_completion_perf, s0, shape_check};
-use blox_sim::PerfModel;
 use blox_core::metrics::{cdf_divergence, percentile};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::TiresiasPlacement;
 use blox_policies::scheduling::Tiresias;
+use blox_sim::PerfModel;
 use blox_workloads::{ModelZoo, TiresiasTraceGen};
 
 fn main() {
@@ -16,12 +16,16 @@ fn main() {
         "Blox discrete-LAS JCT CDF matches the reference discrete-LAS simulator",
     );
     let zoo = ModelZoo::standard();
-    let trace = TiresiasTraceGen::new(&zoo, 6.0).generate((240.0 * blox_bench::scale()) as usize, 11);
+    let trace =
+        TiresiasTraceGen::new(&zoo, 6.0).generate((240.0 * blox_bench::scale()) as usize, 11);
     let stats = run_to_completion_perf(
         trace.clone(),
         16,
         300.0,
-        PerfModel { model_cpu_contention: false, ..Default::default() },
+        PerfModel {
+            model_cpu_contention: false,
+            ..Default::default()
+        },
         &mut AcceptAll::new(),
         &mut Tiresias::new(),
         &mut TiresiasPlacement::new(),
@@ -33,7 +37,11 @@ fn main() {
         .collect();
     blox.sort_by(|a, b| a.partial_cmp(b).unwrap());
     reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    row(&["quantile".into(), "blox_jct_s".into(), "reference_jct_s".into()]);
+    row(&[
+        "quantile".into(),
+        "blox_jct_s".into(),
+        "reference_jct_s".into(),
+    ]);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
         row(&[
             format!("{q:.2}"),

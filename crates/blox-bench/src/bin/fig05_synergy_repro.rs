@@ -22,7 +22,11 @@ fn main() {
 
     let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, mut sched, mut place) in [
-        ("proportional-blox", Synergy::proportional(), SynergyPlacement::proportional()),
+        (
+            "proportional-blox",
+            Synergy::proportional(),
+            SynergyPlacement::proportional(),
+        ),
         ("tune-blox", Synergy::tune(), SynergyPlacement::tune()),
     ] {
         let stats = run_to_completion(
@@ -63,5 +67,8 @@ fn main() {
     let prop_ref = mean(&curves[2].1);
     let tune_ref = mean(&curves[3].1);
     println!("avg JCT: prop-blox={prop_blox:.0} tune-blox={tune_blox:.0} prop-ref={prop_ref:.0} tune-ref={tune_ref:.0}");
-    shape_check("Tune <= Proportional in both implementations", tune_blox <= prop_blox * 1.02 && tune_ref <= prop_ref * 1.02);
+    shape_check(
+        "Tune <= Proportional in both implementations",
+        tune_blox <= prop_blox * 1.02 && tune_ref <= prop_ref * 1.02,
+    );
 }

@@ -40,5 +40,8 @@ fn main() {
         row(&[lambda.to_string(), s0(fifo), s0(tiresias), s0(optimus)]);
     }
     shape_check("Optimus best at low load", low_load_optimus_ok);
-    shape_check("high load separates the policies", last.0 > 3.0 * 33_000.0 || last.1 > 3.0 * 33_000.0);
+    shape_check(
+        "high load separates the policies",
+        last.0 > 3.0 * 33_000.0 || last.1 > 3.0 * 33_000.0,
+    );
 }

@@ -37,5 +37,8 @@ fn main() {
         }
         row(&[lambda.to_string(), s0(fifo), s0(tiresias), s0(optimus)]);
     }
-    shape_check("FIFO worst responsiveness at high load", high.0 > 10.0 * high.1.max(1.0));
+    shape_check(
+        "FIFO worst responsiveness at high load",
+        high.0 > 10.0 * high.1.max(1.0),
+    );
 }

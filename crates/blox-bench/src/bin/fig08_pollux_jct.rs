@@ -21,8 +21,17 @@ fn main() {
     for lambda in [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
         let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
             let trace = PolluxTraceGen::new(&zoo).generate_rate(n, lambda, 21);
-            run_tracked(trace, 16, 300.0, track, &mut AcceptAll::new(), sched,
-                        &mut ConsolidatedPlacement::preferred()).0.avg_jct
+            run_tracked(
+                trace,
+                16,
+                300.0,
+                track,
+                &mut AcceptAll::new(),
+                sched,
+                &mut ConsolidatedPlacement::preferred(),
+            )
+            .0
+            .avg_jct
         };
         let fifo = run(&mut Fifo::new());
         let las = run(&mut Las::new());
@@ -36,5 +45,8 @@ fn main() {
         row(&[format!("{lambda}"), s0(fifo), s0(las), s0(pollux)]);
     }
     shape_check("Pollux best at low/medium load", low_pollux_ok);
-    shape_check("Pollux within 2.5x of FIFO at extreme load", high.1 <= high.0 * 2.5);
+    shape_check(
+        "Pollux within 2.5x of FIFO at extreme load",
+        high.1 <= high.0 * 2.5,
+    );
 }

@@ -20,8 +20,17 @@ fn main() {
     for lambda in [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
         let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
             let trace = PolluxTraceGen::new(&zoo).generate_rate(n, lambda, 21);
-            run_tracked(trace, 16, 300.0, track, &mut AcceptAll::new(), sched,
-                        &mut ConsolidatedPlacement::preferred()).0.avg_responsiveness
+            run_tracked(
+                trace,
+                16,
+                300.0,
+                track,
+                &mut AcceptAll::new(),
+                sched,
+                &mut ConsolidatedPlacement::preferred(),
+            )
+            .0
+            .avg_responsiveness
         };
         let fifo = run(&mut Fifo::new());
         let las = run(&mut Las::new());
@@ -31,5 +40,8 @@ fn main() {
         }
         row(&[format!("{lambda}"), s0(fifo), s0(las), s0(pollux)]);
     }
-    shape_check("LAS most responsive at extreme load", high.1 <= high.0 && high.1 <= high.2);
+    shape_check(
+        "LAS most responsive at extreme load",
+        high.1 <= high.0 && high.1 <= high.2,
+    );
 }

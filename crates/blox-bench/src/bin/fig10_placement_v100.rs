@@ -17,20 +17,39 @@ fn main() {
     for lambda in [1u32, 2, 4, 6, 8] {
         let heur = {
             let trace = philly_trace(&setup, lambda as f64);
-            run_tracked(trace, setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
-                        &mut AcceptAll::new(), &mut Tiresias::new(),
-                        &mut TiresiasPlacement::new()).0.avg_jct
+            run_tracked(
+                trace,
+                setup.nodes,
+                300.0,
+                (setup.track_lo, setup.track_hi),
+                &mut AcceptAll::new(),
+                &mut Tiresias::new(),
+                &mut TiresiasPlacement::new(),
+            )
+            .0
+            .avg_jct
         };
         let cons = {
             let trace = philly_trace(&setup, lambda as f64);
-            run_tracked(trace, setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
-                        &mut AcceptAll::new(), &mut Tiresias::new(),
-                        &mut ConsolidatedPlacement::preferred()).0.avg_jct
+            run_tracked(
+                trace,
+                setup.nodes,
+                300.0,
+                (setup.track_lo, setup.track_hi),
+                &mut AcceptAll::new(),
+                &mut Tiresias::new(),
+                &mut ConsolidatedPlacement::preferred(),
+            )
+            .0
+            .avg_jct
         };
         if lambda == 8 {
             high = (heur, cons);
         }
         row(&[lambda.to_string(), s0(heur), s0(cons)]);
     }
-    shape_check("consolidation wins at high load on 10Gbps V100s", high.1 <= high.0);
+    shape_check(
+        "consolidation wins at high load on 10Gbps V100s",
+        high.1 <= high.0,
+    );
 }

@@ -18,15 +18,37 @@ fn main() {
     for sensitive in 5..=8usize {
         let zoo = ModelZoo::standard().with_sensitive_count(sensitive);
         let trace = PhillyTraceGen::new(&zoo, 8.0).generate(setup.n_jobs, setup.seed);
-        let heur = run_tracked(trace.clone(), setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
-                               &mut AcceptAll::new(), &mut Tiresias::new(),
-                               &mut TiresiasPlacement::new()).0.avg_jct;
-        let plus = run_tracked(trace, setup.nodes, 300.0, (setup.track_lo, setup.track_hi),
-                               &mut AcceptAll::new(), &mut Tiresias::new(),
-                               &mut ProfileGuidedPlacement::new()).0.avg_jct;
+        let heur = run_tracked(
+            trace.clone(),
+            setup.nodes,
+            300.0,
+            (setup.track_lo, setup.track_hi),
+            &mut AcceptAll::new(),
+            &mut Tiresias::new(),
+            &mut TiresiasPlacement::new(),
+        )
+        .0
+        .avg_jct;
+        let plus = run_tracked(
+            trace,
+            setup.nodes,
+            300.0,
+            (setup.track_lo, setup.track_hi),
+            &mut AcceptAll::new(),
+            &mut Tiresias::new(),
+            &mut ProfileGuidedPlacement::new(),
+        )
+        .0
+        .avg_jct;
         gaps.push(heur - plus);
         row(&[format!("{sensitive}/8"), s0(heur), s0(plus)]);
     }
-    shape_check("Tiresias+ never worse", gaps.iter().all(|g| *g >= -1e-6 * 33_000.0_f64.max(1.0)));
-    shape_check("gap grows with sensitive workloads", gaps.last().unwrap() >= gaps.first().unwrap());
+    shape_check(
+        "Tiresias+ never worse",
+        gaps.iter().all(|g| *g >= -1e-6 * 33_000.0_f64.max(1.0)),
+    );
+    shape_check(
+        "gap grows with sensitive workloads",
+        gaps.last().unwrap() >= gaps.first().unwrap(),
+    );
 }

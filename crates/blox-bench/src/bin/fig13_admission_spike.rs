@@ -29,14 +29,27 @@ fn main() {
         let hi = trace.len() as u64 * 3 / 4;
         let lo = trace.len() as u64 / 2;
         let name = adm.name().to_string();
-        let (s, _) = run_tracked(trace, setup.nodes, 300.0, (lo, hi),
-                                 adm.as_mut(), &mut Las::new(),
-                                 &mut ConsolidatedPlacement::preferred());
+        let (s, _) = run_tracked(
+            trace,
+            setup.nodes,
+            300.0,
+            (lo, hi),
+            adm.as_mut(),
+            &mut Las::new(),
+            &mut ConsolidatedPlacement::preferred(),
+        );
         row(&[name.clone(), s0(s.avg_jct), s0(s.avg_responsiveness)]);
         results.push((name, s.avg_jct));
     }
     let accept_all = results[0].1;
-    let best = results.iter().skip(1).map(|r| r.1).fold(f64::INFINITY, f64::min);
-    println!("best admission improves avg JCT by {:.1}%", (1.0 - best / accept_all) * 100.0);
+    let best = results
+        .iter()
+        .skip(1)
+        .map(|r| r.1)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "best admission improves avg JCT by {:.1}%",
+        (1.0 - best / accept_all) * 100.0
+    );
     shape_check("admission control helps under spikes", best <= accept_all);
 }

@@ -41,7 +41,11 @@ fn main() {
         synth.run(&mut mgr);
         row(&["round,admission,scheduling".into()]);
         for rec in &synth.history {
-            row(&[rec.round.to_string(), rec.admission.clone(), rec.scheduling.clone()]);
+            row(&[
+                rec.round.to_string(),
+                rec.admission.clone(),
+                rec.scheduling.clone(),
+            ]);
         }
         let distinct: std::collections::BTreeSet<String> = synth
             .history

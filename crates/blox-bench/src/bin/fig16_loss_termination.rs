@@ -43,13 +43,27 @@ fn main() {
     loss.sort_by(|a, b| a.partial_cmp(b).unwrap());
     row(&["quantile,epoch_based,loss_based".into()]);
     for q in [0.25, 0.5, 0.75, 0.9] {
-        row(&[format!("{q:.2}"), s0(percentile(&epoch, q)), s0(percentile(&loss, q))]);
+        row(&[
+            format!("{q:.2}"),
+            s0(percentile(&epoch, q)),
+            s0(percentile(&loss, q)),
+        ]);
     }
     let avg_epoch = epoch_stats.summary().avg_jct;
     let avg_loss = loss_stats.summary().avg_jct;
     let reduction = (1.0 - avg_loss / avg_epoch) * 100.0;
     println!("avg JCT: epoch={avg_epoch:.0} loss={avg_loss:.0} reduction={reduction:.1}%");
-    let early = loss_stats.records.iter().filter(|r| r.terminated_early).count();
-    println!("jobs terminated early: {early}/{}", loss_stats.records.len());
-    shape_check("loss-based termination reduces avg JCT >= 25%", reduction >= 25.0);
+    let early = loss_stats
+        .records
+        .iter()
+        .filter(|r| r.terminated_early)
+        .count();
+    println!(
+        "jobs terminated early: {early}/{}",
+        loss_stats.records.len()
+    );
+    shape_check(
+        "loss-based termination reduces avg JCT >= 25%",
+        reduction >= 25.0,
+    );
 }

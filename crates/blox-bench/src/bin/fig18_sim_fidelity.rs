@@ -20,7 +20,9 @@ fn main() {
     let zoo = ModelZoo::standard();
     // 100 jobs at 4 jobs/hour on 32 GPUs, as in the paper's fidelity run,
     // with shorter runtimes so the emulation replays quickly.
-    let trace = PhillyTraceGen::new(&zoo, 4.0).runtimes(0.6, 1.0).generate(100, 18);
+    let trace = PhillyTraceGen::new(&zoo, 4.0)
+        .runtimes(0.6, 1.0)
+        .generate(100, 18);
     let cfg = RunConfig {
         round_duration: 300.0,
         max_rounds: 20_000,
@@ -65,7 +67,11 @@ fn main() {
     rt.sort_by(|a, b| a.partial_cmp(b).unwrap());
     row(&["quantile,simulator,runtime".into()]);
     for q in [0.25, 0.5, 0.75, 0.9] {
-        row(&[format!("{q:.2}"), s0(percentile(&sim, q)), s0(percentile(&rt, q))]);
+        row(&[
+            format!("{q:.2}"),
+            s0(percentile(&sim, q)),
+            s0(percentile(&rt, q)),
+        ]);
     }
     println!("jobs: sim={} runtime={}", sim.len(), rt.len());
 
@@ -78,5 +84,8 @@ fn main() {
     }
     let avg_diff = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64 * 100.0;
     println!("average per-job JCT difference: {avg_diff:.1}% (paper: 6.1%)");
-    shape_check("sim and runtime agree within 15% avg per-job", avg_diff < 15.0);
+    shape_check(
+        "sim and runtime agree within 15% avg per-job",
+        avg_diff < 15.0,
+    );
 }

@@ -28,6 +28,12 @@ fn main() {
     }
     let first = series.first().unwrap();
     let last = series.last().unwrap();
-    shape_check("centralized grows with cluster size", last.1 > first.1 * 2.0);
-    shape_check("optimistic is >50% faster at 256 GPUs", last.2 < last.1 * 0.5);
+    shape_check(
+        "centralized grows with cluster size",
+        last.1 > first.1 * 2.0,
+    );
+    shape_check(
+        "optimistic is >50% faster at 256 GPUs",
+        last.2 < last.1 * 0.5,
+    );
 }

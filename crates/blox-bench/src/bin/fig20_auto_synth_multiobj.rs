@@ -35,7 +35,12 @@ fn main() {
             let s = run_static(mk(), af(), sf()).summary();
             let combined = s.avg_jct + s.avg_responsiveness;
             best_static = best_static.min(combined);
-            row(&[format!("{an}/{sn}"), s0(s.avg_jct), s0(s.avg_responsiveness), s0(combined)]);
+            row(&[
+                format!("{an}/{sn}"),
+                s0(s.avg_jct),
+                s0(s.avg_responsiveness),
+                s0(combined),
+            ]);
         }
     }
     let mut synth = AutoSynthesizer::new(
@@ -47,6 +52,14 @@ fn main() {
     let mut mgr = mk();
     let s = synth.run(&mut mgr).summary();
     let combined = s.avg_jct + s.avg_responsiveness;
-    row(&["automatic".into(), s0(s.avg_jct), s0(s.avg_responsiveness), s0(combined)]);
-    shape_check("synthesizer within 1.5x of best static (combined)", combined <= best_static * 1.5);
+    row(&[
+        "automatic".into(),
+        s0(s.avg_jct),
+        s0(s.avg_responsiveness),
+        s0(combined),
+    ]);
+    shape_check(
+        "synthesizer within 1.5x of best static (combined)",
+        combined <= best_static * 1.5,
+    );
 }

@@ -3,40 +3,64 @@
 //! Invoke binaries individually for faster iteration; this target exists
 //! so `cargo run -p blox-bench --release --bin run_all` regenerates the
 //! whole evaluation in one go.
+//!
+//! `run_all --smoke` runs the same binaries at `BLOX_SCALE=0.02` (unless
+//! the caller already set `BLOX_SCALE`), cutting every trace to a few
+//! dozen jobs so the complete sweep finishes in seconds — the mode CI
+//! uses to prove each entrypoint still runs to completion.
 
 use std::process::Command;
 
+/// Every figure/table binary, in paper order. `run_all` itself excluded.
+pub const FIGURES: &[&str] = &[
+    "fig03_pollux_repro",
+    "fig04_tiresias_repro",
+    "fig05_synergy_repro",
+    "fig06_jct_vs_load",
+    "fig07_responsiveness_vs_load",
+    "fig08_pollux_jct",
+    "fig09_pollux_responsiveness",
+    "fig10_placement_v100",
+    "fig11_placement_profiles",
+    "fig12_admission_compose",
+    "fig13_admission_spike",
+    "fig14_auto_synth",
+    "fig15_auto_synth_timeline",
+    "fig16_loss_termination",
+    "table4_intranode_bandwidth",
+    "fig18_sim_fidelity",
+    "fig19_lease_renewal",
+    "fig20_auto_synth_multiobj",
+    "fig21_auto_synth_multiobj_timeline",
+];
+
 fn main() {
-    let figures = [
-        "fig03_pollux_repro",
-        "fig04_tiresias_repro",
-        "fig05_synergy_repro",
-        "fig06_jct_vs_load",
-        "fig07_responsiveness_vs_load",
-        "fig08_pollux_jct",
-        "fig09_pollux_responsiveness",
-        "fig10_placement_v100",
-        "fig11_placement_profiles",
-        "fig12_admission_compose",
-        "fig13_admission_spike",
-        "fig14_auto_synth",
-        "fig15_auto_synth_timeline",
-        "fig16_loss_termination",
-        "table4_intranode_bandwidth",
-        "fig18_sim_fidelity",
-        "fig19_lease_renewal",
-        "fig20_auto_synth_multiobj",
-        "fig21_auto_synth_multiobj_timeline",
-    ];
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    for fig in figures {
+    let mut failures = Vec::new();
+    for fig in FIGURES {
         let path = dir.join(fig);
-        let status = Command::new(&path).status();
+        let mut cmd = Command::new(&path);
+        if smoke && std::env::var_os("BLOX_SCALE").is_none() {
+            cmd.env("BLOX_SCALE", "0.02");
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
-            other => eprintln!("{fig}: failed to run ({other:?})"),
+            other => {
+                eprintln!("{fig}: failed to run ({other:?})");
+                failures.push(*fig);
+            }
         }
         println!();
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "{} of {} experiments failed: {failures:?}",
+            failures.len(),
+            FIGURES.len()
+        );
+        std::process::exit(1);
     }
 }

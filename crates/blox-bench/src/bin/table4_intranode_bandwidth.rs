@@ -1,8 +1,8 @@
 //! Table 4: bandwidth-aware intra-node placement vs naive consolidated
 //! placement — mean observed intra-node GPU bandwidth (paper: ~1.4-1.5x).
 
-use blox_bench::{banner, philly_trace, row, PhillySetup, RecordingPlacement, shape_check};
 use blox_bench::run_to_completion;
+use blox_bench::{banner, philly_trace, row, shape_check, PhillySetup, RecordingPlacement};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::{BandwidthAwarePlacement, ConsolidatedPlacement};
 use blox_policies::scheduling::Fifo;
@@ -35,9 +35,15 @@ fn main() {
         &mut aware,
     );
     row(&["policy,avg_observed_bandwidth_gbps".into()]);
-    row(&["naive-consolidated".into(), format!("{:.1}", naive.mean_bw())]);
+    row(&[
+        "naive-consolidated".into(),
+        format!("{:.1}", naive.mean_bw()),
+    ]);
     row(&["bandwidth-aware".into(), format!("{:.1}", aware.mean_bw())]);
     let ratio = aware.mean_bw() / naive.mean_bw().max(1e-9);
     println!("improvement: {ratio:.2}x (paper: 1.47x)");
-    shape_check("bandwidth-aware placement improves observed bandwidth", ratio > 1.15);
+    shape_check(
+        "bandwidth-aware placement improves observed bandwidth",
+        ratio > 1.15,
+    );
 }

@@ -14,10 +14,10 @@ pub mod reference;
 
 use blox_core::cluster::ClusterState;
 use blox_core::manager::{BloxManager, RunConfig, StopCondition};
-use blox_core::policy::{Placement, SchedulingDecision};
-use blox_core::state::JobState;
 use blox_core::metrics::{RunStats, Summary};
 use blox_core::policy::{AdmissionPolicy, PlacementPolicy, SchedulingPolicy};
+use blox_core::policy::{Placement, SchedulingDecision};
+use blox_core::state::JobState;
 use blox_sim::{cluster_of_v100, SimBackend};
 use blox_workloads::{ModelZoo, PhillyTraceGen, Trace};
 
@@ -131,8 +131,8 @@ pub fn run_to_completion(
             stop: StopCondition::AllJobsDone,
         },
     );
-    let stats = mgr.run(admission, scheduling, placement);
-    stats
+
+    mgr.run(admission, scheduling, placement)
 }
 
 /// Build the default Philly trace for a load point.

@@ -50,7 +50,12 @@ pub enum RefPolicy {
 /// integrated forward, no placement model beyond GPU counting (plus the
 /// Synergy CPU term). Matching CDFs between this and Blox therefore
 /// cross-validate the policy logic, not shared plumbing.
-pub fn run_reference(trace: &Trace, total_gpus: u32, round_s: f64, policy: RefPolicy) -> Vec<(JobId, f64)> {
+pub fn run_reference(
+    trace: &Trace,
+    total_gpus: u32,
+    round_s: f64,
+    policy: RefPolicy,
+) -> Vec<(JobId, f64)> {
     let mut jobs: Vec<RefJob> = trace
         .jobs
         .iter()
@@ -96,9 +101,7 @@ pub fn run_reference(trace: &Trace, total_gpus: u32, round_s: f64, policy: RefPo
                 }
             }
             RefPolicy::SynergyProportional | RefPolicy::SynergyTune => {
-                active.sort_by(|&a, &b| {
-                    jobs[a].arrival.partial_cmp(&jobs[b].arrival).unwrap()
-                });
+                active.sort_by(|&a, &b| jobs[a].arrival.partial_cmp(&jobs[b].arrival).unwrap());
                 let mut used = 0u32;
                 for &i in &active {
                     if used + jobs[i].gpus <= total_gpus {
@@ -111,9 +114,7 @@ pub fn run_reference(trace: &Trace, total_gpus: u32, round_s: f64, policy: RefPo
                 // Running-first is irrelevant here (no preemption cost in
                 // the reference); one GPU each in arrival order, then
                 // marginal-goodput expansion.
-                active.sort_by(|&a, &b| {
-                    jobs[a].arrival.partial_cmp(&jobs[b].arrival).unwrap()
-                });
+                active.sort_by(|&a, &b| jobs[a].arrival.partial_cmp(&jobs[b].arrival).unwrap());
                 let mut used = 0u32;
                 for &i in &active {
                     if used >= total_gpus {
@@ -138,8 +139,15 @@ pub fn run_reference(trace: &Trace, total_gpus: u32, round_s: f64, policy: RefPo
                                 p.goodput(g + 1, p.best_batch(g + 1)),
                             ),
                             None => (
-                                job.profile.iter_model.throughput(g, GpuType::V100, true, 100.0),
-                                job.profile.iter_model.throughput(g + 1, GpuType::V100, true, 100.0),
+                                job.profile
+                                    .iter_model
+                                    .throughput(g, GpuType::V100, true, 100.0),
+                                job.profile.iter_model.throughput(
+                                    g + 1,
+                                    GpuType::V100,
+                                    true,
+                                    100.0,
+                                ),
                             ),
                         };
                         let gain = g1 / g0 - 1.0;
@@ -180,7 +188,10 @@ pub fn run_reference(trace: &Trace, total_gpus: u32, round_s: f64, policy: RefPo
                     let b = p.best_batch(g);
                     p.goodput(g, b) / p.init_batch.max(1) as f64
                 }
-                None => job.profile.iter_model.throughput(g, GpuType::V100, true, 100.0),
+                None => job
+                    .profile
+                    .iter_model
+                    .throughput(g, GpuType::V100, true, 100.0),
             };
             if policy == RefPolicy::SynergyProportional && cpu_pressure > 1.0 {
                 let deficit = 1.0 - 1.0 / cpu_pressure;
@@ -246,7 +257,12 @@ mod tests {
         let trace = PhillyTraceGen::new(&zoo, 10.0)
             .runtimes(1.0, 1.0)
             .generate(120, 2);
-        let prop = avg_jct(&run_reference(&trace, 32, 300.0, RefPolicy::SynergyProportional));
+        let prop = avg_jct(&run_reference(
+            &trace,
+            32,
+            300.0,
+            RefPolicy::SynergyProportional,
+        ));
         let tune = avg_jct(&run_reference(&trace, 32, 300.0, RefPolicy::SynergyTune));
         assert!(tune <= prop, "tune {tune} vs proportional {prop}");
     }

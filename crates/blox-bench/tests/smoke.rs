@@ -1,0 +1,82 @@
+//! Smoke tests: every figure/table reproduction binary runs to
+//! completion on a tiny trace.
+//!
+//! Each test launches the corresponding compiled binary (via the
+//! `CARGO_BIN_EXE_*` variables cargo sets for integration tests) with
+//! `BLOX_SCALE=0.02`, which shrinks every trace to a few dozen jobs. A
+//! binary that panics, deadlocks into the 10-minute kill window, or
+//! exits non-zero fails its test. The full-scale sweep remains
+//! `cargo run --release -p blox-bench --bin run_all`.
+
+use std::process::Command;
+
+/// Scale factor that keeps every experiment under a few seconds.
+const SMOKE_SCALE: &str = "0.02";
+
+fn run_smoke(bin_path: &str) {
+    let output = Command::new(bin_path)
+        .env("BLOX_SCALE", SMOKE_SCALE)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin_path}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin_path} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "{bin_path} produced no output; expected experiment rows"
+    );
+}
+
+macro_rules! smoke_test {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run_smoke(env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+            }
+        )*
+    };
+}
+
+smoke_test!(
+    fig03_pollux_repro,
+    fig04_tiresias_repro,
+    fig05_synergy_repro,
+    fig06_jct_vs_load,
+    fig07_responsiveness_vs_load,
+    fig08_pollux_jct,
+    fig09_pollux_responsiveness,
+    fig10_placement_v100,
+    fig11_placement_profiles,
+    fig12_admission_compose,
+    fig13_admission_spike,
+    fig14_auto_synth,
+    fig15_auto_synth_timeline,
+    fig16_loss_termination,
+    fig18_sim_fidelity,
+    fig19_lease_renewal,
+    fig20_auto_synth_multiobj,
+    fig21_auto_synth_multiobj_timeline,
+    table4_intranode_bandwidth,
+);
+
+/// The sequential `run_all --smoke` sweep duplicates every per-binary
+/// test above, so it is ignored by default; run it explicitly with
+/// `cargo test -p blox-bench --test smoke -- --ignored`.
+#[test]
+#[ignore = "duplicates the per-binary smoke tests; run with -- --ignored"]
+fn run_all_smoke_sweep() {
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .arg("--smoke")
+        .output()
+        .expect("launch run_all");
+    assert!(
+        output.status.success(),
+        "run_all --smoke failed\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

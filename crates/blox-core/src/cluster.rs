@@ -88,11 +88,7 @@ impl NodeSpec {
     /// Uniform intra-node bandwidth matrix.
     fn uniform_matrix(gpus: u32, bw: f64) -> Vec<Vec<f64>> {
         (0..gpus)
-            .map(|i| {
-                (0..gpus)
-                    .map(|j| if i == j { 0.0 } else { bw })
-                    .collect()
-            })
+            .map(|i| (0..gpus).map(|j| if i == j { 0.0 } else { bw }).collect())
             .collect()
     }
 
@@ -251,10 +247,7 @@ impl ClusterState {
     /// Mark a node as failed. Returns the jobs that were running on it so
     /// the caller (backend) can requeue them.
     pub fn fail_node(&mut self, id: NodeId) -> Result<Vec<JobId>> {
-        let node = self
-            .nodes
-            .get_mut(&id)
-            .ok_or(BloxError::UnknownNode(id))?;
+        let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
         node.alive = false;
         let mut evicted = Vec::new();
         for gpu in self.gpus.values_mut().filter(|g| g.node == id) {
@@ -271,10 +264,7 @@ impl ClusterState {
 
     /// Restore a previously failed node to service.
     pub fn revive_node(&mut self, id: NodeId) -> Result<()> {
-        let node = self
-            .nodes
-            .get_mut(&id)
-            .ok_or(BloxError::UnknownNode(id))?;
+        let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
         node.alive = true;
         Ok(())
     }
@@ -466,7 +456,10 @@ impl ClusterState {
                     return Err(BloxError::Config(format!("{} busy without job", row.id)))
                 }
                 (GpuState::Free, Some(j)) => {
-                    return Err(BloxError::Config(format!("{} free but owned by {j}", row.id)))
+                    return Err(BloxError::Config(format!(
+                        "{} free but owned by {j}",
+                        row.id
+                    )))
                 }
                 _ => {}
             }

@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: BloxError = io.into();
         assert!(matches!(e, BloxError::Io(_)));
     }

@@ -188,8 +188,11 @@ impl<B: Backend> BloxManager<B> {
 
         // Update metrics of all jobs run in the previous round; this also
         // detects completions at exact sub-round timestamps.
-        self.backend
-            .update_metrics(&mut self.cluster, &mut self.jobs, self.config.round_duration);
+        self.backend.update_metrics(
+            &mut self.cluster,
+            &mut self.jobs,
+            self.config.round_duration,
+        );
 
         // Prune completed jobs into the finished list, recording them.
         for job in self.jobs.active() {
@@ -225,9 +228,12 @@ impl<B: Backend> BloxManager<B> {
                 }
             }
         }
-        decision
-            .allocations
-            .retain(|(id, _)| self.jobs.get(*id).map(|j| j.status.is_active()).unwrap_or(false));
+        decision.allocations.retain(|(id, _)| {
+            self.jobs
+                .get(*id)
+                .map(|j| j.status.is_active())
+                .unwrap_or(false)
+        });
 
         // Apply batch-size retuning (Pollux).
         for (id, batch) in &decision.batch_sizes {
@@ -247,7 +253,8 @@ impl<B: Backend> BloxManager<B> {
 
         // Round accounting.
         let busy = self.cluster.total_gpus() - self.cluster.free_gpu_count();
-        self.stats.record_round(busy, self.cluster.total_gpus(), now);
+        self.stats
+            .record_round(busy, self.cluster.total_gpus(), now);
 
         // Wait until the next round.
         self.backend.advance_round(self.config.round_duration);
@@ -269,10 +276,7 @@ impl<B: Backend> BloxManager<B> {
                     None => true,
                     Some((id, _)) => id.0 > hi,
                 };
-                let unfinished_in_window = self
-                    .jobs
-                    .active()
-                    .any(|j| j.id.0 >= lo && j.id.0 <= hi);
+                let unfinished_in_window = self.jobs.active().any(|j| j.id.0 >= lo && j.id.0 <= hi);
                 let finished_in_window = self
                     .stats
                     .records

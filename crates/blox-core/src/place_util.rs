@@ -94,11 +94,8 @@ impl<'a> FreePool<'a> {
         if self.total() < n {
             return None;
         }
-        let mut order: Vec<(usize, NodeId)> = self
-            .per_node
-            .iter()
-            .map(|(id, v)| (v.len(), *id))
-            .collect();
+        let mut order: Vec<(usize, NodeId)> =
+            self.per_node.iter().map(|(id, v)| (v.len(), *id)).collect();
         // Largest nodes first so the allocation touches as few nodes as
         // possible; ties broken by node id for determinism.
         order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -304,7 +301,10 @@ where
 
     // Phase 2: keep running jobs whose grant matches their placement;
     // suspend the rest of the running set, releasing their GPUs.
-    for job in job_state.active().filter(|j| j.status == JobStatus::Running) {
+    for job in job_state
+        .active()
+        .filter(|j| j.status == JobStatus::Running)
+    {
         let keep = granted.get(&job.id).copied() == Some(job.placement.len() as u32);
         if keep {
             kept.insert(job.id, true);

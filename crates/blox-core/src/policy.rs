@@ -37,10 +37,7 @@ impl SchedulingDecision {
         I: IntoIterator<Item = &'a Job>,
     {
         SchedulingDecision {
-            allocations: jobs
-                .into_iter()
-                .map(|j| (j.id, j.requested_gpus))
-                .collect(),
+            allocations: jobs.into_iter().map(|j| (j.id, j.requested_gpus)).collect(),
             batch_sizes: BTreeMap::new(),
             terminate: Vec::new(),
         }

@@ -333,7 +333,11 @@ mod tests {
 
     #[test]
     fn loss_curve_is_monotone_decreasing() {
-        let c = LossCurve { l0: 5.0, l_min: 1.0, k: 8.0 };
+        let c = LossCurve {
+            l0: 5.0,
+            l_min: 1.0,
+            k: 8.0,
+        };
         let mut prev = f64::INFINITY;
         for i in 0..=10 {
             let l = c.loss_at(i as f64 / 10.0);
@@ -345,7 +349,11 @@ mod tests {
 
     #[test]
     fn convergence_progress_is_consistent_with_loss_at() {
-        let c = LossCurve { l0: 5.0, l_min: 1.0, k: 12.0 };
+        let c = LossCurve {
+            l0: 5.0,
+            l_min: 1.0,
+            k: 12.0,
+        };
         let p = c.convergence_progress(0.001);
         let l = c.loss_at(p);
         assert!(l <= c.l_min * 1.0011, "loss {l} at p={p}");

@@ -123,13 +123,7 @@ mod tests {
     use crate::profile::JobProfile;
 
     fn job(id: u64) -> Job {
-        Job::new(
-            JobId(id),
-            0.0,
-            1,
-            100.0,
-            JobProfile::synthetic("toy", 0.1),
-        )
+        Job::new(JobId(id), 0.0, 1, 100.0, JobProfile::synthetic("toy", 0.1))
     }
 
     #[test]

@@ -123,7 +123,9 @@ impl AdmissionPolicy for QuotaAdmission {
         _now: f64,
     ) -> Vec<Job> {
         self.queue.extend(new_jobs);
-        let mut slots = self.max_active_jobs.saturating_sub(job_state.active_count());
+        let mut slots = self
+            .max_active_jobs
+            .saturating_sub(job_state.active_count());
         let mut out = Vec::new();
         while slots > 0 {
             match self.queue.pop_front() {
@@ -188,12 +190,7 @@ mod tests {
         let c = cluster(); // 8 GPUs; 1.5x cap = 12.
         let js = JobState::new();
         let mut p = ThresholdAdmission::new(1.5);
-        let out = p.admit(
-            vec![job(1, 8), job(2, 4), job(3, 1)],
-            &js,
-            &c,
-            0.0,
-        );
+        let out = p.admit(vec![job(1, 8), job(2, 4), job(3, 1)], &js, &c, 0.0);
         // 8 + 4 = 12 <= 12 admitted; job 3 would make 13 > 12.
         assert_eq!(out.len(), 2);
         assert_eq!(p.pending(), 1);

@@ -237,7 +237,10 @@ impl SynergyPlacement {
     /// Current profiled CPU demand per node from running jobs.
     fn node_cpu_load(job_state: &JobState, cluster: &ClusterState) -> BTreeMap<NodeId, f64> {
         let mut load: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for job in job_state.active().filter(|j| j.status == JobStatus::Running) {
+        for job in job_state
+            .active()
+            .filter(|j| j.status == JobStatus::Running)
+        {
             for gpu in &job.placement {
                 if let Some(row) = cluster.gpu(*gpu) {
                     *load.entry(row.node).or_default() += job.profile.cpus_per_gpu;
@@ -281,7 +284,10 @@ impl PlacementPolicy for SynergyPlacement {
         let mut pool = FreePool::new(cluster);
         let mut to_suspend = Vec::new();
         let mut kept: Vec<JobId> = Vec::new();
-        for job in job_state.active().filter(|j| j.status == JobStatus::Running) {
+        for job in job_state
+            .active()
+            .filter(|j| j.status == JobStatus::Running)
+        {
             let keep = granted
                 .iter()
                 .any(|(id, n)| *id == job.id && *n == job.placement.len() as u32);

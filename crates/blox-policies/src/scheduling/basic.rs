@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn fifo_orders_by_arrival() {
         let mut js = JobState::new();
-        js.add_new_jobs(vec![job(3, 30.0, 10.0), job(1, 10.0, 10.0), job(2, 20.0, 10.0)]);
+        js.add_new_jobs(vec![
+            job(3, 30.0, 10.0),
+            job(1, 10.0, 10.0),
+            job(2, 20.0, 10.0),
+        ]);
         let d = Fifo::new().schedule(&js, &cluster(), 0.0);
         let order: Vec<u64> = d.allocations.iter().map(|(j, _)| j.0).collect();
         assert_eq!(order, vec![1, 2, 3]);

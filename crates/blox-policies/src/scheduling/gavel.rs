@@ -106,13 +106,7 @@ mod tests {
     }
 
     fn job(id: u64, gpus: u32, service: f64) -> Job {
-        let mut j = Job::new(
-            JobId(id),
-            0.0,
-            gpus,
-            1e6,
-            JobProfile::synthetic("toy", 1.0),
-        );
+        let mut j = Job::new(JobId(id), 0.0, gpus, 1e6, JobProfile::synthetic("toy", 1.0));
         j.attained_service = service;
         j
     }
@@ -151,7 +145,12 @@ mod tests {
     fn contention_caps_grants_at_fair_share() {
         let c = v100_cluster(1); // 4 GPUs
         let mut js = JobState::new();
-        js.add_new_jobs(vec![job(1, 4, 0.0), job(2, 4, 0.0), job(3, 4, 0.0), job(4, 4, 0.0)]);
+        js.add_new_jobs(vec![
+            job(1, 4, 0.0),
+            job(2, 4, 0.0),
+            job(3, 4, 0.0),
+            job(4, 4, 0.0),
+        ]);
         let d = Gavel::new().schedule(&js, &c, 0.0);
         // Fair share = 1 GPU each.
         assert!(d.allocations.iter().all(|(_, g)| *g == 1));

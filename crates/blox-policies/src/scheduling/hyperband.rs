@@ -144,11 +144,7 @@ mod tests {
     fn worst_trials_in_a_rung_are_cut() {
         let mut js = JobState::new();
         // Six trials in rung 1 (service in [100, 300)): keep ceil(6/3)=2.
-        js.add_new_jobs(
-            (0..6)
-                .map(|i| trial(i, 150.0, Some(i as f64)))
-                .collect(),
-        );
+        js.add_new_jobs((0..6).map(|i| trial(i, 150.0, Some(i as f64))).collect());
         let mut hb = HyperBand::with_params(Fifo::new(), 3.0, 100.0, 3);
         let d = hb.schedule(&js, &cluster(), 0.0);
         assert_eq!(d.terminate.len(), 4);

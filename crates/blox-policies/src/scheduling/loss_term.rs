@@ -74,13 +74,7 @@ mod tests {
     }
 
     fn job(id: u64, threshold: Option<f64>) -> Job {
-        let mut j = Job::new(
-            JobId(id),
-            0.0,
-            1,
-            1000.0,
-            JobProfile::synthetic("toy", 1.0),
-        );
+        let mut j = Job::new(JobId(id), 0.0, 1, 1000.0, JobProfile::synthetic("toy", 1.0));
         j.loss_termination_threshold = threshold;
         j
     }

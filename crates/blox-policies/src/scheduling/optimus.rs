@@ -146,13 +146,7 @@ mod tests {
     }
 
     fn job(id: u64, iters: f64, done: f64) -> Job {
-        let mut j = Job::new(
-            JobId(id),
-            0.0,
-            2,
-            iters,
-            JobProfile::synthetic("toy", 1.0),
-        );
+        let mut j = Job::new(JobId(id), 0.0, 2, iters, JobProfile::synthetic("toy", 1.0));
         j.completed_iters = done;
         j
     }

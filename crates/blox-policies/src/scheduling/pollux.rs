@@ -42,12 +42,11 @@ impl Pollux {
     fn goodput(job: &Job, n: u32) -> f64 {
         match &job.profile.pollux {
             Some(p) => p.goodput(n, p.best_batch(n)),
-            None => job.profile.iter_model.throughput(
-                n,
-                blox_core::cluster::GpuType::V100,
-                true,
-                100.0,
-            ),
+            None => {
+                job.profile
+                    .iter_model
+                    .throughput(n, blox_core::cluster::GpuType::V100, true, 100.0)
+            }
         }
     }
 }
@@ -72,12 +71,12 @@ impl SchedulingPolicy for Pollux {
             .active()
             .filter(|j| j.status == JobStatus::Running)
             .collect();
-        running.sort_by(|a, b| a.id.cmp(&b.id));
+        running.sort_by_key(|a| a.id);
         let mut waiting: Vec<&Job> = job_state
             .active()
             .filter(|j| j.status != JobStatus::Running)
             .collect();
-        waiting.sort_by(|a, b| a.id.cmp(&b.id));
+        waiting.sort_by_key(|a| a.id);
 
         let mut grants: BTreeMap<JobId, u32> = BTreeMap::new();
         let mut order: Vec<JobId> = Vec::new();

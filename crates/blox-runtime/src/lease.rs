@@ -67,7 +67,9 @@ impl LeaseTable {
 
     /// Revoke: the job must exit after `exit_iter`.
     pub fn revoke_at(&self, job: JobId, exit_iter: u64) {
-        self.leases.write().insert(job, LeaseState::ExitAt(exit_iter));
+        self.leases
+            .write()
+            .insert(job, LeaseState::ExitAt(exit_iter));
     }
 
     /// Drop a finished job's lease.
@@ -159,13 +161,17 @@ pub fn centralized_renewal_cycle(n_jobs: u32) -> Duration {
 
     // One warm-up round trip so thread scheduling cost is excluded.
     worker_side
-        .send(&Message::LeaseCheck { job: JobId(u64::MAX) })
+        .send(&Message::LeaseCheck {
+            job: JobId(u64::MAX),
+        })
         .expect("scheduler alive");
     let _ = worker_side.recv().expect("scheduler alive");
     let start = Instant::now();
     for i in 0..n_jobs {
         worker_side
-            .send(&Message::LeaseCheck { job: JobId(i as u64) })
+            .send(&Message::LeaseCheck {
+                job: JobId(i as u64),
+            })
             .expect("scheduler alive");
         let reply = worker_side.recv().expect("scheduler alive");
         assert!(matches!(reply, Message::LeaseStatus { valid: true, .. }));

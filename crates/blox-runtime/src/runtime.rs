@@ -193,10 +193,7 @@ fn worker_loop(
             } => {
                 shared.lease.grant(job);
                 let loader = BloxDataLoader::new(job, shared.lease.clone());
-                shared
-                    .counters
-                    .lock()
-                    .insert(job, loader.iter_counter());
+                shared.counters.lock().insert(job, loader.iter_counter());
                 let metrics = WorkerMetricsCollector::new(job, bus.clone());
                 let bus = bus.clone();
                 let clock = clock.clone();
@@ -204,8 +201,18 @@ fn worker_loop(
                 let cfg = cfg.clone();
                 std::thread::spawn(move || {
                     run_emulated_job(
-                        job, loader, metrics, bus, clock, lease, cfg, iter_time_s, start_iters,
-                        total_iters, warmup_s, is_rank0,
+                        job,
+                        loader,
+                        metrics,
+                        bus,
+                        clock,
+                        lease,
+                        cfg,
+                        iter_time_s,
+                        start_iters,
+                        total_iters,
+                        warmup_s,
+                        is_rank0,
                     );
                 });
             }
@@ -503,7 +510,12 @@ impl Backend for RuntimeBackend {
         }
     }
 
-    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState) {
+    fn exec_jobs(
+        &mut self,
+        placement: &Placement,
+        cluster: &mut ClusterState,
+        jobs: &mut JobState,
+    ) {
         // Preempt via optimistic lease revocation + two-phase exit.
         for id in &placement.to_suspend {
             let Some(job) = jobs.get(*id) else { continue };
@@ -576,7 +588,7 @@ mod tests {
     use blox_core::cluster::NodeSpec;
     use blox_core::manager::{BloxManager, RunConfig, StopCondition};
     use blox_core::policy::{
-        AdmissionPolicy, SchedulingDecision, SchedulingPolicy, PlacementPolicy,
+        AdmissionPolicy, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
     };
     use blox_core::profile::JobProfile;
 
@@ -675,6 +687,7 @@ mod tests {
     #[test]
     fn preemption_round_trips_through_lease_revocation() {
         let cstate = cluster(1); // 4 GPUs.
+
         // Job 0 wants all 4 GPUs and runs long; job 1 arrives later; FIFO +
         // first-free means job 0 runs to completion, then job 1. The
         // interesting part: job 0 completes mid-round and job 1 launches.

@@ -151,15 +151,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn string(&mut self) -> Result<String> {
@@ -270,12 +276,16 @@ impl Message {
                     is_rank0: r.boolean()?,
                 }
             }
-            2 => Message::Revoke { job: JobId(r.u64()?) },
+            2 => Message::Revoke {
+                job: JobId(r.u64()?),
+            },
             3 => Message::ExitAt {
                 job: JobId(r.u64()?),
                 exit_iter: r.u64()?,
             },
-            4 => Message::LeaseCheck { job: JobId(r.u64()?) },
+            4 => Message::LeaseCheck {
+                job: JobId(r.u64()?),
+            },
             5 => Message::LeaseStatus {
                 job: JobId(r.u64()?),
                 valid: r.boolean()?,
@@ -298,9 +308,7 @@ impl Message {
                 iters: r.f64()?,
             },
             10 => Message::Ack,
-            other => {
-                return Err(BloxError::Transport(format!("unknown message tag {other}")))
-            }
+            other => return Err(BloxError::Transport(format!("unknown message tag {other}"))),
         };
         Ok(msg)
     }
@@ -320,10 +328,7 @@ impl Endpoint {
     pub fn pair() -> (Endpoint, Endpoint) {
         let (atx, brx) = unbounded();
         let (btx, arx) = unbounded();
-        (
-            Endpoint { tx: atx, rx: arx },
-            Endpoint { tx: btx, rx: brx },
-        )
+        (Endpoint { tx: atx, rx: arx }, Endpoint { tx: btx, rx: brx })
     }
 
     /// Encode and send a message.
@@ -421,7 +426,10 @@ mod tests {
 
     fn all_messages() -> Vec<Message> {
         vec![
-            Message::RegisterWorker { node: NodeId(3), gpus: 4 },
+            Message::RegisterWorker {
+                node: NodeId(3),
+                gpus: 4,
+            },
             Message::Launch {
                 job: JobId(42),
                 local_gpus: vec![0, 3],
@@ -432,17 +440,32 @@ mod tests {
                 is_rank0: true,
             },
             Message::Revoke { job: JobId(7) },
-            Message::ExitAt { job: JobId(7), exit_iter: 991 },
+            Message::ExitAt {
+                job: JobId(7),
+                exit_iter: 991,
+            },
             Message::LeaseCheck { job: JobId(1) },
-            Message::LeaseStatus { job: JobId(1), valid: false },
+            Message::LeaseStatus {
+                job: JobId(1),
+                valid: false,
+            },
             Message::PushMetric {
                 job: JobId(9),
                 key: "loss".into(),
                 value: 1.25,
             },
-            Message::Progress { job: JobId(2), iters: 123.0 },
-            Message::JobDone { job: JobId(2), sim_time: 4200.0 },
-            Message::JobSuspended { job: JobId(2), iters: 55.5 },
+            Message::Progress {
+                job: JobId(2),
+                iters: 123.0,
+            },
+            Message::JobDone {
+                job: JobId(2),
+                sim_time: 4200.0,
+            },
+            Message::JobSuspended {
+                job: JobId(2),
+                iters: 55.5,
+            },
             Message::Ack,
         ]
     }
@@ -479,11 +502,17 @@ mod tests {
         let (a, b) = Endpoint::pair();
         a.send(&Message::LeaseCheck { job: JobId(5) }).unwrap();
         assert_eq!(b.recv().unwrap(), Message::LeaseCheck { job: JobId(5) });
-        b.send(&Message::LeaseStatus { job: JobId(5), valid: true })
-            .unwrap();
+        b.send(&Message::LeaseStatus {
+            job: JobId(5),
+            valid: true,
+        })
+        .unwrap();
         assert_eq!(
             a.recv().unwrap(),
-            Message::LeaseStatus { job: JobId(5), valid: true }
+            Message::LeaseStatus {
+                job: JobId(5),
+                valid: true
+            }
         );
     }
 

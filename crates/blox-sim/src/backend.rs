@@ -199,7 +199,12 @@ impl Backend for SimBackend {
         }
     }
 
-    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState) {
+    fn exec_jobs(
+        &mut self,
+        placement: &Placement,
+        cluster: &mut ClusterState,
+        jobs: &mut JobState,
+    ) {
         let result = apply_placement(placement, cluster, jobs, self.clock);
         debug_assert!(
             result.is_ok(),

@@ -68,8 +68,14 @@ mod tests {
     #[test]
     fn script_delivers_in_time_order() {
         let mut s = ChurnScript::new(vec![
-            ChurnEvent::Revive { at: 50.0, node: NodeId(1) },
-            ChurnEvent::Fail { at: 10.0, node: NodeId(1) },
+            ChurnEvent::Revive {
+                at: 50.0,
+                node: NodeId(1),
+            },
+            ChurnEvent::Fail {
+                at: 10.0,
+                node: NodeId(1),
+            },
         ]);
         assert_eq!(s.remaining(), 2);
         let first = s.due(10.0);

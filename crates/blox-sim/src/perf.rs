@@ -177,7 +177,10 @@ mod tests {
         js2.add_new_jobs(vec![spread.clone()]);
         let rate_spread = PerfModel::default().progress_rate(&spread, &js2, &c2);
 
-        assert!(rate_cons > rate_spread * 1.2, "{rate_cons} vs {rate_spread}");
+        assert!(
+            rate_cons > rate_spread * 1.2,
+            "{rate_cons} vs {rate_spread}"
+        );
     }
 
     #[test]

@@ -194,11 +194,7 @@ impl AutoSynthesizer {
                 let admitted = admission.admit(held, fork.jobs(), fork.cluster(), fork.now());
                 fork.add_jobs(admitted);
             }
-            fork.step(
-                admission.as_mut(),
-                scheduling.as_mut(),
-                placement.as_mut(),
-            );
+            fork.step(admission.as_mut(), scheduling.as_mut(), placement.as_mut());
         }
         self.objective.score(fork.stats())
     }
@@ -238,7 +234,7 @@ impl AutoSynthesizer {
     pub fn run(&mut self, mgr: &mut BloxManager<SimBackend>) -> RunStats {
         let mut round = 0u64;
         while !mgr.should_stop() {
-            if round % self.eval_every == 0 {
+            if round.is_multiple_of(self.eval_every) {
                 self.reselect(mgr);
             }
             // Re-offer carryover jobs from a drained admission policy.
@@ -309,8 +305,7 @@ mod tests {
     #[test]
     fn synthesizer_completes_all_jobs() {
         let mut mgr = manager(60, 10.0, 1);
-        let mut synth =
-            AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+        let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
         synth.eval_every = 20;
         synth.lookahead = 30;
         let stats = synth.run(&mut mgr);
@@ -321,17 +316,13 @@ mod tests {
     #[test]
     fn history_records_choices_over_time() {
         let mut mgr = manager(40, 12.0, 2);
-        let mut synth =
-            AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+        let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
         synth.eval_every = 10;
         synth.lookahead = 20;
         synth.run(&mut mgr);
         assert!(synth.history.len() >= 2);
         // Rounds are non-decreasing.
-        assert!(synth
-            .history
-            .windows(2)
-            .all(|w| w[0].round <= w[1].round));
+        assert!(synth.history.windows(2).all(|w| w[0].round <= w[1].round));
     }
 
     #[test]
@@ -356,8 +347,7 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
 
         let mut mgr = manager(60, 10.0, 3);
-        let mut synth =
-            AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
+        let mut synth = AutoSynthesizer::new(CandidateSet::paper_default(), Objective::AvgJct);
         synth.eval_every = 10;
         synth.lookahead = 40;
         let stats = synth.run(&mut mgr);

@@ -113,7 +113,11 @@ impl ModelZoo {
             cpus_per_gpu: 3.0,
             dram_per_gpu_gb: 8.0,
             cpu_sensitivity: 0.25,
-            loss: LossCurve { l0: 2.3, l_min: 0.35, k: 6.0 },
+            loss: LossCurve {
+                l0: 2.3,
+                l_min: 0.35,
+                k: 6.0,
+            },
             pollux: None,
         }
     }
@@ -137,7 +141,11 @@ impl ModelZoo {
             cpus_per_gpu: 4.0,
             dram_per_gpu_gb: 24.0,
             cpu_sensitivity: 0.15,
-            loss: LossCurve { l0: 4.0, l_min: 1.2, k: 5.0 },
+            loss: LossCurve {
+                l0: 4.0,
+                l_min: 1.2,
+                k: 5.0,
+            },
             pollux: None,
         }
     }
@@ -161,7 +169,11 @@ impl ModelZoo {
             cpus_per_gpu: 14.0,
             dram_per_gpu_gb: 32.0,
             cpu_sensitivity: 0.55,
-            loss: LossCurve { l0: 6.9, l_min: 1.8, k: 5.5 },
+            loss: LossCurve {
+                l0: 6.9,
+                l_min: 1.8,
+                k: 5.5,
+            },
             pollux: None,
         }
     }
@@ -185,7 +197,11 @@ impl ModelZoo {
             cpus_per_gpu: 2.0,
             dram_per_gpu_gb: 12.0,
             cpu_sensitivity: 0.05,
-            loss: LossCurve { l0: 9.0, l_min: 4.2, k: 4.5 },
+            loss: LossCurve {
+                l0: 9.0,
+                l_min: 4.2,
+                k: 4.5,
+            },
             pollux: None,
         }
     }
@@ -209,7 +225,11 @@ impl ModelZoo {
             cpus_per_gpu: 12.0,
             dram_per_gpu_gb: 48.0,
             cpu_sensitivity: 0.50,
-            loss: LossCurve { l0: 1.8, l_min: 0.72, k: 6.5 },
+            loss: LossCurve {
+                l0: 1.8,
+                l_min: 0.72,
+                k: 6.5,
+            },
             pollux: None,
         }
     }
@@ -232,7 +252,11 @@ impl ModelZoo {
             cpus_per_gpu: 3.0,
             dram_per_gpu_gb: 16.0,
             cpu_sensitivity: 0.10,
-            loss: LossCurve { l0: 8.0, l_min: 2.4, k: 5.0 },
+            loss: LossCurve {
+                l0: 8.0,
+                l_min: 2.4,
+                k: 5.0,
+            },
             pollux: None,
         }
     }
@@ -256,7 +280,11 @@ impl ModelZoo {
             cpus_per_gpu: 24.0,
             dram_per_gpu_gb: 8.0,
             cpu_sensitivity: 0.70,
-            loss: LossCurve { l0: 21.0, l_min: 2.0, k: 4.0 },
+            loss: LossCurve {
+                l0: 21.0,
+                l_min: 2.0,
+                k: 4.0,
+            },
             pollux: None,
         }
     }
@@ -280,7 +308,11 @@ impl ModelZoo {
             cpus_per_gpu: 4.0,
             dram_per_gpu_gb: 24.0,
             cpu_sensitivity: 0.20,
-            loss: LossCurve { l0: 6.9, l_min: 1.9, k: 5.0 },
+            loss: LossCurve {
+                l0: 6.9,
+                l_min: 1.9,
+                k: 5.0,
+            },
             pollux: None,
         }
     }

@@ -61,8 +61,11 @@ impl PhillyTraceGen {
             let gpus = sample_gpu_demand(&mut rng);
             let model_idx = dist::discrete(&mut rng, &vec![1.0; self.zoo.len()]);
             let profile = self.zoo.profile(model_idx).clone();
-            let runtime_s =
-                dist::log_normal_median(&mut rng, self.median_runtime_h * 3600.0, self.runtime_sigma);
+            let runtime_s = dist::log_normal_median(
+                &mut rng,
+                self.median_runtime_h * 3600.0,
+                self.runtime_sigma,
+            );
             // Convert the isolated runtime into iterations at the job's
             // requested configuration on the reference hardware.
             let iter_s = profile
@@ -116,7 +119,10 @@ mod tests {
         let ones = t.jobs.iter().filter(|j| j.requested_gpus == 1).count();
         let frac = ones as f64 / 4000.0;
         assert!((frac - 0.65).abs() < 0.05, "frac={frac}");
-        assert!(t.jobs.iter().all(|j| [1, 2, 4, 8].contains(&j.requested_gpus)));
+        assert!(t
+            .jobs
+            .iter()
+            .all(|j| [1, 2, 4, 8].contains(&j.requested_gpus)));
     }
 
     #[test]

@@ -84,8 +84,7 @@ impl PolluxTraceGen {
                 .iter_time(gpus, GpuType::V100, true, 100.0);
             let total_iters = (runtime_s / iter_s).max(1.0);
             let t_sync = 0.1 * iter_s;
-            let t_grad_per_sample =
-                ((iter_s - t_sync) * gpus as f64 / init_batch as f64).max(1e-6);
+            let t_grad_per_sample = ((iter_s - t_sync) * gpus as f64 / init_batch as f64).max(1e-6);
             profile.pollux = Some(PolluxProfile {
                 t_grad_per_sample,
                 t_sync,
@@ -144,10 +143,10 @@ mod tests {
         let t = PolluxTraceGen::new(&zoo).generate(4);
         for j in t.jobs.iter().take(20) {
             let p = j.profile.pollux.as_ref().unwrap();
-            let iter_model = j
-                .profile
-                .iter_model
-                .iter_time(j.requested_gpus, GpuType::V100, true, 100.0);
+            let iter_model =
+                j.profile
+                    .iter_model
+                    .iter_time(j.requested_gpus, GpuType::V100, true, 100.0);
             let iter_pollux = p.init_batch as f64 / p.throughput(j.requested_gpus, p.init_batch);
             let sync_extra = p.t_sync * (j.requested_gpus as f64).log2();
             assert!(

@@ -181,16 +181,9 @@ fn split_mix(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blox_core::profile::JobProfile;
 
     fn job(id: u64, arrival: f64) -> Job {
-        Job::new(
-            JobId(id),
-            arrival,
-            2,
-            500.0,
-            ModelZoo::resnet18(),
-        )
+        Job::new(JobId(id), arrival, 2, 500.0, ModelZoo::resnet18())
     }
 
     #[test]
@@ -223,7 +216,8 @@ mod tests {
     #[test]
     fn csv_rejects_unknown_model() {
         let zoo = ModelZoo::standard();
-        let csv = "job_id,arrival_s,gpus,total_iters,model,batch,loss_thresh\n0,1.0,1,10,nosuch,32,\n";
+        let csv =
+            "job_id,arrival_s,gpus,total_iters,model,batch,loss_thresh\n0,1.0,1,10,nosuch,32,\n";
         assert!(Trace::from_csv(csv, &zoo).is_err());
     }
 

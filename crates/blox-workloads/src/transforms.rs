@@ -114,7 +114,11 @@ mod tests {
             .jobs
             .windows(2)
             .all(|w| w[0].arrival_time <= w[1].arrival_time));
-        assert!(spiked.jobs.iter().enumerate().all(|(i, j)| j.id.0 == i as u64));
+        assert!(spiked
+            .jobs
+            .iter()
+            .enumerate()
+            .all(|(i, j)| j.id.0 == i as u64));
     }
 
     #[test]
@@ -160,7 +164,11 @@ mod tests {
         let t = base(24.0, 7);
         let before: Vec<f64> = t.jobs.iter().map(|j| j.arrival_time).collect();
         let bursty = inject_bursty_load(t, &zoo, 8.0, 4.0, 2.0, 8);
-        for j in bursty.jobs.iter().filter(|j| !before.contains(&j.arrival_time)) {
+        for j in bursty
+            .jobs
+            .iter()
+            .filter(|j| !before.contains(&j.arrival_time))
+        {
             let in_period = j.arrival_time % (4.0 * 3600.0);
             assert!(in_period <= 2.0 * 3600.0, "burst job outside window");
         }

@@ -28,9 +28,15 @@ fn main() {
         },
     );
     let stats = synth.run(&mut mgr);
-    println!("avg JCT under synthesizer: {:.0} s", stats.summary().avg_jct);
+    println!(
+        "avg JCT under synthesizer: {:.0} s",
+        stats.summary().avg_jct
+    );
     println!("policy timeline:");
     for rec in &synth.history {
-        println!("  round {:>5}: {} + {}", rec.round, rec.admission, rec.scheduling);
+        println!(
+            "  round {:>5}: {} + {}",
+            rec.round, rec.admission, rec.scheduling
+        );
     }
 }

@@ -44,6 +44,8 @@ fn main() {
         &mut FirstFreePlacement::new(),
     );
     let s = stats.summary();
-    println!("runtime run: {} jobs, avg JCT {:.0} s, avg preemptions {:.2}",
-             s.jobs, s.avg_jct, s.avg_preemptions);
+    println!(
+        "runtime run: {} jobs, avg JCT {:.0} s, avg preemptions {:.2}",
+        s.jobs, s.avg_jct, s.avg_preemptions
+    );
 }

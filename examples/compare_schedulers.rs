@@ -25,7 +25,10 @@ fn main() {
         Box::new(Themis::new()),
     ];
 
-    println!("{:<10} {:>12} {:>16} {:>12}", "policy", "avg JCT (s)", "avg resp (s)", "preempts");
+    println!(
+        "{:<10} {:>12} {:>16} {:>12}",
+        "policy", "avg JCT (s)", "avg resp (s)", "preempts"
+    );
     for mut sched in policies {
         let mut mgr = BloxManager::new(
             SimBackend::new(trace.clone()),

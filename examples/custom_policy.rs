@@ -64,5 +64,8 @@ fn main() {
         .iter()
         .filter(|r| r.jct() <= 3.0 * (r.completion - r.arrival).max(r.jct()))
         .count();
-    println!("avg JCT {:.0} s over {} jobs ({met} finished)", s.avg_jct, s.jobs);
+    println!(
+        "avg JCT {:.0} s over {} jobs ({met} finished)",
+        s.avg_jct, s.jobs
+    );
 }

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example inference_serving`
 
 use blox::core::ids::JobId;
-use blox::core::{BloxManager, Job, RunConfig, StopCondition};
 use blox::core::profile::JobProfile;
+use blox::core::{BloxManager, Job, RunConfig, StopCondition};
 use blox::inference::{ModelSession, NexusPolicy};
 use blox::policies::admission::AcceptAll;
 use blox::policies::placement::ConsolidatedPlacement;
@@ -16,27 +16,36 @@ use blox::sim::{cluster_of_v100, SimBackend};
 fn main() {
     // Three served models with different rates and SLOs.
     let sessions = vec![
-        (JobId(0), ModelSession {
-            name: "resnet50-classify".into(),
-            rate_rps: 1_800.0,
-            slo_ms: 100.0,
-            lat_base_ms: 6.0,
-            lat_per_item_ms: 1.2,
-        }),
-        (JobId(1), ModelSession {
-            name: "bert-qa".into(),
-            rate_rps: 250.0,
-            slo_ms: 50.0,
-            lat_base_ms: 9.0,
-            lat_per_item_ms: 2.5,
-        }),
-        (JobId(2), ModelSession {
-            name: "detector".into(),
-            rate_rps: 90.0,
-            slo_ms: 200.0,
-            lat_base_ms: 14.0,
-            lat_per_item_ms: 4.0,
-        }),
+        (
+            JobId(0),
+            ModelSession {
+                name: "resnet50-classify".into(),
+                rate_rps: 1_800.0,
+                slo_ms: 100.0,
+                lat_base_ms: 6.0,
+                lat_per_item_ms: 1.2,
+            },
+        ),
+        (
+            JobId(1),
+            ModelSession {
+                name: "bert-qa".into(),
+                rate_rps: 250.0,
+                slo_ms: 50.0,
+                lat_base_ms: 9.0,
+                lat_per_item_ms: 2.5,
+            },
+        ),
+        (
+            JobId(2),
+            ModelSession {
+                name: "detector".into(),
+                rate_rps: 90.0,
+                slo_ms: 200.0,
+                lat_base_ms: 14.0,
+                lat_per_item_ms: 4.0,
+            },
+        ),
     ];
 
     // Sessions are long-running "jobs" whose request_rate metric the
@@ -44,7 +53,13 @@ fn main() {
     let jobs: Vec<Job> = sessions
         .iter()
         .map(|(id, s)| {
-            let mut j = Job::new(*id, 0.0, 1, f64::MAX / 4.0, JobProfile::synthetic(&s.name, 0.1));
+            let mut j = Job::new(
+                *id,
+                0.0,
+                1,
+                f64::MAX / 4.0,
+                JobProfile::synthetic(&s.name, 0.1),
+            );
             j.push_metric("request_rate", s.rate_rps);
             j
         })

@@ -32,5 +32,8 @@ fn main() {
     println!("median JCT:           {:.0} s", s.p50_jct);
     println!("avg responsiveness:   {:.0} s", s.avg_responsiveness);
     println!("makespan:             {:.0} s", s.makespan);
-    println!("mean GPU utilization: {:.1}%", stats.mean_utilization() * 100.0);
+    println!(
+        "mean GPU utilization: {:.1}%",
+        stats.mean_utilization() * 100.0
+    );
 }

@@ -86,7 +86,9 @@ fn srtf_beats_fifo_on_short_job_bursts() {
     // Classic queueing result the toolkit must reproduce: with many short
     // jobs stuck behind long ones, SRTF's avg JCT <= FIFO's.
     let trace = small_trace(20.0, 80, 3);
-    let fifo = run_sched(trace.clone(), 4, &mut Fifo::new()).summary().avg_jct;
+    let fifo = run_sched(trace.clone(), 4, &mut Fifo::new())
+        .summary()
+        .avg_jct;
     let srtf = run_sched(trace, 4, &mut Srtf::new()).summary().avg_jct;
     assert!(srtf <= fifo * 1.02, "srtf {srtf} vs fifo {fifo}");
 }
@@ -127,7 +129,9 @@ fn loss_termination_shrinks_jct_with_early_convergence() {
     let trace = small_trace(10.0, 60, 5)
         .assign_early_convergence(0.75, 0.4, 6)
         .with_loss_termination(0.001);
-    let epoch = run_sched(trace.clone(), 8, &mut Fifo::new()).summary().avg_jct;
+    let epoch = run_sched(trace.clone(), 8, &mut Fifo::new())
+        .summary()
+        .avg_jct;
     let stats = run_sched(trace, 8, &mut LossTermination::new(Fifo::new()));
     let loss = stats.summary().avg_jct;
     assert!(loss < epoch, "loss {loss} vs epoch {epoch}");
@@ -228,14 +232,13 @@ fn gpu_accounting_never_double_books() {
             break;
         }
         mgr.step(&mut adm, &mut sched, &mut place);
-        mgr.cluster().check_invariants().expect("GPU table consistent");
+        mgr.cluster()
+            .check_invariants()
+            .expect("GPU table consistent");
         // Every running job's recorded placement matches the GPU table.
         for job in mgr.jobs().active() {
             if job.status == JobStatus::Running {
-                assert_eq!(
-                    mgr.cluster().gpus_of_job(job.id).len(),
-                    job.placement.len()
-                );
+                assert_eq!(mgr.cluster().gpus_of_job(job.id).len(), job.placement.len());
             } else {
                 assert!(job.placement.is_empty());
             }

@@ -1,12 +1,17 @@
 //! Property-based tests (proptest) on core invariants.
+//!
+//! The `proptest!` block below pins an explicit RNG seed through
+//! `ProptestConfig`, so every CI failure reproduces bit-for-bit from a
+//! plain `cargo test`: the harness derives each test's stream from this
+//! seed plus the test name, and the failure message echoes both.
 
 use blox::core::cluster::{ClusterState, NodeSpec};
 use blox::core::ids::{JobId, NodeId};
 use blox::core::metrics::{cdf, percentile};
 use blox::core::policy::SchedulingPolicy;
+use blox::core::profile::JobProfile;
 use blox::core::state::JobState;
 use blox::core::Job;
-use blox::core::profile::JobProfile;
 use blox::policies::admission::ThresholdAdmission;
 use blox::policies::scheduling::{Las, Srtf};
 use blox::runtime::Message;
@@ -14,8 +19,10 @@ use proptest::prelude::*;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(n, g)| Message::RegisterWorker { node: NodeId(n), gpus: g }),
+        (any::<u32>(), any::<u32>()).prop_map(|(n, g)| Message::RegisterWorker {
+            node: NodeId(n),
+            gpus: g
+        }),
         (
             any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..8),
@@ -35,17 +42,34 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 is_rank0: r,
             }),
         any::<u64>().prop_map(|j| Message::Revoke { job: JobId(j) }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(j, i)| Message::ExitAt { job: JobId(j), exit_iter: i }),
-        (any::<u64>(), ".{0,32}", any::<f64>().prop_filter("finite", |v| v.is_finite()))
-            .prop_map(|(j, k, v)| Message::PushMetric { job: JobId(j), key: k, value: v }),
-        (any::<u64>(), 0.0f64..1e12)
-            .prop_map(|(j, t)| Message::JobDone { job: JobId(j), sim_time: t }),
+        (any::<u64>(), any::<u64>()).prop_map(|(j, i)| Message::ExitAt {
+            job: JobId(j),
+            exit_iter: i
+        }),
+        (
+            any::<u64>(),
+            ".{0,32}",
+            any::<f64>().prop_filter("finite", |v| v.is_finite())
+        )
+            .prop_map(|(j, k, v)| Message::PushMetric {
+                job: JobId(j),
+                key: k,
+                value: v
+            }),
+        (any::<u64>(), 0.0f64..1e12).prop_map(|(j, t)| Message::JobDone {
+            job: JobId(j),
+            sim_time: t
+        }),
         Just(Message::Ack),
     ]
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        seed: 0xB10C_5EED_0000_0001,
+    })]
+
     /// Every protocol message survives an encode/decode round trip.
     #[test]
     fn wire_codec_roundtrips(msg in arb_message()) {

@@ -1,0 +1,287 @@
+//! Offline shim for `criterion` 0.5: a minimal wall-clock benchmark
+//! harness behind the same API. Each benchmark is warmed up, then timed
+//! over `sample_size` samples; the median ns/iteration is printed and,
+//! when the `BLOX_BENCH_JSON` environment variable names a file, also
+//! appended there as one JSON object per line:
+//!
+//! ```json
+//! {"name":"group/bench","median_ns":1234.5,"samples":20,"iters_per_sample":8}
+//! ```
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every benchmark body exactly once, as a smoke test.
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("centralized", 128)` renders as `centralized/128`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Drives one benchmark's timed closure.
+pub struct Bencher {
+    /// Iterations per timed sample.
+    iters: u64,
+    /// Collected per-iteration durations, one per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: run until ~20ms elapsed to size the per-sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~5ms per sample, at least one iteration.
+        self.iters = ((0.005 / per_iter).ceil() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / self.iters as f64);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group_name, name.into_name());
+        let sample_size = self.sample_size;
+        let smoke = self.criterion.smoke;
+        self.criterion.run_one(&full, sample_size, smoke, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id.name);
+        let sample_size = self.sample_size;
+        let smoke = self.criterion.smoke;
+        self.criterion
+            .run_one(&full, sample_size, smoke, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Names accepted by `bench_function`.
+pub trait IntoBenchmarkName {
+    /// Render to the printable benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // honour it by running each body once instead of timing.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke;
+        self.run_one(name, 20, smoke, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        full_name: &str,
+        sample_size: usize,
+        smoke: bool,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            iters: 1,
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            smoke,
+        };
+        f(&mut bencher);
+        if smoke {
+            println!("{full_name}: ok (smoke)");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_name}: no samples (b.iter never called)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{full_name}: median {:.1} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+            median,
+            lo,
+            hi,
+            samples.len(),
+            bencher.iters
+        );
+        if let Ok(path) = std::env::var("BLOX_BENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                    full_name,
+                    median,
+                    lo,
+                    hi,
+                    samples.len(),
+                    bencher.iters
+                );
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = file.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Group benchmark functions under one runner (API shape of upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the named groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("lease", 128).name, "lease/128");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { smoke: false };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke: true };
+        let mut runs = 0;
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline shim for `crossbeam`: the `channel` module re-exported over
+//! `std::sync::mpsc`. Only unbounded MPSC channels are provided — that
+//! is the only flavour this workspace's wire transport uses. Error types
+//! are `std`'s own, which have identical shapes (`TryRecvError::{Empty,
+//! Disconnected}`, `RecvTimeoutError::{Timeout, Disconnected}`).
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_carries_values_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn senders_clone_and_disconnect_is_observable() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_when_empty() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain generation strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns cover the whole domain — subnormals, huge
+        // magnitudes, infinities, and NaNs — mirroring upstream's intent
+        // that `any::<f64>()` exercises non-finite values too.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        char::from(0x20 + (rng.next_u64() % 95) as u8)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_f64_eventually_yields_non_finite() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<f64>();
+        let non_finite = (0..100_000)
+            .filter(|_| !s.generate(&mut rng).is_finite())
+            .count();
+        assert!(
+            non_finite > 0,
+            "expected some NaN/inf from raw bit patterns"
+        );
+    }
+
+    #[test]
+    fn any_bool_yields_both() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 0 && trues < 100);
+    }
+}

@@ -1,0 +1,81 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s whose elements come from `element` and
+/// whose length is uniform in `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.usize_in(self.lo, self.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Ranges accepted as the vec length parameter (stand-in for upstream's
+/// `Into<SizeRange>`).
+pub trait IntoSizeRange {
+    /// Half-open bounds `(lo, hi)`.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+/// `vec(element, 0..8)` — vectors of strategy-generated elements.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    assert!(lo <= hi, "empty vec size range");
+    VecStrategy { element, lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_cover_range() {
+        let mut rng = TestRng::from_seed(6);
+        let s = vec(any::<u8>(), 0..4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng).len()] = true;
+        }
+        assert!(seen.iter().all(|b| *b));
+    }
+
+    #[test]
+    fn fixed_len_is_exact() {
+        let mut rng = TestRng::from_seed(7);
+        let s = vec(any::<u8>(), 3usize);
+        assert_eq!(s.generate(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline shim for `proptest` 1.x: a deterministic, non-shrinking
+//! property-testing harness exposing the API surface this workspace
+//! uses — the `proptest!` / `prop_oneof!` / `prop_assert*` macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//! [`arbitrary::any`], range / tuple / `Just` / pattern-string
+//! strategies, and [`collection::vec`].
+//!
+//! Every test's RNG seed derives from [`test_runner::ProptestConfig::seed`]
+//! XOR an FNV-1a hash of the test-function name, so failures reproduce
+//! bit-for-bit across runs and machines. On failure the harness reports
+//! the case index and seed instead of shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a `proptest!` body (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+///
+/// The shim has no case-rejection bookkeeping; an assumption failure
+/// simply ends the case early via an early `return` from the closure
+/// wrapping the body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Supported grammar (the subset of upstream proptest this workspace
+/// uses, plus an optional leading config):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_seed(0xB10C))]
+///     /// docs
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+      )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = config.seed ^ $crate::test_runner::fnv1a(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (seed {:#x}); \
+                             rerun reproduces it deterministically",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_seed(0xD0C5))]
+
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_len_respects_bounds(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                (0u32..10).prop_map(|v| v as u64),
+                (100u64..110).prop_map(|v| v),
+            ]
+        ) {
+            prop_assert!(x < 10 || (100u64..110).contains(&x));
+        }
+
+        #[test]
+        fn filter_holds(v in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+            prop_assert!(v.is_finite());
+        }
+
+        #[test]
+        fn pattern_strings_bound_length(s in ".{0,32}") {
+            prop_assert!(s.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn same_config_same_values() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_seed(99);
+        let mut b = crate::test_runner::TestRng::from_seed(99);
+        let s = crate::collection::vec(any::<u64>(), 0..8);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

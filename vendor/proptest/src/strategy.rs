@@ -1,0 +1,295 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe: `prop_oneof!` stores arms as `Box<dyn Strategy<Value = T>>`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `keep` (regenerating otherwise).
+    fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            keep,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    keep: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Rejection sampling with a generous cap: a filter that rejects
+        // everything is a test bug and should fail loudly, not hang.
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the macro's boxed arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0, self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+// Ranges as strategies ------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// Pattern strings -----------------------------------------------------------
+
+/// A `&str` strategy mimics upstream proptest's regex strategies for the
+/// one shape the workspace uses: `.{m,n}` (any chars, length m..=n). Any
+/// other pattern falls back to length 0..=8. Generated characters are
+/// printable ASCII, which keeps failures readable.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_brace(self).unwrap_or((0, 8));
+        let len = rng.usize_in(lo, hi + 1);
+        (0..len)
+            .map(|_| {
+                // Printable ASCII: 0x20..=0x7E.
+                char::from(0x20 + (rng.next_u64() % 95) as u8)
+            })
+            .collect()
+    }
+}
+
+/// Parse `".{m,n}"` into `(m, n)`.
+fn parse_dot_brace(pat: &str) -> Option<(usize, usize)> {
+    let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// Tuples --------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (5u32..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.5f64..0.75).generate(&mut rng);
+            assert!((0.5..0.75).contains(&f));
+            let i = (-4i32..-1).generate(&mut rng);
+            assert!((-4..-1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = TestRng::from_seed(2);
+        let u = Union::new(vec![
+            Box::new(Just(0u8)) as BoxedStrategy<u8>,
+            Box::new(Just(1u8)),
+            Box::new(Just(2u8)),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn dot_brace_parses() {
+        assert_eq!(parse_dot_brace(".{0,32}"), Some((0, 32)));
+        assert_eq!(parse_dot_brace(".{2,4}"), Some((2, 4)));
+        assert_eq!(parse_dot_brace("[a-z]+"), None);
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = Just(21u64).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut rng), 42);
+    }
+}
