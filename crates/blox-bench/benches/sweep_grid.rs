@@ -1,0 +1,54 @@
+//! Event-driven fast path vs fixed-round stepping on a Figure 6-style
+//! JCT-vs-load grid: 8 load points × 3 seeds, Tiresias over the Philly
+//! trace on 128 GPUs, steady-state tracked window, 60 s rounds (the
+//! short end of the paper's 1–8 min round sweep, where responsiveness
+//! is best and empty rounds are most frequent — precisely the regime
+//! the fast path exists for).
+//!
+//! `sweep_fig06/event_driven` and `sweep_fig06/fixed_rounds` run the
+//! *same* grid serially (one worker thread, so the comparison isolates
+//! the fast path); the recorded median-ns ratio is the fast-path
+//! speedup, ≥5× on this grid (see BENCH_sweep.json for the committed
+//! numbers). `sweep_fig06/event_driven_auto_threads` additionally lets
+//! the engine fan out across available CPUs.
+
+use blox_bench::policy_set;
+use blox_core::manager::ExecMode;
+use blox_policies::scheduling::Tiresias;
+use blox_sim::SweepGrid;
+use blox_workloads::{ModelZoo, PhillyTraceGen};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The benchmark grid: sized so the fixed-round baseline stays in the
+/// seconds range while every load point still reaches steady state.
+fn fig06_grid(mode: ExecMode, threads: usize) -> SweepGrid {
+    SweepGrid::builder()
+        .trace(|load, seed| PhillyTraceGen::new(&ModelZoo::standard(), load).generate(120, seed))
+        .cluster_v100(32)
+        .policy(policy_set("tiresias", || Box::new(Tiresias::new())))
+        .loads(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        .seeds(&[42, 43, 44])
+        .tracked_window(60, 100)
+        .round_duration(60.0)
+        .mode(mode)
+        .threads(threads)
+        .build()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_fig06");
+    group.sample_size(2);
+    group.bench_function("event_driven", |b| {
+        b.iter(|| fig06_grid(ExecMode::EventDriven, 1).run())
+    });
+    group.bench_function("fixed_rounds", |b| {
+        b.iter(|| fig06_grid(ExecMode::FixedRounds, 1).run())
+    });
+    group.bench_function("event_driven_auto_threads", |b| {
+        b.iter(|| fig06_grid(ExecMode::EventDriven, 0).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

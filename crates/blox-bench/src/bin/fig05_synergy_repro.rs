@@ -1,12 +1,14 @@
 //! Figure 5: reproducing Synergy — Proportional vs Synergy-Tune JCT CDFs
-//! in Blox against the reference implementation.
+//! in Blox against the reference implementation. The two Blox runs go
+//! through the sweep engine; the reference implementation stays serial.
 
 use blox_bench::reference::{run_reference, RefPolicy};
-use blox_bench::{banner, philly_trace, row, run_to_completion, s0, shape_check, PhillySetup};
+use blox_bench::{banner, philly_trace, row, s0, shape_check, PhillySetup};
 use blox_core::metrics::percentile;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::SynergyPlacement;
 use blox_policies::scheduling::Synergy;
+use blox_sim::{PolicySet, SweepGrid};
 
 fn main() {
     banner(
@@ -20,27 +22,37 @@ fn main() {
     };
     let trace = philly_trace(&setup, 3.0);
 
-    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
-    for (name, mut sched, mut place) in [
-        (
+    let trace_setup = setup.clone();
+    let report = SweepGrid::builder()
+        .trace(move |load, _seed| philly_trace(&trace_setup, load))
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .policy(PolicySet::new(
             "proportional-blox",
-            Synergy::proportional(),
-            SynergyPlacement::proportional(),
-        ),
-        ("tune-blox", Synergy::tune(), SynergyPlacement::tune()),
-    ] {
-        let stats = run_to_completion(
-            trace.clone(),
-            setup.nodes,
-            300.0,
-            &mut AcceptAll::new(),
-            &mut sched,
-            &mut place,
-        );
-        let mut jcts: Vec<f64> = stats.records.iter().map(|r| r.jct()).collect();
-        jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        curves.push((name.to_string(), jcts));
-    }
+            || Box::new(AcceptAll::new()),
+            || Box::new(Synergy::proportional()),
+            || Box::new(SynergyPlacement::proportional()),
+        ))
+        .policy(PolicySet::new(
+            "tune-blox",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Synergy::tune()),
+            || Box::new(SynergyPlacement::tune()),
+        ))
+        .loads(&[3.0])
+        .build()
+        .run();
+    report.emit_json_env();
+
+    let mut curves: Vec<(String, Vec<f64>)> = report
+        .trials
+        .iter()
+        .map(|t| {
+            let mut jcts: Vec<f64> = t.stats.records.iter().map(|r| r.jct()).collect();
+            jcts.sort_by(|a, b| a.partial_cmp(b).expect("finite JCTs"));
+            (t.policy.clone(), jcts)
+        })
+        .collect();
     for (name, policy) in [
         ("proportional-ref", RefPolicy::SynergyProportional),
         ("tune-ref", RefPolicy::SynergyTune),
@@ -49,7 +61,7 @@ fn main() {
             .iter()
             .map(|(_, j)| *j)
             .collect();
-        jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        jcts.sort_by(|a, b| a.partial_cmp(b).expect("finite JCTs"));
         curves.push((name.to_string(), jcts));
     }
 

@@ -1,9 +1,7 @@
 //! Figure 7: avg responsiveness of FIFO / Tiresias / Optimus on the
-//! Philly trace as load sweeps 1–9 jobs/hour.
+//! Philly trace as load sweeps 1–9 jobs/hour, via the sweep engine.
 
-use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
-use blox_policies::admission::AcceptAll;
-use blox_policies::placement::ConsolidatedPlacement;
+use blox_bench::{banner, philly_grid, policy_set, row, s0, shape_check, PhillySetup};
 use blox_policies::scheduling::{Fifo, Optimus, Tiresias};
 
 fn main() {
@@ -12,30 +10,26 @@ fn main() {
         "Tiresias stays responsive under load; FIFO responsiveness collapses at high load",
     );
     let setup = PhillySetup::default();
+    let loads: Vec<f64> = (1..=9).map(f64::from).collect();
+    let report = philly_grid(&setup)
+        .policy(policy_set("fifo", || Box::new(Fifo::new())))
+        .policy(policy_set("tiresias", || Box::new(Tiresias::new())))
+        .policy(policy_set("optimus", || Box::new(Optimus::new())))
+        .loads(&loads)
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["jobs_per_hour,fifo,tiresias,optimus".into()]);
     let mut high = (0.0, 0.0);
-    for lambda in 1..=9u32 {
-        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
-            let trace = philly_trace(&setup, lambda as f64);
-            run_tracked(
-                trace,
-                setup.nodes,
-                300.0,
-                (setup.track_lo, setup.track_hi),
-                &mut AcceptAll::new(),
-                sched,
-                &mut ConsolidatedPlacement::preferred(),
-            )
-            .0
-            .avg_responsiveness
-        };
-        let fifo = run(&mut Fifo::new());
-        let tiresias = run(&mut Tiresias::new());
-        let optimus = run(&mut Optimus::new());
-        if lambda == 9 {
+    for &lambda in &loads {
+        let resp =
+            |policy| report.mean_over_seeds(policy, lambda, |t| t.summary.avg_responsiveness);
+        let (fifo, tiresias, optimus) = (resp("fifo"), resp("tiresias"), resp("optimus"));
+        if lambda == 9.0 {
             high = (fifo, tiresias);
         }
-        row(&[lambda.to_string(), s0(fifo), s0(tiresias), s0(optimus)]);
+        row(&[s0(lambda), s0(fifo), s0(tiresias), s0(optimus)]);
     }
     shape_check(
         "FIFO worst responsiveness at high load",

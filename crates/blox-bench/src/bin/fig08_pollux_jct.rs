@@ -1,10 +1,9 @@
 //! Figure 8: avg JCT of FIFO / LAS / Pollux on the Pollux trace, 64 GPUs,
-//! load 1–40 jobs/hour.
+//! load 1–40 jobs/hour, via the sweep engine.
 
-use blox_bench::{banner, row, run_tracked, s0, shape_check};
-use blox_policies::admission::AcceptAll;
-use blox_policies::placement::ConsolidatedPlacement;
+use blox_bench::{banner, policy_set, row, s0, shape_check};
 use blox_policies::scheduling::{Fifo, Las, Pollux};
+use blox_sim::SweepGrid;
 use blox_workloads::{ModelZoo, PolluxTraceGen};
 
 fn main() {
@@ -12,30 +11,30 @@ fn main() {
         "Figure 8: Pollux vs FIFO vs LAS, avg JCT vs load (Pollux-trace, 64 GPUs)",
         "Pollux wins at low/medium load; above ~20 jobs/hr it degrades toward FIFO",
     );
-    let zoo = ModelZoo::standard();
     let n = (700.0 * blox_bench::scale()) as usize;
     let track = ((n / 2) as u64, (n * 3 / 4) as u64);
+    let loads = [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0];
+    let report = SweepGrid::builder()
+        .trace(move |load, seed| {
+            PolluxTraceGen::new(&ModelZoo::standard()).generate_rate(n, load, seed)
+        })
+        .cluster_v100(16)
+        .seeds(&[21])
+        .tracked_window(track.0, track.1)
+        .policy(policy_set("fifo", || Box::new(Fifo::new())))
+        .policy(policy_set("las", || Box::new(Las::new())))
+        .policy(policy_set("pollux", || Box::new(Pollux::new())))
+        .loads(&loads)
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["jobs_per_hour,fifo,las,pollux".into()]);
     let mut low_pollux_ok = false;
     let mut high = (0.0f64, 0.0f64);
-    for lambda in [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
-        let run = |sched: &mut dyn blox_core::policy::SchedulingPolicy| {
-            let trace = PolluxTraceGen::new(&zoo).generate_rate(n, lambda, 21);
-            run_tracked(
-                trace,
-                16,
-                300.0,
-                track,
-                &mut AcceptAll::new(),
-                sched,
-                &mut ConsolidatedPlacement::preferred(),
-            )
-            .0
-            .avg_jct
-        };
-        let fifo = run(&mut Fifo::new());
-        let las = run(&mut Las::new());
-        let pollux = run(&mut Pollux::new());
+    for &lambda in &loads {
+        let jct = |policy| report.mean_over_seeds(policy, lambda, |t| t.summary.avg_jct);
+        let (fifo, las, pollux) = (jct("fifo"), jct("las"), jct("pollux"));
         if lambda <= 15.0 && pollux <= fifo && pollux <= las {
             low_pollux_ok = true;
         }

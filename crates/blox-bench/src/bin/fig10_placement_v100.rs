@@ -1,10 +1,12 @@
 //! Figure 10: the Tiresias skew-heuristic placement vs consolidate-all on
-//! a V100 + 10 Gbps cluster, avg JCT vs load 1–8 jobs/hour.
+//! a V100 + 10 Gbps cluster, avg JCT vs load 1–8 jobs/hour, via the
+//! sweep engine (policy axis = placement policy).
 
-use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
+use blox_bench::{banner, philly_grid, row, s0, shape_check, PhillySetup};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::{ConsolidatedPlacement, TiresiasPlacement};
 use blox_policies::scheduling::Tiresias;
+use blox_sim::PolicySet;
 
 fn main() {
     banner(
@@ -12,41 +14,34 @@ fn main() {
         "On fast GPUs with a slow fabric, consolidating all jobs beats the skew heuristic at high load",
     );
     let setup = PhillySetup::default();
+    let loads = [1.0, 2.0, 4.0, 6.0, 8.0];
+    let report = philly_grid(&setup)
+        .policy(PolicySet::new(
+            "tiresias_placement",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(TiresiasPlacement::new()),
+        ))
+        .policy(PolicySet::new(
+            "consolidated_placement",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(ConsolidatedPlacement::preferred()),
+        ))
+        .loads(&loads)
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["jobs_per_hour,tiresias_placement,consolidated_placement".into()]);
     let mut high = (0.0f64, 0.0f64);
-    for lambda in [1u32, 2, 4, 6, 8] {
-        let heur = {
-            let trace = philly_trace(&setup, lambda as f64);
-            run_tracked(
-                trace,
-                setup.nodes,
-                300.0,
-                (setup.track_lo, setup.track_hi),
-                &mut AcceptAll::new(),
-                &mut Tiresias::new(),
-                &mut TiresiasPlacement::new(),
-            )
-            .0
-            .avg_jct
-        };
-        let cons = {
-            let trace = philly_trace(&setup, lambda as f64);
-            run_tracked(
-                trace,
-                setup.nodes,
-                300.0,
-                (setup.track_lo, setup.track_hi),
-                &mut AcceptAll::new(),
-                &mut Tiresias::new(),
-                &mut ConsolidatedPlacement::preferred(),
-            )
-            .0
-            .avg_jct
-        };
-        if lambda == 8 {
+    for &lambda in &loads {
+        let jct = |policy| report.mean_over_seeds(policy, lambda, |t| t.summary.avg_jct);
+        let (heur, cons) = (jct("tiresias_placement"), jct("consolidated_placement"));
+        if lambda == 8.0 {
             high = (heur, cons);
         }
-        row(&[lambda.to_string(), s0(heur), s0(cons)]);
+        row(&[s0(lambda), s0(heur), s0(cons)]);
     }
     shape_check(
         "consolidation wins at high load on 10Gbps V100s",

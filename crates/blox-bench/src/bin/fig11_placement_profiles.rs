@@ -1,10 +1,13 @@
 //! Figure 11: Tiresias heuristic vs Tiresias+ (profiled ground truth) as
-//! the number of consolidation-sensitive workloads grows from 5/8 to 8/8.
+//! the number of consolidation-sensitive workloads grows from 5/8 to
+//! 8/8, via the sweep engine (the grid's load axis carries the
+//! sensitive-model count).
 
-use blox_bench::{banner, row, run_tracked, s0, shape_check, PhillySetup};
+use blox_bench::{banner, row, s0, shape_check, PhillySetup};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::{ProfileGuidedPlacement, TiresiasPlacement};
 use blox_policies::scheduling::Tiresias;
+use blox_sim::{PolicySet, SweepGrid};
 use blox_workloads::{ModelZoo, PhillyTraceGen};
 
 fn main() {
@@ -13,35 +16,41 @@ fn main() {
         "Tiresias+ (perfect knowledge) always at least matches the skew heuristic; the gap grows with more sensitive workloads",
     );
     let setup = PhillySetup::default();
+    let n_jobs = setup.n_jobs;
+    // Load axis = consolidation-sensitive models in the 8-model zoo.
+    let sensitive_counts = [5.0, 6.0, 7.0, 8.0];
+    let report = SweepGrid::builder()
+        .trace(move |sensitive, seed| {
+            let zoo = ModelZoo::standard().with_sensitive_count(sensitive as usize);
+            PhillyTraceGen::new(&zoo, 8.0).generate(n_jobs, seed)
+        })
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .tracked_window(setup.track_lo, setup.track_hi)
+        .policy(PolicySet::new(
+            "tiresias",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(TiresiasPlacement::new()),
+        ))
+        .policy(PolicySet::new(
+            "tiresias_plus",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(ProfileGuidedPlacement::new()),
+        ))
+        .loads(&sensitive_counts)
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["sensitive_models,tiresias,tiresias_plus".into()]);
     let mut gaps = Vec::new();
-    for sensitive in 5..=8usize {
-        let zoo = ModelZoo::standard().with_sensitive_count(sensitive);
-        let trace = PhillyTraceGen::new(&zoo, 8.0).generate(setup.n_jobs, setup.seed);
-        let heur = run_tracked(
-            trace.clone(),
-            setup.nodes,
-            300.0,
-            (setup.track_lo, setup.track_hi),
-            &mut AcceptAll::new(),
-            &mut Tiresias::new(),
-            &mut TiresiasPlacement::new(),
-        )
-        .0
-        .avg_jct;
-        let plus = run_tracked(
-            trace,
-            setup.nodes,
-            300.0,
-            (setup.track_lo, setup.track_hi),
-            &mut AcceptAll::new(),
-            &mut Tiresias::new(),
-            &mut ProfileGuidedPlacement::new(),
-        )
-        .0
-        .avg_jct;
+    for &sensitive in &sensitive_counts {
+        let jct = |policy| report.mean_over_seeds(policy, sensitive, |t| t.summary.avg_jct);
+        let (heur, plus) = (jct("tiresias"), jct("tiresias_plus"));
         gaps.push(heur - plus);
-        row(&[format!("{sensitive}/8"), s0(heur), s0(plus)]);
+        row(&[format!("{}/8", sensitive as usize), s0(heur), s0(plus)]);
     }
     shape_check(
         "Tiresias+ never worse",

@@ -1,11 +1,9 @@
 //! Figure 12: composing FIFO admission control with LAS scheduling —
-//! trading responsiveness for avg JCT near cluster saturation (5.5 jobs/hour here).
+//! trading responsiveness for avg JCT near cluster saturation (5.5
+//! jobs/hour here), via the sweep engine (policy axis = admission).
 
-use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
-use blox_core::policy::AdmissionPolicy;
+use blox_bench::{banner, las_under, philly_grid, row, s0, shape_check, PhillySetup};
 use blox_policies::admission::{AcceptAll, ThresholdAdmission};
-use blox_policies::placement::ConsolidatedPlacement;
-use blox_policies::scheduling::Las;
 
 fn main() {
     banner(
@@ -13,28 +11,30 @@ fn main() {
         "Tighter admission lowers avg JCT (paper: ~15% at 1.2x) while responsiveness worsens",
     );
     let setup = PhillySetup::default();
+    let names = ["accept-all", "accept-1.5x", "accept-1.2x", "accept-1.0x"];
+    let report = philly_grid(&setup)
+        .policy(las_under(names[0], || Box::new(AcceptAll::new())))
+        .policy(las_under(names[1], || {
+            Box::new(ThresholdAdmission::new(1.5))
+        }))
+        .policy(las_under(names[2], || {
+            Box::new(ThresholdAdmission::new(1.2))
+        }))
+        .policy(las_under(names[3], || {
+            Box::new(ThresholdAdmission::new(1.0))
+        }))
+        .loads(&[5.5])
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["admission,avg_jct,avg_responsiveness".into()]);
     let mut results = Vec::new();
-    let policies: Vec<Box<dyn AdmissionPolicy>> = vec![
-        Box::new(AcceptAll::new()),
-        Box::new(ThresholdAdmission::new(1.5)),
-        Box::new(ThresholdAdmission::new(1.2)),
-        Box::new(ThresholdAdmission::new(1.0)),
-    ];
-    for mut adm in policies {
-        let trace = philly_trace(&setup, 5.5);
-        let name = adm.name().to_string();
-        let (s, _) = run_tracked(
-            trace,
-            setup.nodes,
-            300.0,
-            (setup.track_lo, setup.track_hi),
-            adm.as_mut(),
-            &mut Las::new(),
-            &mut ConsolidatedPlacement::preferred(),
-        );
-        row(&[name.clone(), s0(s.avg_jct), s0(s.avg_responsiveness)]);
-        results.push((name, s.avg_jct, s.avg_responsiveness));
+    for name in names {
+        let jct = report.mean_over_seeds(name, 5.5, |t| t.summary.avg_jct);
+        let resp = report.mean_over_seeds(name, 5.5, |t| t.summary.avg_responsiveness);
+        row(&[name.to_string(), s0(jct), s0(resp)]);
+        results.push((name, jct, resp));
     }
     let accept_all = results[0].1;
     let mild = &results[1]; // accept-1.5x

@@ -1,11 +1,10 @@
 //! Figure 13: admission control under daily arrival spikes (16 extra jobs
-//! in one hour of each day).
+//! in one hour of each day), via the sweep engine (policy axis =
+//! admission).
 
-use blox_bench::{banner, philly_trace, row, run_tracked, s0, shape_check, PhillySetup};
-use blox_core::policy::AdmissionPolicy;
+use blox_bench::{banner, las_under, philly_trace, row, s0, shape_check, PhillySetup};
 use blox_policies::admission::{AcceptAll, ThresholdAdmission};
-use blox_policies::placement::ConsolidatedPlacement;
-use blox_policies::scheduling::Las;
+use blox_sim::SweepGrid;
 use blox_workloads::transforms::inject_daily_spikes;
 use blox_workloads::ModelZoo;
 
@@ -15,31 +14,45 @@ fn main() {
         "With daily spikes, tight admission (1.2x) lowers avg JCT vs accept-all by a larger margin (paper: 27%)",
     );
     let setup = PhillySetup::default();
-    let zoo = ModelZoo::standard();
+    // The spiked trace is deterministic: generate it once to size the
+    // tracked window, then let every trial regenerate it identically.
+    let spiked = {
+        let zoo = ModelZoo::standard();
+        inject_daily_spikes(philly_trace(&setup, 5.5), &zoo, 16, 10.0, 5)
+    };
+    let (lo, hi) = (spiked.len() as u64 / 2, spiked.len() as u64 * 3 / 4);
+    let trace_setup = setup.clone();
+    let names = ["accept-all", "accept-1.5x", "accept-1.2x", "accept-1.0x"];
+    let report = SweepGrid::builder()
+        .trace(move |load, _seed| {
+            let zoo = ModelZoo::standard();
+            inject_daily_spikes(philly_trace(&trace_setup, load), &zoo, 16, 10.0, 5)
+        })
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .tracked_window(lo, hi)
+        .policy(las_under(names[0], || Box::new(AcceptAll::new())))
+        .policy(las_under(names[1], || {
+            Box::new(ThresholdAdmission::new(1.5))
+        }))
+        .policy(las_under(names[2], || {
+            Box::new(ThresholdAdmission::new(1.2))
+        }))
+        .policy(las_under(names[3], || {
+            Box::new(ThresholdAdmission::new(1.0))
+        }))
+        .loads(&[5.5])
+        .build()
+        .run();
+    report.emit_json_env();
+
     row(&["admission,avg_jct,avg_responsiveness".into()]);
     let mut results = Vec::new();
-    let policies: Vec<Box<dyn AdmissionPolicy>> = vec![
-        Box::new(AcceptAll::new()),
-        Box::new(ThresholdAdmission::new(1.5)),
-        Box::new(ThresholdAdmission::new(1.2)),
-        Box::new(ThresholdAdmission::new(1.0)),
-    ];
-    for mut adm in policies {
-        let trace = inject_daily_spikes(philly_trace(&setup, 5.5), &zoo, 16, 10.0, 5);
-        let hi = trace.len() as u64 * 3 / 4;
-        let lo = trace.len() as u64 / 2;
-        let name = adm.name().to_string();
-        let (s, _) = run_tracked(
-            trace,
-            setup.nodes,
-            300.0,
-            (lo, hi),
-            adm.as_mut(),
-            &mut Las::new(),
-            &mut ConsolidatedPlacement::preferred(),
-        );
-        row(&[name.clone(), s0(s.avg_jct), s0(s.avg_responsiveness)]);
-        results.push((name, s.avg_jct));
+    for name in names {
+        let jct = report.mean_over_seeds(name, 5.5, |t| t.summary.avg_jct);
+        let resp = report.mean_over_seeds(name, 5.5, |t| t.summary.avg_responsiveness);
+        row(&[name.to_string(), s0(jct), s0(resp)]);
+        results.push((name, jct));
     }
     let accept_all = results[0].1;
     let best = results

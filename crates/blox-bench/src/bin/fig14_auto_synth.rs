@@ -2,7 +2,7 @@
 //! combinations, on the Philly trace and a bursty variant.
 
 use blox_bench::{banner, philly_trace, row, s0, shape_check, PhillySetup};
-use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_sim::{cluster_of_v100, SimBackend};
 use blox_synth::{run_static, AutoSynthesizer, CandidateSet, Objective};
 use blox_workloads::transforms::inject_bursty_load;
@@ -16,6 +16,7 @@ fn manager(trace: Trace, nodes: u32) -> BloxManager<SimBackend> {
             round_duration: 300.0,
             max_rounds: 300_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         },
     )
 }

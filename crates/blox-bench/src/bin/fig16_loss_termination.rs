@@ -1,11 +1,10 @@
 //! Figure 16: loss-based job termination vs epoch-based termination —
-//! JCT CDF and avg JCT reduction (paper: ~44%).
+//! JCT CDF and avg JCT reduction (paper: ~44%), via the sweep engine.
 
-use blox_bench::{banner, philly_trace, row, run_to_completion, s0, shape_check, PhillySetup};
+use blox_bench::{banner, philly_trace, policy_set, row, s0, shape_check, PhillySetup};
 use blox_core::metrics::percentile;
-use blox_policies::admission::AcceptAll;
-use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::{Fifo, LossTermination};
+use blox_sim::SweepGrid;
 
 fn main() {
     banner(
@@ -16,31 +15,35 @@ fn main() {
         n_jobs: (400.0 * blox_bench::scale()) as usize,
         ..Default::default()
     };
-    // 75% of jobs converge at 40% progress; threshold 0.1% relative loss.
-    let trace = philly_trace(&setup, 7.0)
-        .assign_early_convergence(0.75, 0.4, 13)
-        .with_loss_termination(0.001);
+    let trace_setup = setup.clone();
+    let report = SweepGrid::builder()
+        .trace(move |load, _seed| {
+            // 75% of jobs converge at 40% progress; threshold 0.1%
+            // relative loss.
+            philly_trace(&trace_setup, load)
+                .assign_early_convergence(0.75, 0.4, 13)
+                .with_loss_termination(0.001)
+        })
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .policy(policy_set("epoch_based", || Box::new(Fifo::new())))
+        .policy(policy_set("loss_based", || {
+            Box::new(LossTermination::new(Fifo::new()))
+        }))
+        .loads(&[7.0])
+        .build()
+        .run();
+    report.emit_json_env();
 
-    let epoch_stats = run_to_completion(
-        trace.clone(),
-        setup.nodes,
-        300.0,
-        &mut AcceptAll::new(),
-        &mut Fifo::new(),
-        &mut ConsolidatedPlacement::preferred(),
-    );
-    let loss_stats = run_to_completion(
-        trace,
-        setup.nodes,
-        300.0,
-        &mut AcceptAll::new(),
-        &mut LossTermination::new(Fifo::new()),
-        &mut ConsolidatedPlacement::preferred(),
-    );
-    let mut epoch: Vec<f64> = epoch_stats.records.iter().map(|r| r.jct()).collect();
-    let mut loss: Vec<f64> = loss_stats.records.iter().map(|r| r.jct()).collect();
-    epoch.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    loss.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let jcts = |policy: &str| {
+        let trial = report.trial(policy, 7.0, setup.seed).expect("trial ran");
+        let mut v: Vec<f64> = trial.stats.records.iter().map(|r| r.jct()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite JCTs"));
+        (v, trial)
+    };
+    let (epoch, epoch_trial) = jcts("epoch_based");
+    let (loss, loss_trial) = jcts("loss_based");
+
     row(&["quantile,epoch_based,loss_based".into()]);
     for q in [0.25, 0.5, 0.75, 0.9] {
         row(&[
@@ -49,18 +52,19 @@ fn main() {
             s0(percentile(&loss, q)),
         ]);
     }
-    let avg_epoch = epoch_stats.summary().avg_jct;
-    let avg_loss = loss_stats.summary().avg_jct;
+    let avg_epoch = epoch_trial.summary.avg_jct;
+    let avg_loss = loss_trial.summary.avg_jct;
     let reduction = (1.0 - avg_loss / avg_epoch) * 100.0;
     println!("avg JCT: epoch={avg_epoch:.0} loss={avg_loss:.0} reduction={reduction:.1}%");
-    let early = loss_stats
+    let early = loss_trial
+        .stats
         .records
         .iter()
         .filter(|r| r.terminated_early)
         .count();
     println!(
         "jobs terminated early: {early}/{}",
-        loss_stats.records.len()
+        loss_trial.stats.records.len()
     );
     shape_check(
         "loss-based termination reduces avg JCT >= 25%",

@@ -3,7 +3,7 @@
 //! (paper: ~6.1% average difference against a real AWS cluster).
 
 use blox_bench::{banner, row, s0, shape_check};
-use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_core::metrics::percentile;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::FirstFreePlacement;
@@ -27,6 +27,7 @@ fn main() {
         round_duration: 300.0,
         max_rounds: 20_000,
         stop: StopCondition::AllJobsDone,
+        mode: ExecMode::FixedRounds,
     };
 
     // Simulation (CPU-contention off: the emulated runtime replays pure

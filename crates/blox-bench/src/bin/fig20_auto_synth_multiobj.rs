@@ -2,7 +2,7 @@
 //! responsiveness jointly.
 
 use blox_bench::{banner, philly_trace, row, s0, shape_check, PhillySetup};
-use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_sim::{cluster_of_v100, SimBackend};
 use blox_synth::{run_static, AutoSynthesizer, CandidateSet, Objective};
 
@@ -24,6 +24,7 @@ fn main() {
                 round_duration: 300.0,
                 max_rounds: 300_000,
                 stop: StopCondition::AllJobsDone,
+                mode: ExecMode::FixedRounds,
             },
         )
     };

@@ -9,16 +9,23 @@
 //! Experiments are scaled by the `BLOX_SCALE` environment variable
 //! (default 1.0): trace sizes and tracked windows multiply by it, so CI
 //! can run quick versions while a full reproduction uses `BLOX_SCALE=3`.
+//!
+//! Grid-shaped experiments (policy × load sweeps) run through the
+//! parallel sweep engine ([`blox_sim::sweep`]) with the event-driven
+//! fast path; [`philly_grid`] preconfigures it for the standard Philly
+//! steady-state methodology. Setting `BLOX_SWEEP_JSON=<path>` makes
+//! every ported figure binary append its aggregated trial results as
+//! one JSON line to that file.
 
 pub mod reference;
 
 use blox_core::cluster::ClusterState;
-use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_core::metrics::{RunStats, Summary};
 use blox_core::policy::{AdmissionPolicy, PlacementPolicy, SchedulingPolicy};
 use blox_core::policy::{Placement, SchedulingDecision};
 use blox_core::state::JobState;
-use blox_sim::{cluster_of_v100, SimBackend};
+use blox_sim::{cluster_of_v100, PolicySet, SimBackend, SweepGrid};
 use blox_workloads::{ModelZoo, PhillyTraceGen, Trace};
 
 /// Experiment scale factor from `BLOX_SCALE` (default 1.0).
@@ -81,6 +88,7 @@ pub fn run_tracked(
                 lo: track.0,
                 hi: track.1,
             },
+            mode: ExecMode::FixedRounds,
         },
     );
     let stats = mgr.run(admission, scheduling, placement);
@@ -106,6 +114,7 @@ pub fn run_to_completion_perf(
             round_duration: round_s,
             max_rounds: 500_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         },
     );
     mgr.run(admission, scheduling, placement)
@@ -129,6 +138,7 @@ pub fn run_to_completion(
             round_duration: round_s,
             max_rounds: 500_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         },
     );
 
@@ -139,6 +149,71 @@ pub fn run_to_completion(
 pub fn philly_trace(setup: &PhillySetup, jobs_per_hour: f64) -> Trace {
     let zoo = ModelZoo::standard();
     PhillyTraceGen::new(&zoo, jobs_per_hour).generate(setup.n_jobs, setup.seed)
+}
+
+/// Preconfigured [`SweepGrid`] builder for the standard Philly
+/// steady-state methodology: the setup's cluster and trace sizes, its
+/// seed, its tracked measurement window, 300 s rounds, and the
+/// event-driven fast path. Figure binaries add their policy axis and
+/// load points:
+///
+/// ```
+/// use blox_bench::{philly_grid, policy_set, PhillySetup};
+/// use blox_policies::scheduling::Tiresias;
+///
+/// let setup = PhillySetup {
+///     n_jobs: 40,
+///     track_lo: 10,
+///     track_hi: 30,
+///     nodes: 8,
+///     seed: 7,
+/// };
+/// let report = philly_grid(&setup)
+///     .policy(policy_set("tiresias", || Box::new(Tiresias::new())))
+///     .loads(&[4.0, 8.0])
+///     .build()
+///     .run();
+/// assert_eq!(report.trials.len(), 2);
+/// ```
+pub fn philly_grid(setup: &PhillySetup) -> blox_sim::sweep::SweepGridBuilder {
+    let n_jobs = setup.n_jobs;
+    SweepGrid::builder()
+        .trace(move |load, seed| {
+            PhillyTraceGen::new(&ModelZoo::standard(), load).generate(n_jobs, seed)
+        })
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .tracked_window(setup.track_lo, setup.track_hi)
+}
+
+/// A [`PolicySet`] from a scheduling-policy factory with the evaluation
+/// defaults for the other two stages: accept-all admission and
+/// consolidated (preferred) placement.
+pub fn policy_set(
+    name: &str,
+    scheduling: impl Fn() -> Box<dyn SchedulingPolicy> + Send + Sync + 'static,
+) -> PolicySet {
+    PolicySet::new(
+        name,
+        || Box::new(blox_policies::admission::AcceptAll::new()),
+        scheduling,
+        || Box::new(blox_policies::placement::ConsolidatedPlacement::preferred()),
+    )
+}
+
+/// A [`PolicySet`] for the admission-composition figures (12–13): the
+/// given admission policy gating LAS scheduling over consolidated
+/// placement.
+pub fn las_under(
+    name: &str,
+    admission: impl Fn() -> Box<dyn blox_core::policy::AdmissionPolicy> + Send + Sync + 'static,
+) -> PolicySet {
+    PolicySet::new(
+        name,
+        admission,
+        || Box::new(blox_policies::scheduling::Las::new()),
+        || Box::new(blox_policies::placement::ConsolidatedPlacement::preferred()),
+    )
 }
 
 /// Print a header naming the experiment and its paper reference.

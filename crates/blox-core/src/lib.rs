@@ -25,6 +25,8 @@
 //! assert_eq!(cluster.total_gpus(), 128);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod error;
 pub mod ids;
@@ -40,7 +42,9 @@ pub use cluster::{ClusterState, GpuRow, GpuState, GpuType, Node, NodeSpec};
 pub use error::{BloxError, Result};
 pub use ids::{GpuGlobalId, JobId, NodeId};
 pub use job::{Job, JobStatus};
-pub use manager::{apply_placement, Backend, BloxManager, RoundOutcome, RunConfig, StopCondition};
+pub use manager::{
+    apply_placement, Backend, BloxManager, ExecMode, RoundOutcome, RunConfig, StopCondition,
+};
 pub use metrics::{JobRecord, RunStats, Summary};
 pub use policy::{
     AdmissionPolicy, Placement, PlacementPolicy, SchedulingDecision, SchedulingPolicy,

@@ -40,6 +40,48 @@ pub trait Backend: Send {
 
     /// Advance to the next round boundary (simulated clock jump or sleep).
     fn advance_round(&mut self, round_duration: f64);
+
+    /// The earliest future time at which backend-driven state can change,
+    /// if the backend can predict it: the next trace arrival, the next
+    /// scheduled churn event, or the earliest sub-round completion of a
+    /// currently running job under its frozen placement.
+    ///
+    /// The manager's event-driven fast path ([`ExecMode::EventDriven`])
+    /// uses this hint to jump over scheduling rounds that provably cannot
+    /// observe anything new. Contract for implementors:
+    ///
+    /// * Every returned time must be exact or an *underestimate* — the
+    ///   manager never skips past the hint, so a too-early hint only costs
+    ///   an extra (harmless) round, while a too-late hint would skip over
+    ///   an event and corrupt the run.
+    /// * Completion predictions may assume placements stay frozen until
+    ///   the hint time; the manager only skips when that holds.
+    /// * Return `None` when no future event is predictable (this disables
+    ///   skipping entirely, the behavior of real-time backends where the
+    ///   clock must actually elapse).
+    fn next_event_hint(&self, cluster: &ClusterState, jobs: &JobState) -> Option<f64> {
+        let _ = (cluster, jobs);
+        None
+    }
+}
+
+/// How the manager's `run` loop advances time between rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Tick every round boundary, even when a round cannot observe any
+    /// event. The original (paper) behavior and the default.
+    #[default]
+    FixedRounds,
+    /// Skip rounds that provably observe nothing by jumping the clock to
+    /// the backend's [`Backend::next_event_hint`]. Skipped rounds are
+    /// still accounted in [`RunStats::rounds`] (and tallied in
+    /// [`RunStats::skipped_rounds`]) so round-derived statistics keep
+    /// their fixed-round semantics.
+    ///
+    /// Results are equivalent to [`ExecMode::FixedRounds`] up to
+    /// floating-point association: progress accrued over `k` skipped
+    /// rounds is applied as one lump instead of `k` per-round increments.
+    EventDriven,
 }
 
 /// When the manager's `run` loop stops.
@@ -70,6 +112,9 @@ pub struct RunConfig {
     pub max_rounds: u64,
     /// Termination condition.
     pub stop: StopCondition,
+    /// Whether `run` may skip provably empty rounds (the event-driven
+    /// fast path). `step` is unaffected by this setting.
+    pub mode: ExecMode,
 }
 
 impl Default for RunConfig {
@@ -78,6 +123,7 @@ impl Default for RunConfig {
             round_duration: 300.0,
             max_rounds: 2_000_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         }
     }
 }
@@ -288,7 +334,97 @@ impl<B: Backend> BloxManager<B> {
         }
     }
 
+    /// Jump over upcoming rounds that provably observe nothing, bulk
+    /// accounting them in the statistics. No-op unless the config selects
+    /// [`ExecMode::EventDriven`] and the current state qualifies:
+    ///
+    /// * the admission policy holds no deferred jobs (a held-back job may
+    ///   be released at any round, per the [`AdmissionPolicy`] contract);
+    /// * the backend can name the next event, and it is past the next
+    ///   round boundary;
+    /// * if any job is active, every active job is `Running`, both
+    ///   decision policies are [`stable_between_events`], and re-deriving
+    ///   this round's plan confirms it is a no-op (nothing launched,
+    ///   suspended, terminated, or retuned).
+    ///
+    /// [`stable_between_events`]: SchedulingPolicy::stable_between_events
+    fn fast_forward(
+        &mut self,
+        admission: &mut dyn AdmissionPolicy,
+        scheduling: &mut dyn SchedulingPolicy,
+        placement: &mut dyn PlacementPolicy,
+    ) {
+        if self.config.mode != ExecMode::EventDriven {
+            return;
+        }
+        if admission.pending() > 0 {
+            return;
+        }
+        let delta = self.config.round_duration;
+        if delta.is_nan() || delta <= 0.0 {
+            return;
+        }
+        let Some(event) = self.backend.next_event_hint(&self.cluster, &self.jobs) else {
+            return;
+        };
+        let now = self.backend.now();
+        if event.is_nan() || event <= now {
+            // Event due in the round about to execute (or a NaN hint):
+            // nothing to skip.
+            return;
+        }
+        // Serial execution would step at boundaries `now, now+Δ, …` and
+        // first observe the event at the earliest boundary >= `event`;
+        // everything before it is skippable.
+        let mut k = ((event - now) / delta).ceil();
+        // Never skip past the round budget…
+        k = k.min(self.config.max_rounds.saturating_sub(self.stats.rounds) as f64);
+        // …or past a time limit: boundaries at or beyond it are never
+        // executed (nor accounted) by the serial loop.
+        if let StopCondition::TimeLimit(t) = self.config.stop {
+            if t <= now {
+                return;
+            }
+            k = k.min(((t - now) / delta).ceil());
+        }
+        if k < 1.0 {
+            return;
+        }
+        let k = k as u64;
+
+        if self.jobs.active_count() > 0 {
+            // Waiting jobs can be (re)started in any round, and only
+            // policies that pledge stability may have rounds elided.
+            if self.jobs.waiting().next().is_some()
+                || !scheduling.stable_between_events()
+                || !placement.stable_between_events()
+            {
+                return;
+            }
+            // Verify this round's decision is a no-op before eliding it
+            // (and, by stability, every round up to the event).
+            let decision = scheduling.schedule(&self.jobs, &self.cluster, now);
+            if !decision.terminate.is_empty() || !decision.batch_sizes.is_empty() {
+                return;
+            }
+            let plan = placement.place(&decision, &self.jobs, &self.cluster, now);
+            if !plan.is_empty() {
+                return;
+            }
+        }
+
+        let total = self.cluster.total_gpus();
+        let busy = total - self.cluster.free_gpu_count();
+        self.stats
+            .record_skipped_rounds(busy, total, k, now + (k - 1) as f64 * delta);
+        self.backend.advance_round(k as f64 * delta);
+    }
+
     /// Run rounds until the stop condition holds; returns the statistics.
+    ///
+    /// Under [`ExecMode::EventDriven`] the loop first fast-forwards over
+    /// rounds that provably observe nothing (see
+    /// [`Backend::next_event_hint`]), then executes the next real round.
     pub fn run(
         &mut self,
         admission: &mut dyn AdmissionPolicy,
@@ -296,6 +432,10 @@ impl<B: Backend> BloxManager<B> {
         placement: &mut dyn PlacementPolicy,
     ) -> RunStats {
         while !self.should_stop() {
+            self.fast_forward(admission, scheduling, placement);
+            if self.should_stop() {
+                break;
+            }
             self.step(admission, scheduling, placement);
         }
         self.stats.clone()
@@ -430,5 +570,244 @@ mod tests {
         let cfg = RunConfig::default();
         assert_eq!(cfg.round_duration, 300.0);
         assert_eq!(cfg.stop, StopCondition::AllJobsDone);
+        assert_eq!(cfg.mode, ExecMode::FixedRounds);
+    }
+
+    // --- event-driven fast-path tests over a scripted stub backend ---
+
+    use crate::place_util::{plan_placement, PickStrategy};
+    use crate::policy::{AdmissionPolicy, PlacementPolicy, SchedulingDecision, SchedulingPolicy};
+    use std::collections::VecDeque;
+
+    /// Minimal simulated backend: arrivals pop by time, running jobs
+    /// complete after `work_s` seconds of wall-clock on any placement.
+    #[derive(Clone)]
+    struct StubBackend {
+        clock: f64,
+        last_update: f64,
+        arrivals: VecDeque<Job>,
+        work_s: f64,
+    }
+
+    impl StubBackend {
+        fn new(jobs: Vec<Job>, work_s: f64) -> Self {
+            StubBackend {
+                clock: 0.0,
+                last_update: 0.0,
+                arrivals: jobs.into(),
+                work_s,
+            }
+        }
+    }
+
+    impl Backend for StubBackend {
+        fn now(&self) -> f64 {
+            self.clock
+        }
+
+        fn update_cluster(&mut self, _cluster: &mut ClusterState) {}
+
+        fn pop_wait_queue(&mut self, now: f64) -> Vec<Job> {
+            let mut out = Vec::new();
+            while self.arrivals.front().is_some_and(|j| j.arrival_time <= now) {
+                out.push(self.arrivals.pop_front().expect("front exists"));
+            }
+            out
+        }
+
+        fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+            self.arrivals.front().map(|j| (j.id, j.arrival_time))
+        }
+
+        fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _e: f64) {
+            let round_start = self.last_update;
+            self.last_update = self.clock;
+            let mut done = Vec::new();
+            for job in jobs.active_mut() {
+                if job.status != JobStatus::Running {
+                    continue;
+                }
+                job.running_time += self.clock - round_start;
+                let started = job.first_scheduled.expect("running implies scheduled");
+                if started + self.work_s <= self.clock {
+                    job.status = JobStatus::Completed;
+                    job.completion_time = Some(started + self.work_s);
+                    done.push(job.id);
+                }
+            }
+            for id in done {
+                cluster.release(id);
+                if let Some(job) = jobs.get_mut(id) {
+                    job.placement.clear();
+                }
+            }
+        }
+
+        fn exec_jobs(&mut self, p: &Placement, c: &mut ClusterState, j: &mut JobState) {
+            apply_placement(p, c, j, self.clock).expect("stub placements are valid");
+        }
+
+        fn advance_round(&mut self, round_duration: f64) {
+            self.clock += round_duration;
+        }
+
+        fn next_event_hint(&self, _cluster: &ClusterState, jobs: &JobState) -> Option<f64> {
+            let mut earliest: Option<f64> = None;
+            let mut consider = |t: f64| {
+                if earliest.is_none_or(|e| t < e) {
+                    earliest = Some(t);
+                }
+            };
+            if let Some((_, t)) = self.peek_next_arrival() {
+                consider(t);
+            }
+            for job in jobs.running() {
+                consider(job.first_scheduled.expect("running implies scheduled") + self.work_s);
+            }
+            earliest
+        }
+    }
+
+    struct StubAdmit;
+    impl AdmissionPolicy for StubAdmit {
+        fn admit(&mut self, new: Vec<Job>, _: &JobState, _: &ClusterState, _: f64) -> Vec<Job> {
+            new
+        }
+        fn name(&self) -> &str {
+            "stub-admit"
+        }
+    }
+
+    struct StubSched;
+    impl SchedulingPolicy for StubSched {
+        fn schedule(&mut self, js: &JobState, _: &ClusterState, _: f64) -> SchedulingDecision {
+            SchedulingDecision::from_priority_order(js.active())
+        }
+        fn stable_between_events(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            "stub-sched"
+        }
+    }
+
+    struct StubPlace;
+    impl PlacementPolicy for StubPlace {
+        fn place(
+            &mut self,
+            d: &SchedulingDecision,
+            js: &JobState,
+            c: &ClusterState,
+            _: f64,
+        ) -> Placement {
+            plan_placement(d, js, c, |_| PickStrategy::FirstFree)
+        }
+        fn stable_between_events(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            "stub-place"
+        }
+    }
+
+    fn sparse_jobs() -> Vec<Job> {
+        // Widely spaced arrivals: long idle gaps plus long running
+        // stretches (work 5000 s ≈ 17 rounds) between events.
+        (0..4)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    20_000.0 * i as f64,
+                    1,
+                    100.0,
+                    JobProfile::synthetic("toy", 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn run_stub(mode: ExecMode, stop: StopCondition, max_rounds: u64) -> RunStats {
+        let mut mgr = BloxManager::new(
+            StubBackend::new(sparse_jobs(), 5_000.0),
+            cluster(),
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds,
+                stop,
+                mode,
+            },
+        );
+        mgr.run(&mut StubAdmit, &mut StubSched, &mut StubPlace)
+    }
+
+    #[test]
+    fn event_driven_matches_fixed_rounds_exactly() {
+        let fixed = run_stub(ExecMode::FixedRounds, StopCondition::AllJobsDone, 10_000);
+        let fast = run_stub(ExecMode::EventDriven, StopCondition::AllJobsDone, 10_000);
+        assert_eq!(fixed.skipped_rounds, 0);
+        assert!(fast.skipped_rounds > 0, "fast path must skip empty rounds");
+        assert_eq!(fixed.rounds, fast.rounds);
+        assert_eq!(fixed.end_time, fast.end_time);
+        assert_eq!(fixed.records, fast.records);
+        assert!(
+            (fixed.mean_utilization() - fast.mean_utilization()).abs() < 1e-12,
+            "bulk accounting must preserve utilization"
+        );
+        // Both idle gaps and all-running stretches are elided: of ~267
+        // rounds, only a handful (events + their follow-up rounds) step.
+        assert!(
+            fast.rounds - fast.skipped_rounds <= 16,
+            "expected nearly all rounds skipped, stepped {}",
+            fast.rounds - fast.skipped_rounds
+        );
+    }
+
+    #[test]
+    fn event_driven_respects_time_limit() {
+        let stop = StopCondition::TimeLimit(1_500.0);
+        let fixed = run_stub(ExecMode::FixedRounds, stop, 10_000);
+        let fast = run_stub(ExecMode::EventDriven, stop, 10_000);
+        assert_eq!(fixed.rounds, fast.rounds);
+        assert_eq!(fixed.end_time, fast.end_time);
+    }
+
+    #[test]
+    fn event_driven_respects_max_rounds() {
+        let fixed = run_stub(ExecMode::FixedRounds, StopCondition::AllJobsDone, 7);
+        let fast = run_stub(ExecMode::EventDriven, StopCondition::AllJobsDone, 7);
+        assert_eq!(fixed.rounds, 7);
+        assert_eq!(fast.rounds, 7);
+    }
+
+    #[test]
+    fn unstable_policies_still_step_while_jobs_run() {
+        struct UnstableSched;
+        impl SchedulingPolicy for UnstableSched {
+            fn schedule(&mut self, js: &JobState, _: &ClusterState, _: f64) -> SchedulingDecision {
+                SchedulingDecision::from_priority_order(js.active())
+            }
+            fn name(&self) -> &str {
+                "unstable"
+            }
+        }
+        let mut mgr = BloxManager::new(
+            StubBackend::new(sparse_jobs(), 5_000.0),
+            cluster(),
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 10_000,
+                stop: StopCondition::AllJobsDone,
+                mode: ExecMode::EventDriven,
+            },
+        );
+        let stats = mgr.run(&mut StubAdmit, &mut UnstableSched, &mut StubPlace);
+        // Idle gaps still skip, but running stretches must step round by
+        // round for a policy that does not pledge stability.
+        assert!(stats.skipped_rounds > 0);
+        let stepped = stats.rounds - stats.skipped_rounds;
+        assert!(
+            stepped >= 4 * 16,
+            "running stretches (~17 rounds each, 4 jobs) must not be elided, stepped {stepped}"
+        );
     }
 }

@@ -63,8 +63,12 @@ impl JobRecord {
 pub struct RunStats {
     /// Per-job records, in completion order.
     pub records: Vec<JobRecord>,
-    /// Number of rounds executed.
+    /// Number of rounds executed or skipped over.
     pub rounds: u64,
+    /// Rounds elided by the event-driven fast path (a subset of
+    /// `rounds`); `rounds - skipped_rounds` rounds actually ran the
+    /// policy pipeline.
+    pub skipped_rounds: u64,
     /// Sum over rounds of (busy GPUs / total GPUs); divide by `rounds` for
     /// mean utilization.
     utilization_sum: f64,
@@ -92,6 +96,26 @@ impl RunStats {
             self.utilization_sum += busy_gpus as f64 / total_gpus as f64;
         }
         self.end_time = now;
+    }
+
+    /// Bulk-account `count` rounds elided by the event-driven fast path.
+    /// The utilization sample is constant across the elided span (the
+    /// cluster allocation is frozen), so one multiply replaces `count`
+    /// per-round additions; `last_now` is the boundary time of the last
+    /// elided round.
+    pub fn record_skipped_rounds(
+        &mut self,
+        busy_gpus: u32,
+        total_gpus: u32,
+        count: u64,
+        last_now: f64,
+    ) {
+        self.rounds += count;
+        self.skipped_rounds += count;
+        if total_gpus > 0 {
+            self.utilization_sum += count as f64 * (busy_gpus as f64 / total_gpus as f64);
+        }
+        self.end_time = last_now;
     }
 
     /// Records restricted to an id range (inclusive), the paper's

@@ -78,6 +78,11 @@ pub trait AdmissionPolicy: Send {
     ) -> Vec<Job>;
 
     /// Number of jobs currently held back by the policy.
+    ///
+    /// Contract: `admit` may only return jobs it was offered (this round
+    /// or earlier); when `pending() == 0` an `admit` call with no new
+    /// arrivals must admit nothing. The manager's event-driven fast path
+    /// relies on this to elide rounds without consulting the policy.
     fn pending(&self) -> usize {
         0
     }
@@ -103,6 +108,32 @@ pub trait SchedulingPolicy: Send {
         now: f64,
     ) -> SchedulingDecision;
 
+    /// True when the policy may have event-free rounds elided by the
+    /// manager's fast path. Returning `true` promises both of:
+    ///
+    /// 1. **Purity**: the decision is a function of `(job_state,
+    ///    cluster)` only — independent of `now`, of how often `schedule`
+    ///    is called, and of internal mutable state (the fast path calls
+    ///    `schedule` an extra time to verify a round is a no-op).
+    /// 2. **Plan stability while everyone runs**: whenever every active
+    ///    job is `Running` and none is waiting, the *resulting placement
+    ///    plan* stays a no-op across rounds in which nothing arrives,
+    ///    completes, or churns — even though running jobs keep accruing
+    ///    service and iterations. The decision's internal *ordering* may
+    ///    shift with that progress (LAS/Tiresias priorities do); what
+    ///    must not change is who holds how many GPUs.
+    ///
+    /// Pure priority-ordering policies (FIFO, LAS, SRTF, Tiresias)
+    /// satisfy this: they grant every job its requested size, so with
+    /// nobody waiting a reorder never alters any grant. Policies whose
+    /// *grants* or terminations respond to progress (Optimus, Pollux,
+    /// Gavel, Themis, HyperBand, loss-based termination) must keep the
+    /// default `false` — under the fast path their resizes would be
+    /// observed late, silently diverging from fixed-round execution.
+    fn stable_between_events(&self) -> bool {
+        false
+    }
+
     /// Short policy name for reports.
     fn name(&self) -> &str;
 }
@@ -118,6 +149,17 @@ pub trait PlacementPolicy: Send {
         cluster: &ClusterState,
         now: f64,
     ) -> Placement;
+
+    /// Placement counterpart of
+    /// [`SchedulingPolicy::stable_between_events`]: `true` when `place`
+    /// is a pure function of its inputs (no `now` dependence, no internal
+    /// state mutated across calls) and a running job whose grant matches
+    /// its current placement is always kept in place — i.e. the policy
+    /// never migrates running jobs of its own accord. All planners built
+    /// on [`crate::place_util::plan_placement`] satisfy this.
+    fn stable_between_events(&self) -> bool {
+        false
+    }
 
     /// Short policy name for reports.
     fn name(&self) -> &str;

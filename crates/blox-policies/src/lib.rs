@@ -19,6 +19,17 @@
 //!   [`placement::BandwidthAwarePlacement`] (intra-node NVLink pairs),
 //!   [`placement::SynergyPlacement`] (CPU/DRAM aware).
 
+//!
+//! Policies that only rank jobs (FIFO, LAS, SRTF, Tiresias) and every
+//! planner-based placement policy opt into
+//! [`blox_core::policy::SchedulingPolicy::stable_between_events`], which
+//! lets the manager's event-driven fast path skip rounds in which every
+//! active job is already running and no event is due. Adaptive policies
+//! (Optimus, Pollux, Gavel, Themis, HyperBand, loss-based termination)
+//! keep the conservative default and are stepped every round.
+
+#![warn(missing_docs)]
+
 pub mod admission;
 pub mod placement;
 pub mod scheduling;

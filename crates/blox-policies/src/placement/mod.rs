@@ -36,6 +36,12 @@ impl PlacementPolicy for FirstFreePlacement {
         plan_placement(decision, job_state, cluster, |_| PickStrategy::FirstFree)
     }
 
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "first-free"
     }
@@ -78,6 +84,12 @@ impl PlacementPolicy for ConsolidatedPlacement {
                 PickStrategy::ConsolidatedPreferred
             }
         })
+    }
+
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &str {
@@ -135,6 +147,12 @@ impl PlacementPolicy for TiresiasPlacement {
         })
     }
 
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "tiresias-placement"
     }
@@ -174,6 +192,12 @@ impl PlacementPolicy for ProfileGuidedPlacement {
         })
     }
 
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "tiresias-plus"
     }
@@ -203,6 +227,12 @@ impl PlacementPolicy for BandwidthAwarePlacement {
         plan_placement(decision, job_state, cluster, |_| {
             PickStrategy::BandwidthAware
         })
+    }
+
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &str {
@@ -366,6 +396,12 @@ impl PlacementPolicy for SynergyPlacement {
             to_launch,
             to_suspend,
         }
+    }
+
+    /// Pure function of its inputs that keeps running jobs whose grant
+    /// matches their placement: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &str {

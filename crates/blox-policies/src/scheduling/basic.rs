@@ -43,6 +43,11 @@ impl SchedulingPolicy for Fifo {
         decision_sorted_by(job_state, |j| j.arrival_time)
     }
 
+    /// Pure priority ordering: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "fifo"
     }
@@ -71,6 +76,11 @@ impl SchedulingPolicy for Las {
         decision_sorted_by(job_state, |j| j.attained_service)
     }
 
+    /// Pure priority ordering: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "las"
     }
@@ -96,6 +106,11 @@ impl SchedulingPolicy for Srtf {
         _now: f64,
     ) -> SchedulingDecision {
         decision_sorted_by(job_state, |j| j.estimated_remaining_time())
+    }
+
+    /// Pure priority ordering: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &str {

@@ -70,6 +70,11 @@ impl SchedulingPolicy for Tiresias {
         SchedulingDecision::from_priority_order(jobs)
     }
 
+    /// Pure priority ordering: safe for the event-driven fast path.
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "tiresias"
     }

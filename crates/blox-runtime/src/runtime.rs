@@ -586,7 +586,7 @@ impl Backend for RuntimeBackend {
 mod tests {
     use super::*;
     use blox_core::cluster::NodeSpec;
-    use blox_core::manager::{BloxManager, RunConfig, StopCondition};
+    use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
     use blox_core::policy::{
         AdmissionPolicy, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
     };
@@ -671,6 +671,7 @@ mod tests {
                 round_duration: 300.0,
                 max_rounds: 50,
                 stop: StopCondition::AllJobsDone,
+                mode: ExecMode::FixedRounds,
             },
         );
         let stats = mgr.run(&mut PassAll, &mut FifoSched, &mut FirstFree);
@@ -702,6 +703,7 @@ mod tests {
                 round_duration: 300.0,
                 max_rounds: 60,
                 stop: StopCondition::AllJobsDone,
+                mode: ExecMode::FixedRounds,
             },
         );
         let stats = mgr.run(&mut PassAll, &mut FifoSched, &mut FirstFree);

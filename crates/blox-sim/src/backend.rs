@@ -222,6 +222,44 @@ impl Backend for SimBackend {
     fn advance_round(&mut self, round_duration: f64) {
         self.clock += round_duration;
     }
+
+    /// Earliest of: the next trace arrival, the next scheduled churn
+    /// event, and the earliest predicted completion of a running job.
+    ///
+    /// Completion times are predicted from the last metrics checkpoint
+    /// with the performance model's current rates — exact as long as
+    /// placements stay frozen, which is precisely the condition under
+    /// which the manager consumes the hint.
+    fn next_event_hint(&self, cluster: &ClusterState, jobs: &JobState) -> Option<f64> {
+        let mut earliest: Option<f64> = None;
+        let mut consider = |t: f64| {
+            if t.is_finite() && earliest.is_none_or(|e| t < e) {
+                earliest = Some(t);
+            }
+        };
+        if let Some((_, t)) = self.peek_next_arrival() {
+            consider(t);
+        }
+        if let Some(t) = self.churn.next_at() {
+            consider(t);
+        }
+        // Progress since `last_metrics_update` has not been applied yet,
+        // so completions are predicted from that checkpoint — the same
+        // base `update_metrics` will integrate from.
+        for job in jobs.running() {
+            let rate = self.perf.progress_rate(job, jobs, cluster);
+            if rate <= 0.0 {
+                continue;
+            }
+            let overhead = if self.charge_overheads {
+                job.pending_overhead.max(0.0)
+            } else {
+                0.0
+            };
+            consider(self.last_metrics_update + overhead + job.remaining_iters() / rate);
+        }
+        earliest
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,11 @@ impl ChurnScript {
     pub fn remaining(&self) -> usize {
         self.events.len() - self.cursor
     }
+
+    /// Timestamp of the next undelivered event, if any.
+    pub fn next_at(&self) -> Option<f64> {
+        self.events.get(self.cursor).map(|e| e.at())
+    }
 }
 
 #[cfg(test)]

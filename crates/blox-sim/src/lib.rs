@@ -9,20 +9,34 @@
 //!   interconnect bandwidth, CPU contention, Pollux goodput);
 //! * exact sub-round completion timestamps;
 //! * launch/restore overhead accounting;
-//! * cluster churn injection (node failures and recoveries).
+//! * cluster churn injection (node failures and recoveries);
+//! * an event-driven fast path (the [`blox_core::Backend::next_event_hint`]
+//!   implementation) that lets the manager skip empty rounds;
+//! * a parallel experiment-sweep engine ([`sweep`]) that runs whole
+//!   policy × load × seed grids across OS threads.
+
+#![warn(missing_docs)]
 
 pub mod backend;
 pub mod churn;
 pub mod perf;
+pub mod sweep;
 
 pub use backend::SimBackend;
 pub use churn::ChurnEvent;
 pub use perf::PerfModel;
+pub use sweep::{PolicySet, SweepGrid, SweepReport, TrialResult};
 
 use blox_core::cluster::{ClusterState, NodeSpec};
 
 /// Convenience: a cluster of `nodes` p3.8xlarge-style servers
 /// (4× V100, 10 Gbps interconnect), the paper's default hardware.
+///
+/// ```
+/// let cluster = blox_sim::cluster_of_v100(32);
+/// assert_eq!(cluster.total_gpus(), 128);
+/// assert_eq!(cluster.free_gpu_count(), 128);
+/// ```
 pub fn cluster_of_v100(nodes: u32) -> ClusterState {
     let mut c = ClusterState::new();
     c.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes);
@@ -30,6 +44,14 @@ pub fn cluster_of_v100(nodes: u32) -> ClusterState {
 }
 
 /// Convenience: a cluster of Tiresias-style servers (4× P100, 100 Gbps).
+///
+/// ```
+/// use blox_core::GpuType;
+///
+/// let cluster = blox_sim::cluster_of_p100(16);
+/// assert_eq!(cluster.total_gpus(), 64);
+/// assert!(cluster.gpus().all(|g| g.gpu_type == GpuType::P100));
+/// ```
 pub fn cluster_of_p100(nodes: u32) -> ClusterState {
     let mut c = ClusterState::new();
     c.add_nodes(&NodeSpec::p100_tiresias(), nodes);

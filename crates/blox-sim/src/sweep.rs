@@ -1,0 +1,735 @@
+//! Parallel experiment-sweep engine.
+//!
+//! The paper's headline claim is that one modular toolkit replays many
+//! schedulers over many traces and loads. A [`SweepGrid`] makes that an
+//! API: declare a grid of **policy composition × load × seed** over one
+//! trace generator, and [`SweepGrid::run`] fans the trials out across OS
+//! threads, each trial running its own [`BloxManager`] over its own
+//! [`SimBackend`] (event-driven by default, so empty rounds are skipped).
+//!
+//! Trials are completely independent and individually deterministic, and
+//! the report keeps them in grid order, so the aggregated output —
+//! including [`SweepReport::to_json`] — is byte-identical no matter how
+//! many worker threads execute the grid.
+//!
+//! ```
+//! use blox_sim::sweep::{PolicySet, SweepGrid};
+//! use blox_workloads::{ModelZoo, PhillyTraceGen};
+//!
+//! let grid = SweepGrid::builder()
+//!     .trace(|load, seed| {
+//!         PhillyTraceGen::new(&ModelZoo::standard(), load).generate(6, seed)
+//!     })
+//!     .cluster_v100(2)
+//!     .policy(PolicySet::baseline())
+//!     .loads(&[4.0, 8.0])
+//!     .seeds(&[1, 2])
+//!     .build();
+//! assert_eq!(grid.trial_count(), 4);
+//!
+//! let report = grid.run();
+//! assert_eq!(report.trials.len(), 4);
+//! assert!(report.trials.iter().all(|t| t.summary.jobs == 6));
+//! // Byte-identical regardless of worker-thread count:
+//! assert_eq!(report.to_json(), grid.run_serial().to_json());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use blox_core::cluster::ClusterState;
+use blox_core::job::Job;
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
+use blox_core::metrics::{RunStats, Summary};
+use blox_core::place_util::{plan_placement, PickStrategy};
+use blox_core::policy::{
+    AdmissionFactory, AdmissionPolicy, Placement, PlacementFactory, PlacementPolicy,
+    SchedulingDecision, SchedulingFactory, SchedulingPolicy,
+};
+use blox_core::state::JobState;
+use blox_workloads::Trace;
+
+use crate::{cluster_of_v100, PerfModel, SimBackend};
+
+/// Builds the trace for one trial from `(load, seed)`. The `load`
+/// dimension is the grid's scalar trace parameter — jobs/hour for the
+/// arrival-rate sweeps, but any generator knob works.
+pub type TraceFactory = Box<dyn Fn(f64, u64) -> Trace + Send + Sync>;
+
+/// Builds a fresh cluster for one trial.
+pub type ClusterFactory = Box<dyn Fn() -> ClusterState + Send + Sync>;
+
+/// One named admission + scheduling + placement composition; the
+/// "policy" axis of a sweep. Factories (not instances) so every trial
+/// gets a fresh, independent policy state.
+pub struct PolicySet {
+    name: String,
+    admission: AdmissionFactory,
+    scheduling: SchedulingFactory,
+    placement: PlacementFactory,
+}
+
+impl PolicySet {
+    /// A named composition from three policy factories.
+    pub fn new(
+        name: impl Into<String>,
+        admission: impl Fn() -> Box<dyn AdmissionPolicy> + Send + Sync + 'static,
+        scheduling: impl Fn() -> Box<dyn SchedulingPolicy> + Send + Sync + 'static,
+        placement: impl Fn() -> Box<dyn PlacementPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        PolicySet {
+            name: name.into(),
+            admission: Box::new(admission),
+            scheduling: Box::new(scheduling),
+            placement: Box::new(placement),
+        }
+    }
+
+    /// A minimal accept-all / FIFO / first-free composition, useful for
+    /// tests and examples without pulling in the policy library.
+    pub fn baseline() -> Self {
+        PolicySet::new(
+            "baseline-fifo",
+            || Box::new(BaselineAdmit),
+            || Box::new(BaselineFifo),
+            || Box::new(BaselinePlace),
+        )
+    }
+
+    /// The composition's name, used as the policy key in results.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for PolicySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySet")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Accept-everything admission for [`PolicySet::baseline`].
+struct BaselineAdmit;
+
+impl AdmissionPolicy for BaselineAdmit {
+    fn admit(&mut self, new: Vec<Job>, _: &JobState, _: &ClusterState, _: f64) -> Vec<Job> {
+        new
+    }
+
+    fn name(&self) -> &str {
+        "accept-all"
+    }
+}
+
+/// Arrival-ordered scheduling for [`PolicySet::baseline`].
+struct BaselineFifo;
+
+impl SchedulingPolicy for BaselineFifo {
+    fn schedule(&mut self, js: &JobState, _: &ClusterState, _: f64) -> SchedulingDecision {
+        let mut jobs: Vec<&Job> = js.active().collect();
+        jobs.sort_by(|a, b| {
+            a.arrival_time
+                .partial_cmp(&b.arrival_time)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        SchedulingDecision::from_priority_order(jobs)
+    }
+
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// First-free placement for [`PolicySet::baseline`].
+struct BaselinePlace;
+
+impl PlacementPolicy for BaselinePlace {
+    fn place(
+        &mut self,
+        d: &SchedulingDecision,
+        js: &JobState,
+        c: &ClusterState,
+        _: f64,
+    ) -> Placement {
+        plan_placement(d, js, c, |_| PickStrategy::FirstFree)
+    }
+
+    fn stable_between_events(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "first-free"
+    }
+}
+
+/// Outcome of one grid trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Name of the [`PolicySet`] that ran.
+    pub policy: String,
+    /// The trace parameter of this trial.
+    pub load: f64,
+    /// The trace seed of this trial.
+    pub seed: u64,
+    /// Summary over the reporting window: the tracked id window when the
+    /// grid stops on [`StopCondition::TrackedWindowDone`], every record
+    /// otherwise.
+    pub summary: Summary,
+    /// Full run statistics (per-job records, round counts, utilization).
+    pub stats: RunStats,
+}
+
+/// A declarative experiment grid: policy × load × seed over one trace
+/// generator and cluster shape. Construct with [`SweepGrid::builder`].
+pub struct SweepGrid {
+    policies: Vec<PolicySet>,
+    loads: Vec<f64>,
+    seeds: Vec<u64>,
+    trace: TraceFactory,
+    cluster: ClusterFactory,
+    perf: PerfModel,
+    charge_overheads: bool,
+    round_duration: f64,
+    max_rounds: u64,
+    stop: StopCondition,
+    mode: ExecMode,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SweepGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepGrid")
+            .field("policies", &self.policies)
+            .field("loads", &self.loads)
+            .field("seeds", &self.seeds)
+            .field("round_duration", &self.round_duration)
+            .field("stop", &self.stop)
+            .field("mode", &self.mode)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl SweepGrid {
+    /// Start building a grid. See the [module docs](self) for a complete
+    /// example.
+    pub fn builder() -> SweepGridBuilder {
+        SweepGridBuilder::default()
+    }
+
+    /// Number of trials the grid will run (policies × loads × seeds).
+    pub fn trial_count(&self) -> usize {
+        self.policies.len() * self.loads.len() * self.seeds.len()
+    }
+
+    /// The `(policy index, load, seed)` triple of trial `i`, in grid
+    /// order: policies outermost, seeds innermost.
+    fn trial_spec(&self, i: usize) -> (&PolicySet, f64, u64) {
+        let per_policy = self.loads.len() * self.seeds.len();
+        let set = &self.policies[i / per_policy];
+        let rest = i % per_policy;
+        (
+            set,
+            self.loads[rest / self.seeds.len()],
+            self.seeds[rest % self.seeds.len()],
+        )
+    }
+
+    /// Run one trial to completion.
+    fn run_trial(&self, set: &PolicySet, load: f64, seed: u64) -> TrialResult {
+        let mut backend = SimBackend::new((self.trace)(load, seed)).with_perf(self.perf.clone());
+        if !self.charge_overheads {
+            backend = backend.without_overheads();
+        }
+        let mut mgr = BloxManager::new(
+            backend,
+            (self.cluster)(),
+            RunConfig {
+                round_duration: self.round_duration,
+                max_rounds: self.max_rounds,
+                stop: self.stop,
+                mode: self.mode,
+            },
+        );
+        let mut admission = (set.admission)();
+        let mut scheduling = (set.scheduling)();
+        let mut placement = (set.placement)();
+        let stats = mgr.run(admission.as_mut(), scheduling.as_mut(), placement.as_mut());
+        let summary = match self.stop {
+            StopCondition::TrackedWindowDone { lo, hi } => stats.summary_tracked(lo, hi),
+            _ => stats.summary(),
+        };
+        TrialResult {
+            policy: set.name.clone(),
+            load,
+            seed,
+            summary,
+            stats,
+        }
+    }
+
+    /// Run every trial on the calling thread, in grid order. The
+    /// reference execution for determinism tests; produces the same
+    /// report as [`run`](Self::run).
+    pub fn run_serial(&self) -> SweepReport {
+        let trials = (0..self.trial_count())
+            .map(|i| {
+                let (set, load, seed) = self.trial_spec(i);
+                self.run_trial(set, load, seed)
+            })
+            .collect();
+        SweepReport { trials }
+    }
+
+    /// Run the grid, fanning trials out across OS threads (the builder's
+    /// `threads` setting; `0` means one per available CPU). Results are
+    /// reported in grid order regardless of completion order, so the
+    /// report is identical to [`run_serial`](Self::run_serial).
+    pub fn run(&self) -> SweepReport {
+        let n = self.trial_count();
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(n.max(1));
+        if workers <= 1 {
+            return self.run_serial();
+        }
+
+        let slots: Mutex<Vec<Option<TrialResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (set, load, seed) = self.trial_spec(i);
+                    let result = self.run_trial(set, load, seed);
+                    slots.lock().expect("no poisoned trial slots")[i] = Some(result);
+                });
+            }
+        });
+        let trials = slots
+            .into_inner()
+            .expect("no poisoned trial slots")
+            .into_iter()
+            .map(|r| r.expect("every trial index was claimed"))
+            .collect();
+        SweepReport { trials }
+    }
+}
+
+/// Builder for [`SweepGrid`]; all settings have documented defaults
+/// except the trace factory, which is required.
+pub struct SweepGridBuilder {
+    policies: Vec<PolicySet>,
+    loads: Vec<f64>,
+    seeds: Vec<u64>,
+    trace: Option<TraceFactory>,
+    cluster: ClusterFactory,
+    perf: PerfModel,
+    charge_overheads: bool,
+    round_duration: f64,
+    max_rounds: u64,
+    stop: StopCondition,
+    mode: ExecMode,
+    threads: usize,
+}
+
+impl Default for SweepGridBuilder {
+    fn default() -> Self {
+        SweepGridBuilder {
+            policies: Vec::new(),
+            loads: vec![1.0],
+            seeds: vec![42],
+            trace: None,
+            cluster: Box::new(|| cluster_of_v100(32)),
+            perf: PerfModel::default(),
+            charge_overheads: true,
+            round_duration: 300.0,
+            max_rounds: 500_000,
+            stop: StopCondition::AllJobsDone,
+            mode: ExecMode::EventDriven,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepGridBuilder {
+    /// Set the trace factory (required): builds one trial's trace from
+    /// `(load, seed)`.
+    pub fn trace(mut self, f: impl Fn(f64, u64) -> Trace + Send + Sync + 'static) -> Self {
+        self.trace = Some(Box::new(f));
+        self
+    }
+
+    /// Set the cluster factory. Default: 32 p3.8xlarge-style V100 nodes.
+    pub fn cluster(mut self, f: impl Fn() -> ClusterState + Send + Sync + 'static) -> Self {
+        self.cluster = Box::new(f);
+        self
+    }
+
+    /// Convenience: a cluster of `nodes` V100 nodes ([`cluster_of_v100`]).
+    pub fn cluster_v100(self, nodes: u32) -> Self {
+        self.cluster(move || cluster_of_v100(nodes))
+    }
+
+    /// Add one policy composition to the grid's policy axis.
+    pub fn policy(mut self, set: PolicySet) -> Self {
+        self.policies.push(set);
+        self
+    }
+
+    /// Set the load axis. Default: `[1.0]`.
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        self.loads = loads.to_vec();
+        self
+    }
+
+    /// Set the seed axis explicitly. Default: `[42]`.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Derive `n` deterministic per-trial seeds from one base seed (a
+    /// splitmix64 stream, so grids written as "base seed + N repeats"
+    /// reproduce bit-for-bit).
+    pub fn seeds_from(self, base: u64, n: usize) -> Self {
+        let mut state = base;
+        let seeds: Vec<u64> = (0..n).map(|_| splitmix64(&mut state)).collect();
+        self.seeds(&seeds)
+    }
+
+    /// Set the scheduling round length in seconds. Default: 300.
+    pub fn round_duration(mut self, seconds: f64) -> Self {
+        self.round_duration = seconds;
+        self
+    }
+
+    /// Cap rounds per trial. Default: 500 000.
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Set the per-trial stop condition. Default:
+    /// [`StopCondition::AllJobsDone`].
+    pub fn stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Steady-state measurement: stop once jobs `lo..=hi` finish and
+    /// summarize only those (the paper's tracked-window methodology).
+    pub fn tracked_window(self, lo: u64, hi: u64) -> Self {
+        self.stop(StopCondition::TrackedWindowDone { lo, hi })
+    }
+
+    /// Replace the performance model. Default: [`PerfModel::default`].
+    pub fn perf(mut self, perf: PerfModel) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// Disable checkpoint/restore overhead charging (see
+    /// [`SimBackend::without_overheads`]).
+    pub fn without_overheads(mut self) -> Self {
+        self.charge_overheads = false;
+        self
+    }
+
+    /// Select the round-loop mode. Default: [`ExecMode::EventDriven`] —
+    /// the fast path is the engine's point; use
+    /// [`ExecMode::FixedRounds`] to reproduce the seed's tick-every-round
+    /// behavior (the benchmark comparison does).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Worker threads for [`SweepGrid::run`]; `0` (default) uses one per
+    /// available CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Finish the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace factory was set or any axis is empty — a grid
+    /// that cannot run any trial is a configuration bug, reported at
+    /// build time.
+    pub fn build(self) -> SweepGrid {
+        assert!(
+            !self.policies.is_empty() && !self.loads.is_empty() && !self.seeds.is_empty(),
+            "SweepGrid requires at least one policy, one load, and one seed"
+        );
+        SweepGrid {
+            trace: self.trace.expect("SweepGrid requires a trace factory"),
+            policies: self.policies,
+            loads: self.loads,
+            seeds: self.seeds,
+            cluster: self.cluster,
+            perf: self.perf,
+            charge_overheads: self.charge_overheads,
+            round_duration: self.round_duration,
+            max_rounds: self.max_rounds,
+            stop: self.stop,
+            mode: self.mode,
+            threads: self.threads,
+        }
+    }
+}
+
+/// All trial results of one grid, in grid order.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per-trial results: policies outermost, seeds innermost.
+    pub trials: Vec<TrialResult>,
+}
+
+impl SweepReport {
+    /// The trial for an exact `(policy, load, seed)` cell, if present.
+    pub fn trial(&self, policy: &str, load: f64, seed: u64) -> Option<&TrialResult> {
+        self.trials
+            .iter()
+            .find(|t| t.policy == policy && t.load == load && t.seed == seed)
+    }
+
+    /// Mean of `metric` over every seed of a `(policy, load)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trial matches `(policy, load)` — an absent cell is
+    /// a query bug (typo'd policy name, load not on the grid), and
+    /// fabricating a 0.0 there would silently corrupt figure output.
+    /// Use [`trial`](Self::trial) to probe for presence.
+    pub fn mean_over_seeds(
+        &self,
+        policy: &str,
+        load: f64,
+        metric: impl Fn(&TrialResult) -> f64,
+    ) -> f64 {
+        let cells: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.policy == policy && t.load == load)
+            .map(&metric)
+            .collect();
+        assert!(
+            !cells.is_empty(),
+            "no sweep trial matches policy {policy:?} at load {load}"
+        );
+        cells.iter().sum::<f64>() / cells.len() as f64
+    }
+
+    /// Serialize every trial's aggregate statistics as one JSON document.
+    ///
+    /// Field order and number formatting are fixed, and trials are in
+    /// grid order, so equal reports serialize to equal bytes — the
+    /// property the determinism tests pin down.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"trials\":[");
+        for (i, t) in self.trials.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"policy\":{},\"load\":{},\"seed\":{},\"jobs\":{},\
+                 \"avg_jct\":{},\"p50_jct\":{},\"p90_jct\":{},\"p99_jct\":{},\
+                 \"avg_responsiveness\":{},\"makespan\":{},\"avg_preemptions\":{},\
+                 \"rounds\":{},\"skipped_rounds\":{},\"mean_utilization\":{},\
+                 \"end_time\":{}}}",
+                json_string(&t.policy),
+                json_f64(t.load),
+                t.seed,
+                t.summary.jobs,
+                json_f64(t.summary.avg_jct),
+                json_f64(t.summary.p50_jct),
+                json_f64(t.summary.p90_jct),
+                json_f64(t.summary.p99_jct),
+                json_f64(t.summary.avg_responsiveness),
+                json_f64(t.summary.makespan),
+                json_f64(t.summary.avg_preemptions),
+                t.stats.rounds,
+                t.stats.skipped_rounds,
+                json_f64(t.stats.mean_utilization()),
+                json_f64(t.stats.end_time),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Append [`to_json`](Self::to_json) as one line to the file named by
+    /// the `BLOX_SWEEP_JSON` environment variable (mirroring the bench
+    /// harness's `BLOX_BENCH_JSON` convention). No-op when unset; I/O
+    /// errors are reported to stderr, not propagated — emission is a
+    /// side channel, never the experiment's result.
+    pub fn emit_json_env(&self) {
+        use std::io::Write as _;
+        let Ok(path) = std::env::var("BLOX_SWEEP_JSON") else {
+            return;
+        };
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{}", self.to_json()));
+        if let Err(e) = appended {
+            eprintln!("BLOX_SWEEP_JSON: failed to append to {path}: {e}");
+        }
+    }
+}
+
+/// One step of the splitmix64 PRNG (public-domain constants), used to
+/// derive per-trial seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// JSON number: shortest round-trip form; non-finite values become
+/// `null` (metrics are finite in practice, but JSON has no NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimally escaped JSON string (policy names are plain identifiers,
+/// but quoting must never produce invalid JSON).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid(threads: usize, mode: ExecMode) -> SweepGrid {
+        SweepGrid::builder()
+            .trace(|load, seed| {
+                let zoo = blox_workloads::ModelZoo::standard();
+                blox_workloads::PhillyTraceGen::new(&zoo, load).generate(8, seed)
+            })
+            .cluster_v100(2)
+            .policy(PolicySet::baseline())
+            .loads(&[6.0, 12.0])
+            .seeds(&[1, 2])
+            .mode(mode)
+            .threads(threads)
+            .build()
+    }
+
+    #[test]
+    fn grid_order_is_policy_load_seed() {
+        let grid = tiny_grid(1, ExecMode::EventDriven);
+        let (_, l0, s0) = grid.trial_spec(0);
+        let (_, l1, s1) = grid.trial_spec(1);
+        let (_, l2, s2) = grid.trial_spec(2);
+        assert_eq!((l0, s0), (6.0, 1));
+        assert_eq!((l1, s1), (6.0, 2));
+        assert_eq!((l2, s2), (12.0, 1));
+        assert_eq!(grid.trial_count(), 4);
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_bytes() {
+        let parallel = tiny_grid(4, ExecMode::EventDriven).run();
+        let serial = tiny_grid(1, ExecMode::EventDriven).run_serial();
+        assert_eq!(parallel.to_json(), serial.to_json());
+        // And the underlying records, not just the serialized summary.
+        for (p, s) in parallel.trials.iter().zip(serial.trials.iter()) {
+            assert_eq!(p.stats.records, s.stats.records);
+        }
+    }
+
+    #[test]
+    fn event_driven_grid_matches_fixed_rounds_results() {
+        let fast = tiny_grid(1, ExecMode::EventDriven).run_serial();
+        let fixed = tiny_grid(1, ExecMode::FixedRounds).run_serial();
+        for (a, b) in fast.trials.iter().zip(fixed.trials.iter()) {
+            assert_eq!(a.stats.records.len(), b.stats.records.len());
+            assert_eq!(a.stats.rounds, b.stats.rounds);
+            assert!(a.stats.skipped_rounds > 0);
+            assert_eq!(b.stats.skipped_rounds, 0);
+            for (ra, rb) in a.stats.records.iter().zip(b.stats.records.iter()) {
+                assert_eq!(ra.id, rb.id);
+                assert!(
+                    (ra.completion - rb.completion).abs() <= 1e-6 * rb.completion.abs().max(1.0),
+                    "job {:?}: {} vs {}",
+                    ra.id,
+                    ra.completion,
+                    rb.completion
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_over_seeds_averages_cells() {
+        let report = tiny_grid(2, ExecMode::EventDriven).run();
+        let mean = report.mean_over_seeds("baseline-fifo", 6.0, |t| t.summary.jobs as f64);
+        assert_eq!(mean, 8.0);
+        assert!(report.trial("nope", 6.0, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sweep trial matches")]
+    fn mean_over_seeds_rejects_absent_cells() {
+        let report = tiny_grid(1, ExecMode::EventDriven).run();
+        let _ = report.mean_over_seeds("nope", 6.0, |t| t.summary.avg_jct);
+    }
+
+    #[test]
+    fn seeds_from_is_deterministic_and_distinct() {
+        let a = SweepGridBuilder::default().seeds_from(7, 4).seeds;
+        let b = SweepGridBuilder::default().seeds_from(7, 4).seeds;
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn json_escapes_and_formats() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace factory")]
+    fn build_without_trace_panics() {
+        let _ = SweepGrid::builder().policy(PolicySet::baseline()).build();
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the parallel sweep engine and the event-driven
+//! fast path on a Figure 6-style JCT-vs-load grid: 8 load points ×
+//! 3 seeds, Tiresias over the Philly trace, steady-state tracked window.
+//!
+//! These pin the PR's acceptance criteria deterministically:
+//!
+//! * a multi-threaded sweep aggregates to **byte-identical** JSON (and
+//!   identical per-job records) as the same grid run serially;
+//! * the event-driven fast path elides ≥ 80% of rounds on the grid — the
+//!   deterministic, CI-safe proxy for the ≥5× wall-clock speedup the
+//!   `sweep_grid` criterion bench measures;
+//! * event-driven results agree with fixed-round stepping job for job.
+
+use blox_core::manager::ExecMode;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::Tiresias;
+use blox_sim::{PolicySet, SweepGrid};
+use blox_workloads::{ModelZoo, PhillyTraceGen};
+
+const LOADS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+const SEEDS: [u64; 3] = [42, 43, 44];
+
+/// A scaled-down fig06 grid (fewer jobs, same shape) that stays fast in
+/// debug builds.
+fn grid(n_jobs: usize, loads: &[f64], seeds: &[u64], mode: ExecMode, threads: usize) -> SweepGrid {
+    SweepGrid::builder()
+        .trace(move |load, seed| {
+            PhillyTraceGen::new(&ModelZoo::standard(), load).generate(n_jobs, seed)
+        })
+        .cluster_v100(32)
+        .policy(PolicySet::new(
+            "tiresias",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(ConsolidatedPlacement::preferred()),
+        ))
+        .loads(loads)
+        .seeds(seeds)
+        .tracked_window(n_jobs as u64 / 4, n_jobs as u64 * 3 / 4)
+        .round_duration(60.0)
+        .mode(mode)
+        .threads(threads)
+        .build()
+}
+
+fn fig06_grid(mode: ExecMode, threads: usize) -> SweepGrid {
+    grid(40, &LOADS, &SEEDS, mode, threads)
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let parallel = fig06_grid(ExecMode::EventDriven, 4).run();
+    let serial = fig06_grid(ExecMode::EventDriven, 1).run_serial();
+    assert_eq!(parallel.trials.len(), LOADS.len() * SEEDS.len());
+    assert_eq!(parallel.to_json(), serial.to_json());
+    for (p, s) in parallel.trials.iter().zip(serial.trials.iter()) {
+        assert_eq!(p.policy, s.policy);
+        assert_eq!((p.load, p.seed), (s.load, s.seed));
+        assert_eq!(p.stats.records, s.stats.records);
+        assert_eq!(p.stats.rounds, s.stats.rounds);
+    }
+}
+
+#[test]
+fn fast_path_elides_most_rounds_on_the_grid() {
+    let report = fig06_grid(ExecMode::EventDriven, 1).run_serial();
+    let total: u64 = report.trials.iter().map(|t| t.stats.rounds).sum();
+    let skipped: u64 = report.trials.iter().map(|t| t.stats.skipped_rounds).sum();
+    let stepped = total - skipped;
+    assert!(stepped > 0, "some rounds must actually execute");
+    assert!(
+        total >= 5 * stepped,
+        "fast path must elide >= 80% of rounds: {skipped}/{total} skipped"
+    );
+}
+
+#[test]
+fn event_driven_grid_agrees_with_fixed_rounds() {
+    // A smaller slice of the grid: the fixed-round baseline is exactly
+    // the slow path this comparison exists to replace, and debug-build
+    // CI time is budgeted.
+    let loads = [1.0, 3.0, 8.0];
+    let seeds = [42, 43];
+    let fast = grid(16, &loads, &seeds, ExecMode::EventDriven, 1).run_serial();
+    let fixed = grid(16, &loads, &seeds, ExecMode::FixedRounds, 1).run_serial();
+    for (a, b) in fast.trials.iter().zip(fixed.trials.iter()) {
+        assert_eq!(
+            a.stats.rounds, b.stats.rounds,
+            "round accounting must agree"
+        );
+        assert_eq!(a.stats.records.len(), b.stats.records.len());
+        assert!(
+            (a.stats.mean_utilization() - b.stats.mean_utilization()).abs() < 1e-9,
+            "bulk utilization accounting must agree"
+        );
+        for (ra, rb) in a.stats.records.iter().zip(b.stats.records.iter()) {
+            assert_eq!(ra.id, rb.id, "same jobs in the same completion order");
+            let tol = 1e-9 * rb.completion.abs().max(1.0);
+            assert!(
+                (ra.completion - rb.completion).abs() <= tol,
+                "job {:?} completion {} vs {}",
+                ra.id,
+                ra.completion,
+                rb.completion
+            );
+            assert_eq!(ra.preemptions, rb.preemptions);
+        }
+    }
+}

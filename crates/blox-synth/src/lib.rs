@@ -282,7 +282,7 @@ pub fn run_static(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blox_core::manager::{RunConfig, StopCondition};
+    use blox_core::manager::{ExecMode, RunConfig, StopCondition};
     use blox_sim::cluster_of_v100;
     use blox_workloads::{ModelZoo, PhillyTraceGen};
 
@@ -298,6 +298,7 @@ mod tests {
                 round_duration: 300.0,
                 max_rounds: 5_000,
                 stop: StopCondition::AllJobsDone,
+                mode: ExecMode::FixedRounds,
             },
         )
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example auto_synthesizer`
 
-use blox::core::{BloxManager, RunConfig, StopCondition};
+use blox::core::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox::sim::{cluster_of_v100, SimBackend};
 use blox::synth::{AutoSynthesizer, CandidateSet, Objective};
 use blox::workloads::transforms::inject_bursty_load;
@@ -25,6 +25,7 @@ fn main() {
             round_duration: 300.0,
             max_rounds: 100_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         },
     );
     let stats = synth.run(&mut mgr);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example cluster_deployment`
 
-use blox::core::{BloxManager, RunConfig, StopCondition};
+use blox::core::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox::policies::admission::AcceptAll;
 use blox::policies::placement::FirstFreePlacement;
 use blox::policies::scheduling::Las;
@@ -36,6 +36,7 @@ fn main() {
             round_duration: 300.0,
             max_rounds: 3_000,
             stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
         },
     );
     let stats = mgr.run(

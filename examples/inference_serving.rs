@@ -7,7 +7,7 @@
 
 use blox::core::ids::JobId;
 use blox::core::profile::JobProfile;
-use blox::core::{BloxManager, Job, RunConfig, StopCondition};
+use blox::core::{BloxManager, ExecMode, Job, RunConfig, StopCondition};
 use blox::inference::{ModelSession, NexusPolicy};
 use blox::policies::admission::AcceptAll;
 use blox::policies::placement::ConsolidatedPlacement;
@@ -73,6 +73,7 @@ fn main() {
             round_duration: 300.0,
             max_rounds: 3,
             stop: StopCondition::TimeLimit(900.0),
+            mode: ExecMode::FixedRounds,
         },
     );
     // A few rounds: allocations converge immediately for static rates.

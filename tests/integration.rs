@@ -3,7 +3,7 @@
 //! paper's headline observations.
 
 use blox::core::policy::SchedulingPolicy;
-use blox::core::{BloxManager, JobStatus, RunConfig, StopCondition};
+use blox::core::{BloxManager, ExecMode, JobStatus, RunConfig, StopCondition};
 use blox::policies::admission::{AcceptAll, ThresholdAdmission};
 use blox::policies::placement::{
     BandwidthAwarePlacement, ConsolidatedPlacement, FirstFreePlacement, ProfileGuidedPlacement,
@@ -201,6 +201,7 @@ fn tracked_window_stop_condition_bounds_the_run() {
             round_duration: 300.0,
             max_rounds: 100_000,
             stop: StopCondition::TrackedWindowDone { lo: 60, hi: 90 },
+            mode: ExecMode::FixedRounds,
         },
     );
     let stats = mgr.run(
