@@ -64,6 +64,46 @@ smoke_test!(
     table4_intranode_bandwidth,
 );
 
+/// The `cluster_deployment` example doubles as the deployment-fidelity
+/// smoke check: it runs the same policies on the in-process runtime and
+/// then on the `blox-net` TCP deployment. Examples belong to the root
+/// `blox` package, so no `CARGO_BIN_EXE_*` variable exists for them;
+/// resolve the compiled example from this test binary's target directory
+/// (a workspace `cargo test` builds examples before running tests).
+#[test]
+fn cluster_deployment_example() {
+    let exe = std::env::current_exe().expect("current test binary path");
+    let target_dir = exe
+        .parent() // target/<profile>/deps
+        .and_then(|p| p.parent()) // target/<profile>
+        .expect("test binary lives in target/<profile>/deps");
+    let mut example = target_dir.join("examples").join("cluster_deployment");
+    if cfg!(windows) {
+        example.set_extension("exe");
+    }
+    if !example.exists() {
+        // Package-scoped runs (`cargo test -p blox-bench`) build only this
+        // package's targets; compile the root example ourselves.
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut build = Command::new(cargo);
+        build.args(["build", "-p", "blox", "--example", "cluster_deployment"]);
+        if target_dir.ends_with("release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("launch cargo build for the example");
+        assert!(
+            status.success(),
+            "building examples/cluster_deployment failed"
+        );
+    }
+    assert!(
+        example.exists(),
+        "{} still missing after `cargo build --example cluster_deployment`",
+        example.display()
+    );
+    run_smoke(example.to_str().expect("utf-8 path"));
+}
+
 /// The sequential `run_all --smoke` sweep duplicates every per-binary
 /// test above, so it is ignored by default; run it explicitly with
 /// `cargo test -p blox-bench --test smoke -- --ignored`.

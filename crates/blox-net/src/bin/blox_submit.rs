@@ -1,0 +1,59 @@
+//! `blox-submit` — inject jobs into a live `bloxschedd` wait queue.
+//!
+//! ```text
+//! blox-submit --sched 127.0.0.1:PORT [--model resnet18] [--gpus 1]
+//!             [--iters 3000] [--count 1] [--gap-sim-s 0] [--time-scale 1e-4]
+//! ```
+//!
+//! Submits `count` identical jobs, spaced `gap-sim-s` simulated seconds
+//! apart (open-loop), and prints each accepted job id.
+
+use blox_net::client::{submit_timed, JobRequest};
+
+fn main() {
+    let mut sched: Option<String> = None;
+    let mut model = "resnet18".to_string();
+    let mut gpus = 1u32;
+    let mut iters = 3000.0f64;
+    let mut count = 1usize;
+    let mut gap = 0.0f64;
+    let mut time_scale = 1e-4f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--sched" => sched = Some(val("--sched")),
+            "--model" => model = val("--model"),
+            "--gpus" => gpus = val("--gpus").parse().expect("--gpus u32"),
+            "--iters" => iters = val("--iters").parse().expect("--iters f64"),
+            "--count" => count = val("--count").parse().expect("--count usize"),
+            "--gap-sim-s" => gap = val("--gap-sim-s").parse().expect("--gap-sim-s f64"),
+            "--time-scale" => time_scale = val("--time-scale").parse().expect("--time-scale f64"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let sched = sched
+        .expect("--sched ADDR is required")
+        .parse()
+        .expect("--sched must be a socket address");
+
+    let timeline: Vec<(f64, JobRequest)> = (0..count)
+        .map(|i| {
+            (
+                gap * i as f64,
+                JobRequest {
+                    gpus,
+                    total_iters: iters,
+                    model: model.clone(),
+                },
+            )
+        })
+        .collect();
+    let ids = submit_timed(sched, &timeline, time_scale).expect("submission");
+    for id in ids {
+        println!("accepted {id:?}");
+    }
+}

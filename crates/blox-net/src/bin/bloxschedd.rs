@@ -1,0 +1,126 @@
+//! `bloxschedd` — the central scheduler daemon of the networked
+//! deployment. Binds a loopback TCP port (ephemeral by default), waits for
+//! node managers to register, schedules live-submitted jobs with a real
+//! policy, and prints the run summary on exit.
+//!
+//! ```text
+//! bloxschedd [--bind 127.0.0.1:0] [--nodes 1] [--jobs N | --time-limit SIM_S]
+//!            [--policy tiresias|las|fifo] [--round 300] [--time-scale 1e-4]
+//! ```
+//!
+//! The first stdout line is `LISTEN <addr>` so scripts (and the
+//! integration tests) can discover the chosen ephemeral port.
+
+use std::io::Write;
+use std::time::Duration;
+
+use blox_core::manager::{ExecMode, RunConfig, StopCondition};
+use blox_core::policy::SchedulingPolicy;
+use blox_net::sched::{serve, NetBackend, SchedulerConfig};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::{Fifo, Las, Tiresias};
+use blox_runtime::runtime::RuntimeConfig;
+
+struct Args {
+    bind: String,
+    nodes: u32,
+    jobs: u64,
+    time_limit: f64,
+    policy: String,
+    round: f64,
+    time_scale: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:0".to_string(),
+        nodes: 1,
+        jobs: 0,
+        time_limit: 0.0,
+        policy: "tiresias".to_string(),
+        round: 300.0,
+        time_scale: 1e-4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--bind" => args.bind = val("--bind"),
+            "--nodes" => args.nodes = val("--nodes").parse().expect("--nodes u32"),
+            "--jobs" => args.jobs = val("--jobs").parse().expect("--jobs u64"),
+            "--time-limit" => {
+                args.time_limit = val("--time-limit").parse().expect("--time-limit f64")
+            }
+            "--policy" => args.policy = val("--policy"),
+            "--round" => args.round = val("--round").parse().expect("--round f64"),
+            "--time-scale" => {
+                args.time_scale = val("--time-scale").parse().expect("--time-scale f64")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn scheduling_policy(name: &str) -> Box<dyn SchedulingPolicy> {
+    match name {
+        "fifo" => Box::new(Fifo::new()),
+        "las" => Box::new(Las::new()),
+        "tiresias" => Box::new(Tiresias::new()),
+        other => panic!("unknown policy {other} (expected tiresias|las|fifo)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let stop = if args.jobs > 0 {
+        StopCondition::TrackedWindowDone {
+            lo: 0,
+            hi: args.jobs - 1,
+        }
+    } else if args.time_limit > 0.0 {
+        StopCondition::TimeLimit(args.time_limit)
+    } else {
+        panic!("pass --jobs N or --time-limit SIM_S so the daemon can terminate");
+    };
+
+    let backend = NetBackend::bind_to(
+        &args.bind,
+        SchedulerConfig {
+            runtime: RuntimeConfig {
+                time_scale: args.time_scale,
+                emu_iter_sim_s: 30.0,
+            },
+            ..SchedulerConfig::default()
+        },
+    )
+    .expect("bind scheduler");
+    println!("LISTEN {}", backend.addr());
+    std::io::stdout().flush().expect("flush LISTEN line");
+
+    let report = serve(
+        backend,
+        RunConfig {
+            round_duration: args.round,
+            max_rounds: 1_000_000,
+            stop,
+            mode: ExecMode::FixedRounds,
+        },
+        args.nodes,
+        Duration::from_secs(60),
+        &mut AcceptAll::new(),
+        scheduling_policy(&args.policy).as_mut(),
+        &mut ConsolidatedPlacement::preferred(),
+    )
+    .expect("scheduler run");
+
+    let s = report.stats.summary();
+    println!(
+        "summary: jobs={} avg_jct={:.0} p50_jct={:.0} nodes_joined={} failures={}",
+        s.jobs, s.avg_jct, s.p50_jct, report.nodes_joined, report.failures_detected
+    );
+}

@@ -1,0 +1,62 @@
+//! `blox-submit`: inject jobs into a live scheduler's wait queue over the
+//! wire, enabling open-loop online traffic instead of pre-loaded traces.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::JobId;
+use blox_runtime::runtime::SimClock;
+use blox_runtime::wire::{Message, Transport};
+
+use crate::tcp::TcpTransport;
+
+/// One job submission request.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// GPUs requested.
+    pub gpus: u32,
+    /// Total work in iterations.
+    pub total_iters: f64,
+    /// Model-zoo profile name (unknown names get a synthetic profile).
+    pub model: String,
+}
+
+fn submit_one(link: &TcpTransport, req: &JobRequest) -> Result<JobId> {
+    link.send(&Message::SubmitJob {
+        gpus: req.gpus,
+        total_iters: req.total_iters,
+        model: req.model.clone(),
+    })?;
+    match link.recv_timeout(Duration::from_secs(10))? {
+        Some(Message::JobAccepted { job }) => Ok(job),
+        Some(other) => Err(BloxError::Transport(format!(
+            "expected JobAccepted, got {other:?}"
+        ))),
+        None => Err(BloxError::Transport("no JobAccepted within 10 s".into())),
+    }
+}
+
+/// Submit a batch of jobs immediately; returns the assigned ids in order.
+pub fn submit(sched: SocketAddr, requests: &[JobRequest]) -> Result<Vec<JobId>> {
+    let link = TcpTransport::connect(sched)?;
+    requests.iter().map(|r| submit_one(&link, r)).collect()
+}
+
+/// Replay a `(arrival_sim_s, request)` timeline open-loop: sleep to each
+/// arrival on a local clock running at `time_scale` wall seconds per
+/// simulated second, then submit. The timeline must be arrival-sorted.
+pub fn submit_timed(
+    sched: SocketAddr,
+    timeline: &[(f64, JobRequest)],
+    time_scale: f64,
+) -> Result<Vec<JobId>> {
+    let link = TcpTransport::connect(sched)?;
+    let clock = SimClock::new(time_scale);
+    let mut ids = Vec::with_capacity(timeline.len());
+    for (arrival, req) in timeline {
+        clock.sleep_until(*arrival);
+        ids.push(submit_one(&link, req)?);
+    }
+    Ok(ids)
+}

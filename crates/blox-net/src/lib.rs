@@ -1,0 +1,38 @@
+//! Networked multi-process deployment subsystem for the Blox toolkit.
+//!
+//! The paper's deployment (§6.3, Figure 17) is a distributed
+//! three-component system: a central scheduler, per-node worker managers,
+//! and a client library talking over RPC. `blox-runtime` emulates all of
+//! it inside one process; this crate runs the *same* protocol and the
+//! *same* `WorkerManager` code over framed loopback TCP between real OS
+//! processes:
+//!
+//! * [`tcp`] — a [`TcpTransport`] implementing the
+//!   runtime's `Transport` contract with length-prefixed frames over
+//!   `std::net` sockets (no new dependencies);
+//! * [`sched`] — the `bloxschedd` side: a [`NetBackend`]
+//!   implementing `blox_core::manager::Backend`, so every existing
+//!   scheduling / placement / admission policy drives a real multi-process
+//!   cluster unchanged, plus a heartbeat failure detector whose verdicts
+//!   feed `ClusterState` churn (node loss → lease revocation → requeue;
+//!   reconnection → node re-add);
+//! * [`node`] — the `bloxnoded` side: registration, clock sync,
+//!   heartbeating, and command serving around the shared `WorkerManager`;
+//! * [`client`] — the `blox-submit` side: live job submission into the
+//!   scheduler's wait queue over the same wire.
+//!
+//! Every listener binds `127.0.0.1:0` by default (ephemeral ports), so
+//! parallel test runs and co-located daemons never collide; the chosen
+//! port is propagated through [`sched::NetBackend::addr`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod node;
+pub mod sched;
+pub mod tcp;
+
+pub use client::{submit, submit_timed, JobRequest};
+pub use node::{run_node, spawn_node, NodeConfig, NodeHandle};
+pub use sched::{serve, NetBackend, NetReport, SchedulerConfig};
+pub use tcp::{TcpSender, TcpTransport};

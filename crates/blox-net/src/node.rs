@@ -1,0 +1,156 @@
+//! The `bloxnoded` node-manager daemon: one per machine, serving the
+//! scheduler's launch/preempt commands over TCP with the *same*
+//! [`WorkerManager`] code the in-process emulation uses.
+//!
+//! Lifecycle of one session: connect → `RegisterWorker` → await
+//! `AssignNode` (identity, clock-sync point, runtime config, heartbeat
+//! interval) → serve commands while a background thread heartbeats. With
+//! [`NodeConfig::reconnect`] set, a lost scheduler link triggers
+//! re-registration — the scheduler sees the return as a fresh node joining
+//! (node re-add churn).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::NodeId;
+use blox_runtime::runtime::{RuntimeConfig, ServeEnd, SimClock, WorkerManager};
+use blox_runtime::wire::{Message, Transport};
+use parking_lot::Mutex;
+
+use crate::tcp::{TcpSender, TcpTransport};
+
+/// Node-manager daemon configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The central scheduler's listen address.
+    pub sched: SocketAddr,
+    /// GPUs this node offers at registration.
+    pub gpus: u32,
+    /// Reconnect (and re-register as a fresh node) when the scheduler
+    /// link drops, instead of exiting.
+    pub reconnect: bool,
+}
+
+/// One registration session: register, get assigned, serve until the
+/// link drops or the scheduler orders a shutdown.
+fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<ServeEnd> {
+    let link = TcpTransport::connect(cfg.sched)?;
+    *live.lock() = Some(link.sender());
+    link.send(&Message::RegisterWorker {
+        node: NodeId(0), // Placeholder: identity is assigned by the scheduler.
+        gpus: cfg.gpus,
+    })?;
+    let assign = link
+        .recv_timeout(Duration::from_secs(10))?
+        .ok_or_else(|| BloxError::Transport("no AssignNode within 10 s".into()))?;
+    let Message::AssignNode {
+        node,
+        now_sim,
+        time_scale,
+        emu_iter_sim_s,
+        heartbeat_sim_s,
+    } = assign
+    else {
+        return Err(BloxError::Transport(format!(
+            "expected AssignNode, got {assign:?}"
+        )));
+    };
+
+    // Align the local emulation clock with the scheduler's.
+    let clock = Arc::new(SimClock::synced(now_sim, time_scale));
+    let manager = WorkerManager::new(
+        node,
+        clock,
+        RuntimeConfig {
+            time_scale,
+            emu_iter_sim_s,
+        },
+    );
+
+    // Liveness beacons on a side thread; the failure detector declares this
+    // node dead after a configurable number of missed intervals.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_stop2 = hb_stop.clone();
+    let hb_tx = link.sender();
+    let hb_wall = Duration::from_secs_f64((heartbeat_sim_s * time_scale).max(1e-3));
+    let heartbeat = std::thread::spawn(move || {
+        let mut seq = 0u64;
+        while !hb_stop2.load(Ordering::Relaxed) {
+            if hb_tx.send(&Message::Heartbeat { node, seq }).is_err() {
+                return;
+            }
+            seq += 1;
+            std::thread::sleep(hb_wall);
+        }
+    });
+
+    let end = manager.serve(&link, &link.sender());
+    hb_stop.store(true, Ordering::Relaxed);
+    link.shutdown();
+    let _ = heartbeat.join();
+    Ok(end)
+}
+
+fn run_with(cfg: &NodeConfig, stop: &AtomicBool, live: &Mutex<Option<TcpSender>>) -> Result<()> {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match serve_session(cfg, live) {
+            Ok(ServeEnd::Shutdown) => return Ok(()),
+            Ok(ServeEnd::Disconnected) | Err(_)
+                if cfg.reconnect && !stop.load(Ordering::Relaxed) =>
+            {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(ServeEnd::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run a node-manager daemon, blocking until an orderly shutdown (or, with
+/// [`NodeConfig::reconnect`] off, until the scheduler link drops).
+pub fn run_node(cfg: &NodeConfig) -> Result<()> {
+    run_with(cfg, &AtomicBool::new(false), &Mutex::new(None))
+}
+
+/// Handle onto an in-process node daemon thread (tests, examples).
+pub struct NodeHandle {
+    stop: Arc<AtomicBool>,
+    live: Arc<Mutex<Option<TcpSender>>>,
+    thread: JoinHandle<Result<()>>,
+}
+
+impl NodeHandle {
+    /// Crash-stop the node: hard-close its scheduler link with no goodbye
+    /// and suppress reconnection — to the scheduler this is
+    /// indistinguishable from the machine failing.
+    pub fn crash(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(sender) = self.live.lock().as_ref() {
+            sender.shutdown();
+        }
+    }
+
+    /// Wait for the daemon thread to finish.
+    pub fn join(self) -> Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| BloxError::Transport("node daemon panicked".into()))?
+    }
+}
+
+/// Spawn an in-process node daemon thread serving the given config.
+pub fn spawn_node(cfg: NodeConfig) -> NodeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = Arc::new(Mutex::new(None));
+    let stop2 = stop.clone();
+    let live2 = live.clone();
+    let thread = std::thread::spawn(move || run_with(&cfg, &stop2, &live2));
+    NodeHandle { stop, live, thread }
+}

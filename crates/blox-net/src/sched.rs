@@ -1,0 +1,681 @@
+//! The central-scheduler side of the networked deployment.
+//!
+//! [`NetBackend`] implements `blox_core::manager::Backend`, so the
+//! unchanged scheduling loop — and every existing admission, scheduling,
+//! and placement policy — drives a cluster of real `bloxnoded` processes
+//! over TCP:
+//!
+//! * a listener thread accepts worker and client connections on an
+//!   ephemeral loopback port (`127.0.0.1:0` by default) and streams their
+//!   decoded messages into one event channel;
+//! * worker registrations grow the shared [`ClusterState`] and are answered
+//!   with an [`Message::AssignNode`] carrying identity, a clock-sync point,
+//!   and the heartbeat contract;
+//! * a missed-heartbeat (or dropped-link) verdict feeds cluster churn:
+//!   `fail_node` hides the GPUs, surviving shards of evicted jobs get
+//!   their leases revoked, and the jobs are requeued — the Figure 19 lease
+//!   protocols closing the loop over a real failure detector;
+//! * [`Message::SubmitJob`] from clients lands in the live wait queue,
+//!   enabling open-loop online traffic instead of pre-loaded traces.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blox_core::cluster::{ClusterState, GpuType, NodeSpec};
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::{JobId, NodeId};
+use blox_core::job::{Job, JobStatus};
+use blox_core::manager::{apply_placement, Backend, BloxManager, RunConfig, StopCondition};
+use blox_core::metrics::RunStats;
+use blox_core::policy::{AdmissionPolicy, Placement, PlacementPolicy, SchedulingPolicy};
+use blox_core::profile::JobProfile;
+use blox_core::state::JobState;
+use blox_runtime::runtime::{apply_status_message, placement_iter_time, RuntimeConfig, SimClock};
+use blox_runtime::wire::Message;
+use blox_workloads::ModelZoo;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::tcp::{read_frame, TcpSender};
+
+/// Floor on the failure-detection deadline, in wall seconds: below this,
+/// OS scheduling jitter on a loopback deployment would yield spurious
+/// dead-node verdicts at small time scales.
+pub const MIN_DETECT_WALL_S: f64 = 0.25;
+
+/// Scheduler-side deployment configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Emulation time scale and iteration granularity, shared with every
+    /// worker at registration.
+    pub runtime: RuntimeConfig,
+    /// Heartbeat period workers are instructed to use (simulated seconds).
+    pub heartbeat_sim_s: f64,
+    /// Consecutive missed heartbeats before a node is declared dead. The
+    /// resulting deadline is evaluated in wall time from each beat's
+    /// arrival, floored at [`MIN_DETECT_WALL_S`].
+    pub heartbeat_misses: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            runtime: RuntimeConfig::default(),
+            heartbeat_sim_s: 60.0,
+            heartbeat_misses: 3,
+        }
+    }
+}
+
+/// Hardware template for a registering worker: the paper's p3.8xlarge for
+/// 4-GPU nodes, a uniform-NVLink V100 box for other GPU counts.
+fn node_spec(gpus: u32) -> NodeSpec {
+    let gpus = gpus.max(1);
+    if gpus == 4 {
+        return NodeSpec::v100_p3_8xlarge();
+    }
+    let intra = (0..gpus)
+        .map(|i| (0..gpus).map(|j| if i == j { 0.0 } else { 50.0 }).collect())
+        .collect();
+    NodeSpec {
+        gpu_type: GpuType::V100,
+        gpus,
+        cpu_cores: 8 * gpus,
+        dram_gb: 61.0 * gpus as f64,
+        inter_bw_gbps: 10.0,
+        intra_bw_gbps: intra,
+    }
+}
+
+type ConnId = u64;
+
+enum ConnEvent {
+    Connected(ConnId, TcpSender),
+    /// A decoded message plus its wall-clock arrival stamp (taken by the
+    /// reader thread, so heartbeat freshness is measured from when the
+    /// beat actually landed, not from when the round loop drained it).
+    Msg(ConnId, Message, Instant),
+    Closed(ConnId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// No message seen yet: could become a worker or a client.
+    Pending,
+    Worker(NodeId),
+    Client,
+}
+
+struct Conn {
+    sender: TcpSender,
+    role: Role,
+}
+
+fn listen_loop(listener: TcpListener, events: Sender<ConnEvent>, stop: Arc<AtomicBool>) {
+    let _ = listener.set_nonblocking(true);
+    let mut next: ConnId = 0;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let id = next;
+                next += 1;
+                let _ = stream.set_nodelay(true);
+                let Ok(mut reader) = stream.try_clone() else {
+                    continue;
+                };
+                if events
+                    .send(ConnEvent::Connected(id, TcpSender::new(stream)))
+                    .is_err()
+                {
+                    return; // Backend gone.
+                }
+                let events = events.clone();
+                std::thread::spawn(move || {
+                    while let Ok(frame) = read_frame(&mut reader) {
+                        // A frame that fails to decode is a protocol
+                        // violation: drop the connection.
+                        let Ok(msg) = Message::decode(&frame) else {
+                            break;
+                        };
+                        if events
+                            .send(ConnEvent::Msg(id, msg, Instant::now()))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    let _ = events.send(ConnEvent::Closed(id));
+                });
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Execution backend driving a networked cluster of `bloxnoded` workers;
+/// the deployment counterpart of `blox_runtime::RuntimeBackend` with real
+/// sockets, registration, and failure detection.
+pub struct NetBackend {
+    addr: SocketAddr,
+    events: Receiver<ConnEvent>,
+    stop: Arc<AtomicBool>,
+    conns: BTreeMap<ConnId, Conn>,
+    node_conn: BTreeMap<NodeId, ConnId>,
+    /// Wall-clock arrival time of each live node's last heartbeat.
+    last_hb: BTreeMap<NodeId, Instant>,
+    clock: Arc<SimClock>,
+    cfg: SchedulerConfig,
+    /// Live wait queue fed by client submissions.
+    queue: VecDeque<Job>,
+    /// Worker job-status messages awaiting a `JobState` to apply to.
+    pending_status: VecDeque<Message>,
+    zoo: ModelZoo,
+    next_job: u64,
+    /// Jobs the run has pledged to wait for (set by [`serve`] from a
+    /// `TrackedWindowDone` stop condition). Until that many submissions
+    /// have arrived, `peek_next_arrival` reports a pending future arrival
+    /// so the manager cannot mistake an open-loop submission gap for
+    /// "trace drained" and stop early.
+    expected_jobs: Option<u64>,
+    round_now: f64,
+    last_update: f64,
+    nodes_joined: u32,
+    failures_detected: u32,
+}
+
+impl NetBackend {
+    /// Bind to `127.0.0.1:0` — an ephemeral port, so parallel schedulers
+    /// (and parallel `cargo test` runs) never collide — and start
+    /// accepting connections.
+    pub fn bind(cfg: SchedulerConfig) -> Result<Self> {
+        Self::bind_to("127.0.0.1:0", cfg)
+    }
+
+    /// Bind to an explicit address (port 0 still means ephemeral).
+    pub fn bind_to(addr: &str, cfg: SchedulerConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| BloxError::Transport(format!("bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| BloxError::Transport(format!("local_addr: {e}")))?;
+        let (tx, events) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        std::thread::spawn(move || listen_loop(listener, tx, stop2));
+        let clock = Arc::new(SimClock::new(cfg.runtime.time_scale));
+        Ok(NetBackend {
+            addr,
+            events,
+            stop,
+            conns: BTreeMap::new(),
+            node_conn: BTreeMap::new(),
+            last_hb: BTreeMap::new(),
+            clock,
+            cfg,
+            queue: VecDeque::new(),
+            pending_status: VecDeque::new(),
+            zoo: ModelZoo::standard(),
+            next_job: 0,
+            expected_jobs: None,
+            round_now: 0.0,
+            last_update: 0.0,
+            nodes_joined: 0,
+            failures_detected: 0,
+        })
+    }
+
+    /// The bound listen address (with the chosen ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Workers that have registered over the backend's lifetime
+    /// (re-registrations after a failure count again: node re-add).
+    pub fn nodes_joined(&self) -> u32 {
+        self.nodes_joined
+    }
+
+    /// Nodes the failure detector has declared dead.
+    pub fn failures_detected(&self) -> u32 {
+        self.failures_detected
+    }
+
+    /// Drain and apply every queued connection event (registrations,
+    /// heartbeats, submissions, disconnects). Job-status traffic is
+    /// buffered until the next `update_metrics`, which has the `JobState`.
+    pub fn poll(&mut self, cluster: &mut ClusterState) {
+        while let Ok(ev) = self.events.try_recv() {
+            self.process_event(ev, cluster);
+        }
+    }
+
+    fn process_event(&mut self, ev: ConnEvent, cluster: &mut ClusterState) {
+        match ev {
+            ConnEvent::Connected(id, sender) => {
+                self.conns.insert(
+                    id,
+                    Conn {
+                        sender,
+                        role: Role::Pending,
+                    },
+                );
+            }
+            ConnEvent::Msg(id, msg, at) => self.process_message(id, msg, at, cluster),
+            ConnEvent::Closed(id) => {
+                if let Some(conn) = self.conns.remove(&id) {
+                    if let Role::Worker(node) = conn.role {
+                        self.node_conn.remove(&node);
+                        self.declare_dead(node, cluster);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_message(
+        &mut self,
+        id: ConnId,
+        msg: Message,
+        at: Instant,
+        cluster: &mut ClusterState,
+    ) {
+        match msg {
+            Message::RegisterWorker { gpus, .. } => {
+                let node = cluster.add_node(node_spec(gpus));
+                let now_sim = self.clock.sim_now();
+                self.node_conn.insert(node, id);
+                self.last_hb.insert(node, at);
+                self.nodes_joined += 1;
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.role = Role::Worker(node);
+                    let _ = conn.sender.send(&Message::AssignNode {
+                        node,
+                        now_sim,
+                        time_scale: self.cfg.runtime.time_scale,
+                        emu_iter_sim_s: self.cfg.runtime.emu_iter_sim_s,
+                        heartbeat_sim_s: self.cfg.heartbeat_sim_s,
+                    });
+                }
+            }
+            Message::Heartbeat { node, .. } => {
+                if self.last_hb.contains_key(&node) {
+                    self.last_hb.insert(node, at);
+                }
+            }
+            Message::SubmitJob {
+                gpus,
+                total_iters,
+                model,
+            } => {
+                let job_id = JobId(self.next_job);
+                self.next_job += 1;
+                let profile = self
+                    .zoo
+                    .by_name(&model)
+                    .cloned()
+                    .unwrap_or_else(|| JobProfile::synthetic(&model, 1.0));
+                self.queue.push_back(Job::new(
+                    job_id,
+                    self.clock.sim_now(),
+                    gpus.max(1),
+                    total_iters,
+                    profile,
+                ));
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    if conn.role == Role::Pending {
+                        conn.role = Role::Client;
+                    }
+                    let _ = conn.sender.send(&Message::JobAccepted { job: job_id });
+                }
+            }
+            status => self.pending_status.push_back(status),
+        }
+    }
+
+    /// Mark a node dead and hide its GPUs; the running jobs it hosted are
+    /// requeued (with surviving-shard lease revocation) by the next
+    /// `update_metrics`.
+    fn declare_dead(&mut self, node: NodeId, cluster: &mut ClusterState) {
+        if cluster.node(node).map(|n| n.alive) != Some(true) {
+            return;
+        }
+        let _ = cluster.fail_node(node);
+        self.last_hb.remove(&node);
+        self.failures_detected += 1;
+        if let Some(cid) = self.node_conn.remove(&node) {
+            if let Some(conn) = self.conns.remove(&cid) {
+                conn.sender.shutdown();
+            }
+        }
+    }
+
+    /// The wall-clock deadline after which a silent node is declared dead:
+    /// `heartbeat_misses` periods converted to wall time, floored at
+    /// [`MIN_DETECT_WALL_S`] so OS scheduling jitter cannot produce
+    /// spurious verdicts at very small time scales (where a whole period
+    /// is only milliseconds of wall time).
+    fn heartbeat_deadline(&self) -> Duration {
+        let wall = self.cfg.heartbeat_sim_s
+            * self.cfg.heartbeat_misses as f64
+            * self.cfg.runtime.time_scale;
+        Duration::from_secs_f64(wall.max(MIN_DETECT_WALL_S))
+    }
+
+    /// The missed-deadline verdict: any live node whose last heartbeat
+    /// *arrived* longer than [`Self::heartbeat_deadline`] ago is declared
+    /// dead. Checked once per round, so detection granularity is the
+    /// round length.
+    fn check_heartbeats(&mut self, cluster: &mut ClusterState) {
+        let deadline = self.heartbeat_deadline();
+        let dead: Vec<NodeId> = self
+            .last_hb
+            .iter()
+            .filter(|(_, at)| at.elapsed() > deadline)
+            .map(|(node, _)| *node)
+            .collect();
+        for node in dead {
+            self.declare_dead(node, cluster);
+        }
+    }
+
+    /// Requeue running jobs whose GPUs vanished with a failed node. For
+    /// each, surviving shards get their leases revoked first (the orphaned
+    /// workers stop burning GPU time), then the job re-enters the
+    /// schedulable set from its last reported checkpoint.
+    fn requeue_failed(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
+        let mut lost = Vec::new();
+        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+            if cluster.gpus_of_job(job.id).len() != job.placement.len() {
+                lost.push(job.id);
+            }
+        }
+        for id in lost {
+            if let Some(job) = jobs.get(id) {
+                for node in cluster.nodes_of(&job.placement) {
+                    if cluster.node(node).map(|n| n.alive) == Some(true) {
+                        self.send_to(node, &Message::Revoke { job: id });
+                    }
+                }
+            }
+            cluster.release(id);
+            if let Some(job) = jobs.get_mut(id) {
+                job.placement.clear();
+                job.status = JobStatus::Suspended;
+                job.preemptions += 1;
+            }
+        }
+    }
+
+    fn send_to(&self, node: NodeId, msg: &Message) {
+        if let Some(cid) = self.node_conn.get(&node) {
+            if let Some(conn) = self.conns.get(cid) {
+                let _ = conn.sender.send(msg);
+            }
+        }
+    }
+
+    /// Wait (bounded) for a job's suspension ack, applying other traffic
+    /// as it arrives; propagates two-phase `ExitAt` decisions to peers.
+    fn wait_for_suspension(&mut self, job: JobId, cluster: &mut ClusterState, jobs: &mut JobState) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            while let Some(msg) = self.pending_status.pop_front() {
+                match msg {
+                    Message::JobSuspended { job: j, iters } if j == job => {
+                        if let Some(jref) = jobs.get_mut(job) {
+                            jref.completed_iters = iters.min(jref.total_iters);
+                        }
+                        return;
+                    }
+                    Message::ExitAt { job: j, exit_iter } => {
+                        // Phase 2: propagate the exit decision to the peer
+                        // shards' nodes (rank 0's node already has it).
+                        if let Some(jref) = jobs.get(j) {
+                            for node in cluster.nodes_of(&jref.placement).iter().skip(1) {
+                                self.send_to(*node, &Message::ExitAt { job: j, exit_iter });
+                            }
+                        }
+                    }
+                    other => apply_status_message(other, cluster, jobs),
+                }
+            }
+            match self.events.recv_timeout(Duration::from_millis(20)) {
+                Ok(ev) => self.process_event(ev, cluster),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl Drop for NetBackend {
+    fn drop(&mut self) {
+        // Orderly teardown: tell every worker to exit, stop the listener,
+        // and close all sockets so reader threads unblock.
+        self.stop.store(true, Ordering::Relaxed);
+        for conn in self.conns.values() {
+            if matches!(conn.role, Role::Worker(_)) {
+                let _ = conn.sender.send(&Message::Shutdown);
+            }
+            conn.sender.shutdown();
+        }
+    }
+}
+
+impl Backend for NetBackend {
+    fn now(&self) -> f64 {
+        self.round_now
+    }
+
+    fn update_cluster(&mut self, cluster: &mut ClusterState) {
+        self.poll(cluster);
+        self.check_heartbeats(cluster);
+    }
+
+    fn pop_wait_queue(&mut self, now: f64) -> Vec<Job> {
+        let mut out = Vec::new();
+        let mut later = VecDeque::new();
+        while let Some(job) = self.queue.pop_front() {
+            if job.arrival_time <= now {
+                out.push(job);
+            } else {
+                later.push_back(job);
+            }
+        }
+        self.queue = later;
+        out
+    }
+
+    fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+        // Open-loop traffic: only already-submitted jobs are knowable...
+        if let Some(job) = self.queue.front() {
+            return Some((job.id, job.arrival_time));
+        }
+        // ...but if the run has pledged to wait for N jobs, report the
+        // next expected id as a pending far-future arrival until it
+        // actually shows up, so a submission gap never reads as a
+        // drained trace.
+        match self.expected_jobs {
+            Some(n) if self.next_job < n => Some((JobId(self.next_job), f64::INFINITY)),
+            _ => None,
+        }
+    }
+
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+        let elapsed = (self.round_now - self.last_update).max(0.0);
+        self.last_update = self.round_now;
+        self.poll(cluster);
+        self.requeue_failed(cluster, jobs);
+        while let Some(msg) = self.pending_status.pop_front() {
+            apply_status_message(msg, cluster, jobs);
+        }
+        if elapsed > 0.0 {
+            for job in jobs.active_mut() {
+                if job.status == JobStatus::Running {
+                    job.attained_service += job.placement.len() as f64 * elapsed;
+                    job.running_time += elapsed;
+                }
+            }
+        }
+    }
+
+    fn exec_jobs(
+        &mut self,
+        placement: &Placement,
+        cluster: &mut ClusterState,
+        jobs: &mut JobState,
+    ) {
+        // Preempt via optimistic lease revocation + two-phase exit, sent
+        // to the worker hosting rank 0.
+        for id in &placement.to_suspend {
+            let Some(job) = jobs.get(*id) else { continue };
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let Some(rank0) = job
+                .placement
+                .first()
+                .and_then(|g| cluster.gpu(*g))
+                .map(|r| r.node)
+            else {
+                continue;
+            };
+            self.send_to(rank0, &Message::Revoke { job: *id });
+            self.wait_for_suspension(*id, cluster, jobs);
+        }
+
+        // Shared-state transitions, exactly as the other backends.
+        let filtered = Placement {
+            to_suspend: placement.to_suspend.clone(),
+            to_launch: placement
+                .to_launch
+                .iter()
+                .filter(|(id, _)| {
+                    jobs.get(*id)
+                        .map(|j| j.status != JobStatus::Completed)
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect(),
+        };
+        let result = apply_placement(&filtered, cluster, jobs, self.round_now);
+        debug_assert!(result.is_ok(), "placement conflict: {result:?}");
+
+        // Launch RPCs, one per worker hosting a shard.
+        for (id, gpus) in &filtered.to_launch {
+            let Some(job) = jobs.get(*id) else { continue };
+            let iter_time = placement_iter_time(job, cluster);
+            let nodes = cluster.nodes_of(gpus);
+            for (rank, node) in nodes.iter().enumerate() {
+                let local: Vec<u8> = gpus
+                    .iter()
+                    .filter_map(|g| cluster.gpu(*g))
+                    .filter(|r| r.node == *node)
+                    .map(|r| r.local)
+                    .collect();
+                self.send_to(
+                    *node,
+                    &Message::Launch {
+                        job: *id,
+                        local_gpus: local,
+                        iter_time_s: iter_time,
+                        start_iters: job.completed_iters,
+                        total_iters: job.total_iters,
+                        warmup_s: job.profile.restore_s,
+                        is_rank0: rank == 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn advance_round(&mut self, round_duration: f64) {
+        self.round_now += round_duration;
+        self.clock.sleep_until(self.round_now);
+    }
+}
+
+// Serving ---------------------------------------------------------------------
+
+/// Aggregate report of one networked scheduler run.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Run statistics from the scheduling loop.
+    pub stats: RunStats,
+    /// Workers that registered over the run (re-adds included).
+    pub nodes_joined: u32,
+    /// Nodes the failure detector declared dead.
+    pub failures_detected: u32,
+    /// Nodes still marked dead at the end of the run.
+    pub dead_nodes: Vec<NodeId>,
+}
+
+/// Drive a bound [`NetBackend`] to completion: wait for `min_nodes`
+/// workers to register (bounded by `register_timeout`), run the
+/// scheduling loop with the given policies, then broadcast shutdown.
+///
+/// A [`StopCondition::TimeLimit`] in `run` is interpreted relative to the
+/// run's start (registration time does not count against it).
+/// [`StopCondition::AllJobsDone`] is rejected: with open-loop
+/// submissions, an empty wait queue is indistinguishable from a drained
+/// trace, so the run would silently stop before the first job arrives —
+/// use `TrackedWindowDone` (wait for N jobs) or `TimeLimit` instead.
+pub fn serve(
+    mut backend: NetBackend,
+    mut run: RunConfig,
+    min_nodes: u32,
+    register_timeout: Duration,
+    admission: &mut dyn AdmissionPolicy,
+    scheduling: &mut dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) -> Result<NetReport> {
+    if matches!(run.stop, StopCondition::AllJobsDone) {
+        return Err(BloxError::Config(
+            "serve() requires StopCondition::TrackedWindowDone or TimeLimit: with \
+             open-loop submissions, AllJobsDone would stop before the first job arrives"
+                .into(),
+        ));
+    }
+    let mut cluster = ClusterState::new();
+    let deadline = Instant::now() + register_timeout;
+    while backend.nodes_joined() < min_nodes {
+        if Instant::now() > deadline {
+            return Err(BloxError::Transport(format!(
+                "only {}/{min_nodes} workers registered within {register_timeout:?}",
+                backend.nodes_joined()
+            )));
+        }
+        backend.poll(&mut cluster);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Rounds start at the current simulated time: registration latency
+    // must not appear as a backlog of instantly-executed rounds.
+    let start = backend.clock.sim_now();
+    backend.round_now = start;
+    backend.last_update = start;
+    match run.stop {
+        StopCondition::TimeLimit(t) => run.stop = StopCondition::TimeLimit(start + t),
+        // The run waits for the whole tracked window to be submitted,
+        // even across open-loop gaps in the arrival stream.
+        StopCondition::TrackedWindowDone { hi, .. } => backend.expected_jobs = Some(hi + 1),
+        StopCondition::AllJobsDone => {}
+    }
+
+    let mut mgr = BloxManager::new(backend, cluster, run);
+    let stats = mgr.run(admission, scheduling, placement);
+    let dead_nodes = mgr
+        .cluster()
+        .all_nodes()
+        .filter(|n| !n.alive)
+        .map(|n| n.id)
+        .collect();
+    Ok(NetReport {
+        stats,
+        nodes_joined: mgr.backend().nodes_joined(),
+        failures_detected: mgr.backend().failures_detected(),
+        dead_nodes,
+    })
+}

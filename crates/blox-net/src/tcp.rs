@@ -1,0 +1,280 @@
+//! Framed loopback-TCP transport for the runtime wire protocol.
+//!
+//! TCP is a byte stream, so every [`Message`] frame is prefixed with its
+//! little-endian `u32` length — the same length-prefix discipline the
+//! in-process channel transport already encodes, now made explicit on the
+//! wire. A [`TcpTransport`] owns a background reader thread that reassembles
+//! frames into a channel, giving the exact blocking / non-blocking /
+//! timeout receive semantics of `blox_runtime::wire::Endpoint`.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blox_core::error::{BloxError, Result};
+use blox_runtime::wire::{Message, Transport, WireSender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
+use parking_lot::Mutex;
+
+/// Upper bound on a single frame; anything larger is a protocol error
+/// (protects the reader from a corrupt or hostile length prefix).
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Write one length-prefixed frame to a stream.
+pub(crate) fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + frame.len());
+    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    buf.extend_from_slice(frame);
+    stream.write_all(&buf)
+}
+
+/// Read one length-prefixed frame from a stream (blocking).
+pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("oversized frame: {len} bytes"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Clonable send half of a TCP link: many producer threads, one socket.
+///
+/// Writes are serialized under a mutex so concurrent senders (worker
+/// manager, heartbeat thread, emulated jobs) never interleave frames.
+#[derive(Clone)]
+pub struct TcpSender {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl TcpSender {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        TcpSender {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Encode and send one message.
+    pub fn send(&self, msg: &Message) -> Result<()> {
+        write_frame(&mut self.stream.lock(), &msg.encode())
+            .map_err(|e| BloxError::Transport(format!("tcp send: {e}")))
+    }
+
+    /// Hard-close both directions of the socket with no goodbye message —
+    /// exactly what a crashed node looks like to its peer.
+    pub fn shutdown(&self) {
+        let _ = self.stream.lock().shutdown(Shutdown::Both);
+    }
+}
+
+impl WireSender for TcpSender {
+    fn send(&self, msg: &Message) -> Result<()> {
+        TcpSender::send(self, msg)
+    }
+
+    fn clone_sender(&self) -> Box<dyn WireSender> {
+        Box::new(self.clone())
+    }
+}
+
+/// A connected, bidirectional TCP message link implementing the runtime's
+/// [`Transport`] contract.
+pub struct TcpTransport {
+    sender: TcpSender,
+    frames: Receiver<Vec<u8>>,
+    peer: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Connect to a listening peer.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| BloxError::Transport(format!("connect {addr}: {e}")))?;
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an accepted or connected stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self> {
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map_err(|e| BloxError::Transport(format!("peer_addr: {e}")))?;
+        let mut reader = stream
+            .try_clone()
+            .map_err(|e| BloxError::Transport(format!("clone stream: {e}")))?;
+        let (tx, frames) = unbounded();
+        std::thread::spawn(move || {
+            while let Ok(frame) = read_frame(&mut reader) {
+                if tx.send(frame).is_err() {
+                    return; // Transport dropped.
+                }
+            }
+            // Reader error / EOF: dropping `tx` disconnects the channel,
+            // which surfaces as a transport error on the receive side.
+        });
+        Ok(TcpTransport {
+            sender: TcpSender::new(stream),
+            frames,
+            peer,
+        })
+    }
+
+    /// A clonable send-only handle onto this link.
+    pub fn sender(&self) -> TcpSender {
+        self.sender.clone()
+    }
+
+    /// The remote address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Hard-close the link (see [`TcpSender::shutdown`]).
+    pub fn shutdown(&self) {
+        self.sender.shutdown();
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // The reader thread holds a dup'd fd of the same socket; an
+        // explicit shutdown (not just the fd drop) is what unblocks it and
+        // delivers EOF to the peer.
+        self.sender.shutdown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, msg: &Message) -> Result<()> {
+        self.sender.send(msg)
+    }
+
+    fn recv(&self) -> Result<Message> {
+        let frame = self
+            .frames
+            .recv()
+            .map_err(|_| BloxError::Transport("peer disconnected".into()))?;
+        Message::decode(&frame)
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        match self.frames.try_recv() {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(BloxError::Transport("peer disconnected".into()))
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>> {
+        match self.frames.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(Message::decode(&frame)?)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(BloxError::Transport("peer disconnected".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::ids::JobId;
+    use std::net::TcpListener;
+
+    /// A connected transport pair over an ephemeral loopback port.
+    fn tcp_pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("local addr");
+        let client = std::thread::spawn(move || TcpTransport::connect(addr).expect("connect"));
+        let (stream, _) = listener.accept().expect("accept");
+        let server = TcpTransport::from_stream(stream).expect("wrap");
+        (server, client.join().expect("client thread"))
+    }
+
+    #[test]
+    fn tcp_pair_carries_messages_both_ways() {
+        let (a, b) = tcp_pair();
+        a.send(&Message::LeaseCheck { job: JobId(5) }).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::LeaseCheck { job: JobId(5) });
+        b.send(&Message::LeaseStatus {
+            job: JobId(5),
+            valid: true,
+        })
+        .unwrap();
+        assert_eq!(
+            a.recv().unwrap(),
+            Message::LeaseStatus {
+                job: JobId(5),
+                valid: true
+            }
+        );
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking_over_tcp() {
+        let (a, b) = tcp_pair();
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(&Message::Ack).unwrap();
+        // Loopback delivery is asynchronous; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match b.try_recv().unwrap() {
+                Some(m) => {
+                    assert_eq!(m, Message::Ack);
+                    break;
+                }
+                None if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                None => panic!("message never arrived"),
+            }
+        }
+    }
+
+    #[test]
+    fn disconnect_surfaces_as_error() {
+        let (a, b) = tcp_pair();
+        drop(a);
+        assert!(b.recv().is_err());
+    }
+
+    #[test]
+    fn concurrent_senders_never_interleave_frames() {
+        let (a, b) = tcp_pair();
+        let senders: Vec<_> = (0..4).map(|_| a.sender()).collect();
+        let threads: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                std::thread::spawn(move || {
+                    for k in 0..50 {
+                        s.send(&Message::Progress {
+                            job: JobId(i as u64),
+                            iters: k as f64,
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for _ in 0..200 {
+            match b.recv().unwrap() {
+                Message::Progress { .. } => {}
+                other => panic!("corrupted frame decoded to {other:?}"),
+            }
+        }
+    }
+}

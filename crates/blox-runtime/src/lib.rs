@@ -23,10 +23,15 @@
 //! through the worker manager) — plus the two-phase expiration that keeps
 //! distributed workers' checkpoints consistent.
 
+#![warn(missing_docs)]
+
 pub mod lease;
 pub mod runtime;
 pub mod wire;
 
 pub use lease::{LeaseMode, LeaseTable, TwoPhaseExit};
-pub use runtime::{EmulatedCluster, RuntimeBackend, RuntimeConfig};
-pub use wire::{Endpoint, Message};
+pub use runtime::{
+    apply_status_message, placement_iter_time, EmulatedCluster, RuntimeBackend, RuntimeConfig,
+    ServeEnd, SimClock, WorkerManager,
+};
+pub use wire::{Endpoint, Message, Transport, WireSender};

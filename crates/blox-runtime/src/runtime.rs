@@ -21,7 +21,7 @@ use blox_core::policy::Placement;
 use blox_core::state::JobState;
 
 use crate::lease::LeaseTable;
-use crate::wire::{wire_bus, Endpoint, Message, WireRx, WireTx};
+use crate::wire::{wire_bus, Endpoint, Message, Transport, WireRx, WireSender, WireTx};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -45,18 +45,46 @@ impl Default for RuntimeConfig {
 }
 
 /// Shared wall-clock → simulated-time mapping.
+///
+/// Every emulated component — worker managers, the runtime backend, and
+/// the `blox-net` daemons — derives simulated time from one of these, so
+/// progress accounting never accumulates OS-timer error.
 #[derive(Debug)]
-struct SimClock {
+pub struct SimClock {
     start: Instant,
     scale: f64,
 }
 
 impl SimClock {
-    fn sim_now(&self) -> f64 {
+    /// A clock reading 0 simulated seconds now.
+    pub fn new(scale: f64) -> Self {
+        Self::synced(0.0, scale)
+    }
+
+    /// A clock currently reading `now_sim` simulated seconds — used by
+    /// networked node managers to align with the scheduler's clock at
+    /// registration time.
+    pub fn synced(now_sim: f64, scale: f64) -> Self {
+        let offset = Duration::from_secs_f64((now_sim * scale).max(0.0));
+        let now = Instant::now();
+        SimClock {
+            start: now.checked_sub(offset).unwrap_or(now),
+            scale,
+        }
+    }
+
+    /// Wall seconds per simulated second.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Current simulated time.
+    pub fn sim_now(&self) -> f64 {
         self.start.elapsed().as_secs_f64() / self.scale
     }
 
-    fn sleep_until(&self, sim_t: f64) {
+    /// Sleep until the simulated clock reaches `sim_t` (no-op if past).
+    pub fn sleep_until(&self, sim_t: f64) {
         let target = self.start + Duration::from_secs_f64(sim_t * self.scale);
         let now = Instant::now();
         if target > now {
@@ -101,21 +129,21 @@ impl BloxDataLoader {
 
 /// The metric-push half of `BloxClientLibrary`: forwards arbitrary
 /// key/value application metrics to the central scheduler through the
-/// worker's bus.
+/// worker's upstream link.
 pub struct WorkerMetricsCollector {
     job: JobId,
-    bus: WireTx,
+    up: Box<dyn WireSender>,
 }
 
 impl WorkerMetricsCollector {
     /// Collector for one job.
-    pub fn new(job: JobId, bus: WireTx) -> Self {
-        WorkerMetricsCollector { job, bus }
+    pub fn new(job: JobId, up: Box<dyn WireSender>) -> Self {
+        WorkerMetricsCollector { job, up }
     }
 
     /// Push one metric sample.
     pub fn push(&self, key: &str, value: f64) {
-        let _ = self.bus.send(&Message::PushMetric {
+        let _ = self.up.send(&Message::PushMetric {
             job: self.job,
             key: key.to_string(),
             value,
@@ -125,62 +153,71 @@ impl WorkerMetricsCollector {
 
 // Worker manager --------------------------------------------------------------
 
-struct WorkerShared {
+/// Why [`WorkerManager::serve`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEnd {
+    /// The scheduler sent an orderly [`Message::Shutdown`].
+    Shutdown,
+    /// The command link dropped (scheduler gone or socket lost).
+    Disconnected,
+}
+
+/// The per-node worker manager of Figure 17: launches and preempts
+/// emulated training jobs, stores leases locally, and pushes progress,
+/// metrics, and completion reports upstream.
+///
+/// Transport-generic: the in-process [`EmulatedCluster`] drives it over
+/// channel [`Endpoint`]s, and `blox-net`'s `bloxnoded` daemon drives the
+/// very same code over framed loopback TCP.
+pub struct WorkerManager {
+    node: NodeId,
     lease: Arc<LeaseTable>,
-    /// Rank-0 iteration counters for jobs hosted here.
+    /// Live iteration counters for jobs hosted here; rank-0 reads feed the
+    /// two-phase revocation's exit-iteration decision.
     counters: parking_lot::Mutex<BTreeMap<JobId, Arc<AtomicU64>>>,
-}
-
-/// Handle the central scheduler holds per worker.
-struct WorkerHandle {
-    cmd: Endpoint,
-    shared: Arc<WorkerShared>,
-    _thread: JoinHandle<()>,
-}
-
-impl WorkerHandle {
-    /// The worker's local lease table (inspection / tests).
-    fn lease(&self) -> Arc<LeaseTable> {
-        self.shared.lease.clone()
-    }
-}
-
-fn spawn_worker(
-    node: NodeId,
-    bus: WireTx,
     clock: Arc<SimClock>,
     cfg: RuntimeConfig,
-) -> WorkerHandle {
-    let (central_side, worker_side) = Endpoint::pair();
-    let shared = Arc::new(WorkerShared {
-        lease: Arc::new(LeaseTable::new()),
-        counters: parking_lot::Mutex::new(BTreeMap::new()),
-    });
-    let shared2 = shared.clone();
-    let thread = std::thread::spawn(move || {
-        worker_loop(node, worker_side, bus, shared2, clock, cfg);
-    });
-    WorkerHandle {
-        cmd: central_side,
-        shared,
-        _thread: thread,
-    }
 }
 
-fn worker_loop(
-    node: NodeId,
-    cmd: Endpoint,
-    bus: WireTx,
-    shared: Arc<WorkerShared>,
-    clock: Arc<SimClock>,
-    cfg: RuntimeConfig,
-) {
-    let _ = bus.send(&Message::RegisterWorker { node, gpus: 0 });
-    loop {
-        let msg = match cmd.recv() {
-            Ok(m) => m,
-            Err(_) => return, // Central scheduler shut down.
-        };
+impl WorkerManager {
+    /// Manager for one node, emulating under the given clock and config.
+    pub fn new(node: NodeId, clock: Arc<SimClock>, cfg: RuntimeConfig) -> Self {
+        WorkerManager {
+            node,
+            lease: Arc::new(LeaseTable::new()),
+            counters: parking_lot::Mutex::new(BTreeMap::new()),
+            clock,
+            cfg,
+        }
+    }
+
+    /// The node this manager serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The worker-local lease table (inspection / tests).
+    pub fn lease(&self) -> Arc<LeaseTable> {
+        self.lease.clone()
+    }
+
+    /// Serve scheduler commands from `cmd`, pushing job traffic to `up`,
+    /// until the link drops or the scheduler sends a shutdown.
+    pub fn serve(&self, cmd: &dyn Transport, up: &dyn WireSender) -> ServeEnd {
+        loop {
+            let msg = match cmd.recv() {
+                Ok(m) => m,
+                Err(_) => return ServeEnd::Disconnected,
+            };
+            if !self.handle(msg, up) {
+                return ServeEnd::Shutdown;
+            }
+        }
+    }
+
+    /// Apply one scheduler command; returns false once the manager should
+    /// stop serving (orderly shutdown).
+    pub fn handle(&self, msg: Message, up: &dyn WireSender) -> bool {
         match msg {
             Message::Launch {
                 job,
@@ -191,20 +228,20 @@ fn worker_loop(
                 is_rank0,
                 ..
             } => {
-                shared.lease.grant(job);
-                let loader = BloxDataLoader::new(job, shared.lease.clone());
-                shared.counters.lock().insert(job, loader.iter_counter());
-                let metrics = WorkerMetricsCollector::new(job, bus.clone());
-                let bus = bus.clone();
-                let clock = clock.clone();
-                let lease = shared.lease.clone();
-                let cfg = cfg.clone();
+                self.lease.grant(job);
+                let loader = BloxDataLoader::new(job, self.lease.clone());
+                self.counters.lock().insert(job, loader.iter_counter());
+                let metrics = WorkerMetricsCollector::new(job, up.clone_sender());
+                let up = up.clone_sender();
+                let clock = self.clock.clone();
+                let lease = self.lease.clone();
+                let cfg = self.cfg.clone();
                 std::thread::spawn(move || {
                     run_emulated_job(
                         job,
                         loader,
                         metrics,
-                        bus,
+                        up,
                         clock,
                         lease,
                         cfg,
@@ -220,22 +257,58 @@ fn worker_loop(
                 // Two-phase exit, phase 1: rank 0's worker decides the exit
                 // iteration from the live counter and reports it upstream
                 // so the scheduler can propagate it to peer shards.
-                let current = shared
+                let current = self
                     .counters
                     .lock()
                     .get(&job)
                     .map(|c| c.load(Ordering::SeqCst))
                     .unwrap_or(0);
                 let exit_iter = current + 1;
-                shared.lease.revoke_at(job, exit_iter);
-                let _ = bus.send(&Message::ExitAt { job, exit_iter });
+                self.lease.revoke_at(job, exit_iter);
+                let _ = up.send(&Message::ExitAt { job, exit_iter });
             }
             Message::ExitAt { job, exit_iter } => {
                 // Phase 2 at a peer shard.
-                shared.lease.revoke_at(job, exit_iter);
+                self.lease.revoke_at(job, exit_iter);
             }
+            Message::Shutdown => return false,
             _ => {}
         }
+        true
+    }
+}
+
+/// Handle the central scheduler holds per worker.
+struct WorkerHandle {
+    cmd: Endpoint,
+    manager: Arc<WorkerManager>,
+    _thread: JoinHandle<()>,
+}
+
+impl WorkerHandle {
+    /// The worker's local lease table (inspection / tests).
+    fn lease(&self) -> Arc<LeaseTable> {
+        self.manager.lease()
+    }
+}
+
+fn spawn_worker(
+    node: NodeId,
+    bus: WireTx,
+    clock: Arc<SimClock>,
+    cfg: RuntimeConfig,
+) -> WorkerHandle {
+    let (central_side, worker_side) = Endpoint::pair();
+    let manager = Arc::new(WorkerManager::new(node, clock, cfg));
+    let manager2 = manager.clone();
+    let thread = std::thread::spawn(move || {
+        let _ = bus.send(&Message::RegisterWorker { node, gpus: 0 });
+        manager2.serve(&worker_side, &bus);
+    });
+    WorkerHandle {
+        cmd: central_side,
+        manager,
+        _thread: thread,
     }
 }
 
@@ -247,7 +320,7 @@ fn run_emulated_job(
     job: JobId,
     loader: BloxDataLoader,
     metrics: WorkerMetricsCollector,
-    bus: WireTx,
+    up: Box<dyn WireSender>,
     clock: Arc<SimClock>,
     lease: Arc<LeaseTable>,
     cfg: RuntimeConfig,
@@ -271,7 +344,7 @@ fn run_emulated_job(
         if !loader.next_iteration() {
             // Lease revoked: checkpoint and report.
             if is_rank0 {
-                let _ = bus.send(&Message::JobSuspended { job, iters: done });
+                let _ = up.send(&Message::JobSuspended { job, iters: done });
             }
             return;
         }
@@ -279,7 +352,7 @@ fn run_emulated_job(
         done = start_iters + (clock.sim_now() - progress_start) / iter_time_s.max(1e-9);
         if is_rank0 {
             metrics.push("iter_time", iter_time_s);
-            if bus.send(&Message::Progress { job, iters: done }).is_err() {
+            if up.send(&Message::Progress { job, iters: done }).is_err() {
                 return; // Scheduler gone.
             }
         }
@@ -289,7 +362,7 @@ fn run_emulated_job(
                 // Back-date the completion to the exact sub-tick moment the
                 // work ran out, mirroring the simulator's sub-round times.
                 let overshoot = (done - total_iters) * iter_time_s;
-                let _ = bus.send(&Message::JobDone {
+                let _ = up.send(&Message::JobDone {
                     job,
                     sim_time: (clock.sim_now() - overshoot).max(0.0),
                 });
@@ -300,6 +373,66 @@ fn run_emulated_job(
 }
 
 // The emulated cluster + backend ----------------------------------------------
+
+/// Placement-adjusted per-iteration time for a job under its current
+/// placement — the performance-model entry point shared by every
+/// deployment backend (in-process and `blox-net`), mirroring the
+/// simulator's model so fidelity differences come from mechanism, not
+/// model.
+pub fn placement_iter_time(job: &Job, cluster: &ClusterState) -> f64 {
+    let n = job.placement.len() as u32;
+    let consolidated = cluster.is_consolidated(&job.placement);
+    let inter_bw = cluster.alloc_inter_bw(&job.placement);
+    let gpu_type = job
+        .placement
+        .first()
+        .and_then(|g| cluster.gpu(*g))
+        .map(|r| r.gpu_type)
+        .unwrap_or(blox_core::cluster::GpuType::V100);
+    job.profile
+        .iter_model
+        .iter_time(n, gpu_type, consolidated, inter_bw)
+}
+
+/// Apply one worker-originated job-status message (progress, metric push,
+/// completion, suspension checkpoint) to the shared scheduler state.
+///
+/// Shared by [`RuntimeBackend`] and `blox-net`'s networked scheduler
+/// backend so the two deployments interpret worker traffic identically.
+/// Command-direction and control-plane messages are ignored.
+pub fn apply_status_message(msg: Message, cluster: &mut ClusterState, jobs: &mut JobState) {
+    match msg {
+        Message::Progress { job, iters } => {
+            if let Some(j) = jobs.get_mut(job) {
+                if j.status == JobStatus::Running {
+                    j.completed_iters = iters.min(j.total_iters);
+                }
+            }
+        }
+        Message::PushMetric { job, key, value } => {
+            if let Some(j) = jobs.get_mut(job) {
+                j.push_metric(&key, value);
+            }
+        }
+        Message::JobDone { job, sim_time } => {
+            if let Some(j) = jobs.get_mut(job) {
+                if j.status == JobStatus::Running {
+                    j.completed_iters = j.total_iters;
+                    j.completion_time = Some(sim_time);
+                    j.status = JobStatus::Completed;
+                    j.placement.clear();
+                    cluster.release(job);
+                }
+            }
+        }
+        Message::JobSuspended { job, iters } => {
+            if let Some(j) = jobs.get_mut(job) {
+                j.completed_iters = iters.min(j.total_iters);
+            }
+        }
+        _ => {}
+    }
+}
 
 /// A running set of worker managers plus the central message bus.
 pub struct EmulatedCluster {
@@ -325,10 +458,7 @@ impl EmulatedCluster {
     /// Start one worker manager per live node of the cluster.
     pub fn start(cluster: &ClusterState, cfg: RuntimeConfig) -> Self {
         let (bus_tx, bus_rx) = wire_bus();
-        let clock = Arc::new(SimClock {
-            start: Instant::now(),
-            scale: cfg.time_scale,
-        });
+        let clock = Arc::new(SimClock::new(cfg.time_scale));
         let mut workers = BTreeMap::new();
         for node in cluster.nodes() {
             workers.insert(
@@ -366,23 +496,6 @@ impl RuntimeBackend {
         }
     }
 
-    /// Placement-adjusted per-iteration time, mirroring the simulator's
-    /// model so fidelity differences come from mechanism, not model.
-    fn iter_time_for(job: &Job, cluster: &ClusterState) -> f64 {
-        let n = job.placement.len() as u32;
-        let consolidated = cluster.is_consolidated(&job.placement);
-        let inter_bw = cluster.alloc_inter_bw(&job.placement);
-        let gpu_type = job
-            .placement
-            .first()
-            .and_then(|g| cluster.gpu(*g))
-            .map(|r| r.gpu_type)
-            .unwrap_or(blox_core::cluster::GpuType::V100);
-        job.profile
-            .iter_model
-            .iter_time(n, gpu_type, consolidated, inter_bw)
-    }
-
     fn worker_of(&self, cluster: &ClusterState, job: &Job) -> Option<NodeId> {
         job.placement
             .first()
@@ -394,41 +507,7 @@ impl RuntimeBackend {
     /// we were waiting for (filtered by `keep`).
     fn drain_bus(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
         while let Ok(Some(msg)) = self.cluster.bus_rx.try_recv() {
-            Self::apply_message(msg, cluster, jobs);
-        }
-    }
-
-    fn apply_message(msg: Message, cluster: &mut ClusterState, jobs: &mut JobState) {
-        match msg {
-            Message::Progress { job, iters } => {
-                if let Some(j) = jobs.get_mut(job) {
-                    if j.status == JobStatus::Running {
-                        j.completed_iters = iters.min(j.total_iters);
-                    }
-                }
-            }
-            Message::PushMetric { job, key, value } => {
-                if let Some(j) = jobs.get_mut(job) {
-                    j.push_metric(&key, value);
-                }
-            }
-            Message::JobDone { job, sim_time } => {
-                if let Some(j) = jobs.get_mut(job) {
-                    if j.status == JobStatus::Running {
-                        j.completed_iters = j.total_iters;
-                        j.completion_time = Some(sim_time);
-                        j.status = JobStatus::Completed;
-                        j.placement.clear();
-                        cluster.release(job);
-                    }
-                }
-            }
-            Message::JobSuspended { job, iters } => {
-                if let Some(j) = jobs.get_mut(job) {
-                    j.completed_iters = iters.min(j.total_iters);
-                }
-            }
-            _ => {}
+            apply_status_message(msg, cluster, jobs);
         }
     }
 
@@ -460,7 +539,7 @@ impl RuntimeBackend {
                         }
                     }
                 }
-                Ok(Some(other)) => Self::apply_message(other, cluster, jobs),
+                Ok(Some(other)) => apply_status_message(other, cluster, jobs),
                 Ok(None) => {}
                 Err(_) => return None,
             }
@@ -552,7 +631,7 @@ impl Backend for RuntimeBackend {
         // Send launch RPCs, one per worker hosting a shard.
         for (id, gpus) in &filtered.to_launch {
             let Some(job) = jobs.get(*id) else { continue };
-            let iter_time = Self::iter_time_for(job, cluster);
+            let iter_time = placement_iter_time(job, cluster);
             let nodes = cluster.nodes_of(gpus);
             for (rank, node) in nodes.iter().enumerate() {
                 let local: Vec<u8> = gpus

@@ -93,6 +93,47 @@ pub enum Message {
     },
     /// Generic acknowledgement.
     Ack,
+    /// Worker liveness beacon (networked deployment failure detector).
+    Heartbeat {
+        /// Reporting node.
+        node: NodeId,
+        /// Monotonic beacon counter, for debugging lost heartbeats.
+        seq: u64,
+    },
+    /// Scheduler reply to [`Message::RegisterWorker`]: the node's assigned
+    /// identity, a clock-sync point, and the runtime configuration the
+    /// worker must emulate under.
+    AssignNode {
+        /// Identity assigned to the registering worker.
+        node: NodeId,
+        /// Scheduler's simulated clock at assignment (workers align their
+        /// local clock to this).
+        now_sim: f64,
+        /// Wall seconds per simulated second.
+        time_scale: f64,
+        /// Simulated seconds per emulated training iteration.
+        emu_iter_sim_s: f64,
+        /// Interval (simulated seconds) at which the worker must send
+        /// [`Message::Heartbeat`].
+        heartbeat_sim_s: f64,
+    },
+    /// Client submits a job into the live scheduler's wait queue.
+    SubmitJob {
+        /// GPUs requested.
+        gpus: u32,
+        /// Total work in iterations.
+        total_iters: f64,
+        /// Model-zoo profile name (unknown names fall back to a synthetic
+        /// profile).
+        model: String,
+    },
+    /// Scheduler acknowledges a submission with the assigned job id.
+    JobAccepted {
+        /// Id the scheduler assigned.
+        job: JobId,
+    },
+    /// Orderly shutdown of the receiving daemon.
+    Shutdown,
 }
 
 // Encoding -----------------------------------------------------------------
@@ -249,6 +290,40 @@ impl Message {
                 put_f64(&mut buf, *iters);
             }
             Message::Ack => put_u8(&mut buf, 10),
+            Message::Heartbeat { node, seq } => {
+                put_u8(&mut buf, 11);
+                put_u32(&mut buf, node.0);
+                put_u64(&mut buf, *seq);
+            }
+            Message::AssignNode {
+                node,
+                now_sim,
+                time_scale,
+                emu_iter_sim_s,
+                heartbeat_sim_s,
+            } => {
+                put_u8(&mut buf, 12);
+                put_u32(&mut buf, node.0);
+                put_f64(&mut buf, *now_sim);
+                put_f64(&mut buf, *time_scale);
+                put_f64(&mut buf, *emu_iter_sim_s);
+                put_f64(&mut buf, *heartbeat_sim_s);
+            }
+            Message::SubmitJob {
+                gpus,
+                total_iters,
+                model,
+            } => {
+                put_u8(&mut buf, 13);
+                put_u32(&mut buf, *gpus);
+                put_f64(&mut buf, *total_iters);
+                put_str(&mut buf, model);
+            }
+            Message::JobAccepted { job } => {
+                put_u8(&mut buf, 14);
+                put_u64(&mut buf, job.0);
+            }
+            Message::Shutdown => put_u8(&mut buf, 15),
         }
         buf
     }
@@ -308,6 +383,26 @@ impl Message {
                 iters: r.f64()?,
             },
             10 => Message::Ack,
+            11 => Message::Heartbeat {
+                node: NodeId(r.u32()?),
+                seq: r.u64()?,
+            },
+            12 => Message::AssignNode {
+                node: NodeId(r.u32()?),
+                now_sim: r.f64()?,
+                time_scale: r.f64()?,
+                emu_iter_sim_s: r.f64()?,
+                heartbeat_sim_s: r.f64()?,
+            },
+            13 => Message::SubmitJob {
+                gpus: r.u32()?,
+                total_iters: r.f64()?,
+                model: r.string()?,
+            },
+            14 => Message::JobAccepted {
+                job: JobId(r.u64()?),
+            },
+            15 => Message::Shutdown,
             other => return Err(BloxError::Transport(format!("unknown message tag {other}"))),
         };
         Ok(msg)
@@ -315,6 +410,36 @@ impl Message {
 }
 
 // Transport -----------------------------------------------------------------
+
+/// A bidirectional, message-oriented link carrying [`Message`] frames.
+///
+/// Abstracts the substrate under the runtime protocol: the in-process
+/// [`Endpoint`] implements it over crossbeam channels, and `blox-net`
+/// implements it over framed loopback TCP, so the same scheduler,
+/// worker-manager, and client-library code drives either an emulated
+/// single-process cluster or real separate OS processes.
+pub trait Transport: Send {
+    /// Encode and send a message.
+    fn send(&self, msg: &Message) -> Result<()>;
+    /// Block until a message arrives.
+    fn recv(&self) -> Result<Message>;
+    /// Non-blocking receive; `Ok(None)` when no message is waiting.
+    fn try_recv(&self) -> Result<Option<Message>>;
+    /// Blocking receive with a wall-clock timeout; `Ok(None)` on timeout.
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>>;
+}
+
+/// A clonable send-only handle onto a transport's upstream direction.
+///
+/// Worker managers hand one of these to every emulated training job so
+/// progress, metric, and completion messages can be pushed from arbitrary
+/// threads regardless of the underlying substrate.
+pub trait WireSender: Send {
+    /// Encode and send a message.
+    fn send(&self, msg: &Message) -> Result<()>;
+    /// Clone this sender behind a fresh box (object-safe `Clone`).
+    fn clone_sender(&self) -> Box<dyn WireSender>;
+}
 
 /// One side of a bidirectional message channel. All traffic is encoded to
 /// byte frames and decoded on receipt.
@@ -370,6 +495,24 @@ impl Endpoint {
     }
 }
 
+impl Transport for Endpoint {
+    fn send(&self, msg: &Message) -> Result<()> {
+        Endpoint::send(self, msg)
+    }
+
+    fn recv(&self) -> Result<Message> {
+        Endpoint::recv(self)
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        Endpoint::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+}
+
 /// Send half of a shared message bus (clonable: many producers).
 #[derive(Clone)]
 pub struct WireTx {
@@ -382,6 +525,16 @@ impl WireTx {
         self.tx
             .send(msg.encode())
             .map_err(|_| BloxError::Transport("bus receiver dropped".into()))
+    }
+}
+
+impl WireSender for WireTx {
+    fn send(&self, msg: &Message) -> Result<()> {
+        WireTx::send(self, msg)
+    }
+
+    fn clone_sender(&self) -> Box<dyn WireSender> {
+        Box::new(self.clone())
     }
 }
 
@@ -467,6 +620,24 @@ mod tests {
                 iters: 55.5,
             },
             Message::Ack,
+            Message::Heartbeat {
+                node: NodeId(7),
+                seq: 1234,
+            },
+            Message::AssignNode {
+                node: NodeId(2),
+                now_sim: 1800.0,
+                time_scale: 1e-4,
+                emu_iter_sim_s: 30.0,
+                heartbeat_sim_s: 60.0,
+            },
+            Message::SubmitJob {
+                gpus: 2,
+                total_iters: 9000.0,
+                model: "resnet50".into(),
+            },
+            Message::JobAccepted { job: JobId(77) },
+            Message::Shutdown,
         ]
     }
 

@@ -9,6 +9,8 @@
 //! sweepable rate, heavy-tailed isolated runtimes, a GPU-demand mix skewed
 //! towards small jobs, and per-job model profiles.
 
+#![warn(missing_docs)]
+
 pub mod dist;
 pub mod models;
 pub mod philly;

@@ -9,6 +9,8 @@
 //!   (FIFO, LAS, Tiresias, Optimus, Gavel, Pollux, Themis, Synergy, ...).
 //! * [`runtime`] — the deployment runtime (central scheduler, worker
 //!   managers, client library, lease protocol).
+//! * [`net`] — the networked deployment subsystem (framed-TCP transport,
+//!   `bloxschedd`/`bloxnoded` daemons, live job submission).
 //! * [`synth`] — the automatic scheduler synthesizer.
 //! * [`inference`] — the Nexus-style inference-scheduling prototype
 //!   (paper Appendix C).
@@ -41,6 +43,7 @@
 
 pub use blox_core as core;
 pub use blox_inference as inference;
+pub use blox_net as net;
 pub use blox_policies as policies;
 pub use blox_runtime as runtime;
 pub use blox_sim as sim;

@@ -60,8 +60,72 @@ fn arb_message() -> impl Strategy<Value = Message> {
             job: JobId(j),
             sim_time: t
         }),
+        any::<u64>().prop_map(|j| Message::LeaseCheck { job: JobId(j) }),
+        (any::<u64>(), any::<bool>()).prop_map(|(j, v)| Message::LeaseStatus {
+            job: JobId(j),
+            valid: v
+        }),
+        (any::<u64>(), 0.0f64..1e9).prop_map(|(j, i)| Message::Progress {
+            job: JobId(j),
+            iters: i
+        }),
+        (any::<u64>(), 0.0f64..1e9).prop_map(|(j, i)| Message::JobSuspended {
+            job: JobId(j),
+            iters: i
+        }),
         Just(Message::Ack),
+        (any::<u32>(), any::<u64>()).prop_map(|(n, s)| Message::Heartbeat {
+            node: NodeId(n),
+            seq: s
+        }),
+        (
+            any::<u32>(),
+            0.0f64..1e9,
+            0.0f64..1.0,
+            0.0f64..1e3,
+            0.0f64..1e4
+        )
+            .prop_map(|(n, now, ts, ei, hb)| Message::AssignNode {
+                node: NodeId(n),
+                now_sim: now,
+                time_scale: ts,
+                emu_iter_sim_s: ei,
+                heartbeat_sim_s: hb,
+            }),
+        (any::<u32>(), 0.0f64..1e9, ".{0,16}").prop_map(|(g, t, m)| Message::SubmitJob {
+            gpus: g,
+            total_iters: t,
+            model: m
+        }),
+        any::<u64>().prop_map(|j| Message::JobAccepted { job: JobId(j) }),
+        Just(Message::Shutdown),
     ]
+}
+
+/// Compile-time canary: adding a `Message` variant breaks this match,
+/// forcing [`arb_message`] (and its sibling in
+/// `crates/blox-runtime/tests/wire_proptest.rs`) to be extended —
+/// `prop_oneof!` itself is not exhaustiveness-checked.
+#[allow(dead_code)]
+fn strategy_covers_every_variant(msg: &Message) {
+    match msg {
+        Message::RegisterWorker { .. }
+        | Message::Launch { .. }
+        | Message::Revoke { .. }
+        | Message::ExitAt { .. }
+        | Message::LeaseCheck { .. }
+        | Message::LeaseStatus { .. }
+        | Message::PushMetric { .. }
+        | Message::Progress { .. }
+        | Message::JobDone { .. }
+        | Message::JobSuspended { .. }
+        | Message::Ack
+        | Message::Heartbeat { .. }
+        | Message::AssignNode { .. }
+        | Message::SubmitJob { .. }
+        | Message::JobAccepted { .. }
+        | Message::Shutdown => {}
+    }
 }
 
 proptest! {
