@@ -1,0 +1,83 @@
+//! Fault-injection layer microbenchmarks: the per-message verdict cost
+//! and the end-to-end overhead a fault plan adds to a simulator run
+//! (the chaos sweep's hot path).
+//!
+//! `BLOX_BENCH_JSON=BENCH_chaos.json cargo bench -p blox-bench --bench
+//! chaos` appends one JSON line per benchmark; the `chaos` binary
+//! appends its sweep measurements to the same file.
+
+use blox_core::fault::{FaultEvent, FaultPlan, LinkFaults};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::Fifo;
+use blox_sim::{cluster_of_v100, SimBackend};
+use blox_workloads::{ModelZoo, PhillyTraceGen};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn lossy_plan() -> FaultPlan {
+    FaultPlan::new(0xC7A0_5BE7)
+        .with_base(LinkFaults {
+            delay_s: 150.0,
+            drop_p: 0.3,
+            dup_p: 0.1,
+            reorder_p: 0.1,
+        })
+        .with_event(FaultEvent::Partition {
+            from: 50_000.0,
+            until: 60_000.0,
+        })
+}
+
+fn bench_verdicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_plan");
+    group.sample_size(30);
+    group.bench_function("verdict", |b| {
+        let mut state = lossy_plan().state(7);
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 30.0;
+            black_box(state.verdict(t))
+        })
+    });
+    group.finish();
+}
+
+fn run_sim(plan: Option<FaultPlan>) -> usize {
+    let zoo = ModelZoo::standard();
+    let trace = PhillyTraceGen::new(&zoo, 8.0).generate(24, 3);
+    let mut backend = SimBackend::new(trace);
+    if let Some(plan) = plan {
+        backend = backend.with_faults(plan);
+    }
+    let mut mgr = BloxManager::new(
+        backend,
+        cluster_of_v100(4),
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 200_000,
+            stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
+        },
+    );
+    mgr.run(
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut ConsolidatedPlacement::preferred(),
+    )
+    .records
+    .len()
+}
+
+fn bench_sim_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_sim");
+    group.sample_size(10);
+    group.bench_function("clean_run", |b| b.iter(|| black_box(run_sim(None))));
+    group.bench_function("faulty_run", |b| {
+        b.iter(|| black_box(run_sim(Some(lossy_plan()))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verdicts, bench_sim_overhead);
+criterion_main!(benches);

@@ -32,6 +32,8 @@ pub const FIGURES: &[&str] = &[
     "fig19_lease_renewal",
     "fig20_auto_synth_multiobj",
     "fig21_auto_synth_multiobj_timeline",
+    // Beyond the paper's figures: the fault-injection chaos sweep.
+    "chaos",
 ];
 
 fn main() {

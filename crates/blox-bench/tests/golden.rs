@@ -1,0 +1,98 @@
+//! Golden-trace regression tests: two figure-shaped sweep configurations
+//! whose aggregated results are committed as JSON fixtures and asserted
+//! byte-identical on every run.
+//!
+//! The sweep engine's `to_json` is deliberately byte-deterministic
+//! (fixed field order, shortest-round-trip float formatting, grid-order
+//! trials, thread-count independent), so these fixtures pin the *numbers*
+//! end to end — trace generation, the performance model, every policy
+//! decision, and the event-driven fast path. A future refactor that
+//! changes any result silently (instead of intentionally) fails here.
+//!
+//! Intentional changes: regenerate with
+//! `BLOX_UPDATE_GOLDEN=1 cargo test -p blox-bench --test golden`
+//! and commit the diff — the fixture churn *is* the review artifact.
+
+use std::path::PathBuf;
+
+use blox_bench::{las_under, philly_grid, policy_set, PhillySetup};
+use blox_policies::admission::{AcceptAll, ThresholdAdmission};
+use blox_policies::scheduling::{Fifo, Optimus, Tiresias};
+
+/// A fixed miniature of the standard Philly methodology: explicit sizes
+/// (never scaled by `BLOX_SCALE`) so the fixture bytes are environment
+/// independent.
+fn golden_setup() -> PhillySetup {
+    PhillySetup {
+        n_jobs: 120,
+        track_lo: 40,
+        track_hi: 80,
+        nodes: 8,
+        seed: 42,
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare against the committed fixture, or rewrite it under
+/// `BLOX_UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, json: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("BLOX_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, format!("{json}\n")).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with BLOX_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        expected.trim_end(),
+        "sweep results diverged from the committed golden fixture {name}; \
+         if the change is intentional, regenerate with BLOX_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Figure 6 shape: scheduling-policy axis (FIFO / Tiresias / Optimus)
+/// over two load points.
+#[test]
+fn fig06_style_grid_reproduces_golden_fixture() {
+    let report = philly_grid(&golden_setup())
+        .policy(policy_set("fifo", || Box::new(Fifo::new())))
+        .policy(policy_set("tiresias", || Box::new(Tiresias::new())))
+        .policy(policy_set("optimus", || Box::new(Optimus::new())))
+        .loads(&[2.0, 6.0])
+        .build()
+        .run();
+    check_golden("golden_fig06.json", &report.to_json());
+}
+
+/// Figure 12 shape: admission-composition axis (accept-all plus three
+/// threshold factors gating LAS) at the near-saturation load point.
+#[test]
+fn fig12_style_grid_reproduces_golden_fixture() {
+    let report = philly_grid(&golden_setup())
+        .policy(las_under("accept-all", || Box::new(AcceptAll::new())))
+        .policy(las_under("accept-1.5x", || {
+            Box::new(ThresholdAdmission::new(1.5))
+        }))
+        .policy(las_under("accept-1.2x", || {
+            Box::new(ThresholdAdmission::new(1.2))
+        }))
+        .policy(las_under("accept-1.0x", || {
+            Box::new(ThresholdAdmission::new(1.0))
+        }))
+        .loads(&[5.5])
+        .build()
+        .run();
+    check_golden("golden_fig12.json", &report.to_json());
+}

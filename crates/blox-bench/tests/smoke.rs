@@ -43,6 +43,7 @@ macro_rules! smoke_test {
 }
 
 smoke_test!(
+    chaos,
     fig03_pollux_repro,
     fig04_tiresias_repro,
     fig05_synergy_repro,
@@ -102,6 +103,108 @@ fn cluster_deployment_example() {
         example.display()
     );
     run_smoke(example.to_str().expect("utf-8 path"));
+}
+
+/// Locate a compiled binary of a sibling workspace package (no
+/// `CARGO_BIN_EXE_*` variable exists across packages); build it if a
+/// package-scoped test run skipped it.
+fn sibling_binary(package: &str, bin: &str) -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current test binary path");
+    let target_dir = exe
+        .parent() // target/<profile>/deps
+        .and_then(|p| p.parent()) // target/<profile>
+        .expect("test binary lives in target/<profile>/deps");
+    let mut path = target_dir.join(bin);
+    if cfg!(windows) {
+        path.set_extension("exe");
+    }
+    if !path.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut build = Command::new(cargo);
+        build.args(["build", "-p", package, "--bin", bin]);
+        if target_dir.ends_with("release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("launch cargo build");
+        assert!(status.success(), "building {package}::{bin} failed");
+    }
+    assert!(path.exists(), "{} still missing", path.display());
+    path
+}
+
+/// Daemon smoke for the crash-recovery surface: `bloxschedd --restore`
+/// must decode a checkpoint, resume the run, and terminate cleanly. The
+/// snapshot already has its whole tracked window finished, so the
+/// restored scheduler prints the restored summary and exits without
+/// needing any worker.
+#[test]
+fn bloxschedd_restore_flag() {
+    use blox_core::cluster::{ClusterState, NodeSpec};
+    use blox_core::ids::JobId;
+    use blox_core::job::{Job, JobStatus};
+    use blox_core::metrics::RunStats;
+    use blox_core::profile::JobProfile;
+    use blox_core::snapshot::Snapshot;
+    use blox_core::state::JobState;
+
+    let mut cluster = ClusterState::new();
+    cluster.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+    let mut jobs = JobState::new();
+    let mut stats = RunStats::new();
+    let done: Vec<Job> = (0..2)
+        .map(|i| {
+            let mut j = Job::new(
+                JobId(i),
+                100.0 * i as f64,
+                1,
+                500.0,
+                JobProfile::synthetic("smoke", 1.0),
+            );
+            j.status = JobStatus::Completed;
+            j.completion_time = Some(1_000.0 + 100.0 * i as f64);
+            j.completed_iters = 500.0;
+            stats.record_job(&j);
+            j
+        })
+        .collect();
+    jobs.add_new_jobs(done);
+    jobs.prune_completed();
+    stats.record_round(0, 4, 2_000.0);
+    let snap = Snapshot {
+        now: 2_000.0,
+        next_job: 2,
+        expected_jobs: Some(2),
+        cluster,
+        jobs,
+        queue: Vec::new(),
+        stats,
+    };
+    let path = std::env::temp_dir().join(format!("blox-smoke-restore-{}.snap", std::process::id()));
+    blox_net::write_checkpoint(&path, &snap).expect("write snapshot");
+
+    let schedd = sibling_binary("blox-net", "bloxschedd");
+    let output = Command::new(schedd)
+        .args([
+            "--restore",
+            path.to_str().expect("utf-8 temp path"),
+            "--nodes",
+            "0",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("run bloxschedd --restore");
+    let _ = std::fs::remove_file(&path);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "bloxschedd --restore failed: {}\n{stdout}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout.contains("summary: jobs=2"),
+        "restored summary must carry the snapshot's records, got: {stdout}"
+    );
 }
 
 /// The sequential `run_all --smoke` sweep duplicates every per-binary

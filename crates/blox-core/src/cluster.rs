@@ -284,6 +284,13 @@ impl ClusterState {
         self.nodes.get(&id)
     }
 
+    /// Iterate over every GPU row — including rows on failed nodes — in
+    /// global-id order. Snapshot encoding uses this; policies should use
+    /// [`ClusterState::gpus`], which hides failed hardware.
+    pub fn all_gpus(&self) -> impl Iterator<Item = &GpuRow> {
+        self.gpus.values()
+    }
+
     /// Iterate over GPU rows on live nodes in global-id order.
     pub fn gpus(&self) -> impl Iterator<Item = &GpuRow> {
         self.gpus
@@ -443,6 +450,30 @@ impl ClusterState {
         n.free_cpu_cores = (n.free_cpu_cores + cpus).min(n.spec.cpu_cores as f64);
         n.free_dram_gb = (n.free_dram_gb + dram_gb).min(n.spec.dram_gb);
         Ok(())
+    }
+
+    /// The id-allocation counters `(next_node, next_gpu)`; snapshot
+    /// encoding persists them so a restored cluster keeps assigning fresh
+    /// ids above everything it has ever seen.
+    pub(crate) fn id_counters(&self) -> (u32, u32) {
+        (self.next_node, self.next_gpu)
+    }
+
+    /// Rebuild a cluster from snapshot parts. The inverse of walking
+    /// [`ClusterState::all_nodes`] / [`ClusterState::all_gpus`] plus
+    /// [`ClusterState::id_counters`]; used only by snapshot decoding.
+    pub(crate) fn from_snapshot_parts(
+        nodes: Vec<Node>,
+        gpus: Vec<GpuRow>,
+        next_node: u32,
+        next_gpu: u32,
+    ) -> Self {
+        ClusterState {
+            nodes: nodes.into_iter().map(|n| (n.id, n)).collect(),
+            gpus: gpus.into_iter().map(|g| (g.id, g)).collect(),
+            next_node,
+            next_gpu,
+        }
     }
 
     /// Verify internal invariants; used by tests and debug assertions.

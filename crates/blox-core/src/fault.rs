@@ -1,0 +1,399 @@
+//! Deterministic fault injection: scripted, seeded fault plans.
+//!
+//! A [`FaultPlan`] describes *when* and *how* a link misbehaves — added
+//! latency, drop probability, duplication, reordering, and timed partition
+//! windows — scripted on a time axis exactly like the simulator's
+//! `ChurnScript`, so simulation and the networked deployment share one
+//! event vocabulary. The plan itself is pure data; per-link
+//! [`FaultState`]s fork a deterministic random stream from the plan's
+//! seed, so the same plan and seed produce the same fault sequence on
+//! every run — the property the chaos regression suites pin.
+//!
+//! Consumers:
+//!
+//! * `blox_runtime::fault` wraps any `Transport` / `WireSender` in a
+//!   fault-injecting decorator driven by a [`FaultState`];
+//! * `blox_sim::SimBackend::with_faults` delays/drops the per-round job
+//!   status reports (stale-metrics scenarios for metric-driven policies);
+//! * `blox-bench`'s `chaos` binary sweeps fault rates against JCT.
+
+/// Steady-state fault parameters of one link (all default to "healthy").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Added delivery latency in seconds (same time domain as the plan's
+    /// event axis: simulated seconds everywhere in this workspace).
+    pub delay_s: f64,
+    /// Probability that a message is silently dropped, in `[0, 1]`.
+    pub drop_p: f64,
+    /// Probability that a delivered message is duplicated, in `[0, 1]`.
+    pub dup_p: f64,
+    /// Probability that a delivered message is swapped with the next one
+    /// on the link, in `[0, 1]`.
+    pub reorder_p: f64,
+}
+
+impl LinkFaults {
+    /// True when every knob is zero (the link behaves perfectly).
+    pub fn is_quiet(&self) -> bool {
+        self.delay_s == 0.0 && self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0
+    }
+
+    /// Clamp probabilities into `[0, 1]` and negative delay to zero.
+    pub fn sanitized(self) -> LinkFaults {
+        LinkFaults {
+            delay_s: self.delay_s.max(0.0),
+            drop_p: self.drop_p.clamp(0.0, 1.0),
+            dup_p: self.dup_p.clamp(0.0, 1.0),
+            reorder_p: self.reorder_p.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One scheduled fault event on the plan's time axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Replace the steady-state fault parameters from `at` onward.
+    Set {
+        /// When the new parameters take effect.
+        at: f64,
+        /// Parameters in effect from `at` until the next `Set`.
+        faults: LinkFaults,
+    },
+    /// Total blackout window: every message in `[from, until)` is dropped,
+    /// in both directions — the classic network partition.
+    Partition {
+        /// Window start (inclusive).
+        from: f64,
+        /// Window end (exclusive).
+        until: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's position on the time axis (start time for windows).
+    pub fn at(&self) -> f64 {
+        match self {
+            FaultEvent::Set { at, .. } => *at,
+            FaultEvent::Partition { from, .. } => *from,
+        }
+    }
+}
+
+/// A seeded, scriptable description of how links misbehave over time.
+///
+/// `FaultPlan` is immutable once built; every decision stream comes from
+/// a [`FaultState`] forked via [`FaultPlan::state`], so concurrent links
+/// never interleave draws and runs reproduce bit-for-bit from the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    base: LinkFaults,
+    /// Events sorted by start time.
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A quiet plan (no faults) with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: LinkFaults::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Set the steady-state parameters in effect from time zero.
+    pub fn with_base(mut self, faults: LinkFaults) -> Self {
+        self.base = faults.sanitized();
+        self
+    }
+
+    /// Append one scripted event; events are kept sorted by start time.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self.events
+            .sort_by(|a, b| a.at().partial_cmp(&b.at()).expect("finite event times"));
+        self
+    }
+
+    /// The plan's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan can never perturb a message (quiet base, no
+    /// events) — lets hot paths skip fault bookkeeping entirely.
+    pub fn is_quiet(&self) -> bool {
+        self.base.is_quiet() && self.events.is_empty()
+    }
+
+    /// The steady-state parameters in effect at `now`: the most recent
+    /// `Set` at or before `now`, or the base parameters.
+    pub fn faults_at(&self, now: f64) -> LinkFaults {
+        let mut current = self.base;
+        for event in &self.events {
+            match event {
+                FaultEvent::Set { at, faults } if *at <= now => current = faults.sanitized(),
+                _ => {}
+            }
+        }
+        current
+    }
+
+    /// True when `now` falls inside any scripted partition window.
+    pub fn partitioned(&self, now: f64) -> bool {
+        self.events.iter().any(|e| match e {
+            FaultEvent::Partition { from, until } => *from <= now && now < *until,
+            _ => false,
+        })
+    }
+
+    /// The earliest event boundary strictly after `now` (window starts
+    /// *and* ends count), if any — the fault analogue of a churn script's
+    /// `next_at`, used by event-driven consumers.
+    pub fn next_change_after(&self, now: f64) -> Option<f64> {
+        let mut earliest: Option<f64> = None;
+        let mut consider = |t: f64| {
+            if t > now && earliest.is_none_or(|e| t < e) {
+                earliest = Some(t);
+            }
+        };
+        for event in &self.events {
+            match event {
+                FaultEvent::Set { at, .. } => consider(*at),
+                FaultEvent::Partition { from, until } => {
+                    consider(*from);
+                    consider(*until);
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Fork the deterministic per-link decision stream for `link`.
+    ///
+    /// Distinct link ids get decorrelated streams from the same plan
+    /// seed; the same `(seed, link)` pair always yields the same stream.
+    pub fn state(&self, link: u64) -> FaultState {
+        FaultState {
+            plan: self.clone(),
+            rng: SplitMix64::new(self.seed ^ SplitMix64::new(link).next()),
+        }
+    }
+}
+
+/// What to do with one message, drawn from a [`FaultState`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultVerdict {
+    /// Silently discard the message.
+    Drop,
+    /// Deliver the message (possibly more than once, late, or out of
+    /// order with its successor).
+    Deliver {
+        /// 1 for normal delivery, 2 when the message is duplicated.
+        copies: u8,
+        /// Added latency in seconds before the message becomes visible.
+        delay_s: f64,
+        /// True when the message should swap places with the next one on
+        /// the link (consumers that cannot reorder may ignore this).
+        reorder: bool,
+    },
+}
+
+/// The per-link decision stream: a [`FaultPlan`] plus a forked RNG.
+///
+/// Each [`FaultState::verdict`] call consumes a fixed number of random
+/// draws, so the stream — and therefore the whole fault sequence — is a
+/// pure function of `(plan seed, link id, message index, clock)`.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+}
+
+impl FaultState {
+    /// The plan this stream draws its parameters from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next message on this link at time `now`.
+    pub fn verdict(&mut self, now: f64) -> FaultVerdict {
+        // Fixed draw count per message keeps the stream aligned across
+        // scenarios that differ only in scripted windows.
+        let (drop_draw, dup_draw, reorder_draw) = (
+            self.rng.unit_f64(),
+            self.rng.unit_f64(),
+            self.rng.unit_f64(),
+        );
+        if self.plan.partitioned(now) {
+            return FaultVerdict::Drop;
+        }
+        let faults = self.plan.faults_at(now);
+        if drop_draw < faults.drop_p {
+            return FaultVerdict::Drop;
+        }
+        FaultVerdict::Deliver {
+            copies: if dup_draw < faults.dup_p { 2 } else { 1 },
+            delay_s: faults.delay_s,
+            reorder: reorder_draw < faults.reorder_p,
+        }
+    }
+}
+
+/// One step of the SplitMix64 PRNG (public-domain constants): the
+/// workspace's dependency-free deterministic generator, shared with the
+/// sweep engine's per-trial seed derivation.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`splitmix64`] stream with uniform-draw helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform f64 in [0, 1) from the top 53 bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> LinkFaults {
+        LinkFaults {
+            delay_s: 5.0,
+            drop_p: 0.5,
+            dup_p: 0.25,
+            reorder_p: 0.1,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_always_delivers_cleanly() {
+        let mut state = FaultPlan::new(7).state(0);
+        for i in 0..100 {
+            assert_eq!(
+                state.verdict(i as f64),
+                FaultVerdict::Deliver {
+                    copies: 1,
+                    delay_s: 0.0,
+                    reorder: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_links_diverge() {
+        let plan = FaultPlan::new(42).with_base(lossy());
+        let mut a = plan.state(1);
+        let mut b = plan.state(1);
+        let mut c = plan.state(2);
+        let verdicts_a: Vec<_> = (0..64).map(|i| a.verdict(i as f64)).collect();
+        let verdicts_b: Vec<_> = (0..64).map(|i| b.verdict(i as f64)).collect();
+        let verdicts_c: Vec<_> = (0..64).map(|i| c.verdict(i as f64)).collect();
+        assert_eq!(verdicts_a, verdicts_b);
+        assert_ne!(verdicts_a, verdicts_c);
+    }
+
+    #[test]
+    fn partition_window_drops_everything_inside() {
+        let plan = FaultPlan::new(1).with_event(FaultEvent::Partition {
+            from: 100.0,
+            until: 200.0,
+        });
+        let mut state = plan.state(0);
+        assert_ne!(state.verdict(99.0), FaultVerdict::Drop);
+        assert_eq!(state.verdict(100.0), FaultVerdict::Drop);
+        assert_eq!(state.verdict(199.9), FaultVerdict::Drop);
+        assert_ne!(state.verdict(200.0), FaultVerdict::Drop);
+        assert!(plan.partitioned(150.0));
+        assert!(!plan.partitioned(200.0));
+    }
+
+    #[test]
+    fn set_events_take_effect_in_time_order() {
+        let plan = FaultPlan::new(3)
+            .with_event(FaultEvent::Set {
+                at: 50.0,
+                faults: LinkFaults {
+                    drop_p: 1.0,
+                    ..LinkFaults::default()
+                },
+            })
+            .with_event(FaultEvent::Set {
+                at: 10.0,
+                faults: lossy(),
+            });
+        assert_eq!(plan.faults_at(0.0), LinkFaults::default());
+        assert_eq!(plan.faults_at(10.0), lossy());
+        assert_eq!(plan.faults_at(60.0).drop_p, 1.0);
+        let mut state = plan.state(0);
+        assert_eq!(state.verdict(60.0), FaultVerdict::Drop);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(99).with_base(LinkFaults {
+            drop_p: 0.3,
+            ..LinkFaults::default()
+        });
+        let mut state = plan.state(0);
+        let drops = (0..10_000)
+            .filter(|i| state.verdict(*i as f64) == FaultVerdict::Drop)
+            .count();
+        assert!((2_700..=3_300).contains(&drops), "got {drops} drops");
+    }
+
+    #[test]
+    fn sanitize_clamps_out_of_range_knobs() {
+        let f = LinkFaults {
+            delay_s: -3.0,
+            drop_p: 1.7,
+            dup_p: -0.2,
+            reorder_p: 0.5,
+        }
+        .sanitized();
+        assert_eq!(f.delay_s, 0.0);
+        assert_eq!(f.drop_p, 1.0);
+        assert_eq!(f.dup_p, 0.0);
+        assert_eq!(f.reorder_p, 0.5);
+    }
+
+    #[test]
+    fn next_change_reports_window_edges() {
+        let plan = FaultPlan::new(0)
+            .with_event(FaultEvent::Partition {
+                from: 10.0,
+                until: 20.0,
+            })
+            .with_event(FaultEvent::Set {
+                at: 30.0,
+                faults: lossy(),
+            });
+        assert_eq!(plan.next_change_after(0.0), Some(10.0));
+        assert_eq!(plan.next_change_after(10.0), Some(20.0));
+        assert_eq!(plan.next_change_after(20.0), Some(30.0));
+        assert_eq!(plan.next_change_after(30.0), None);
+        assert!(FaultPlan::new(0).is_quiet());
+        assert!(!plan.is_quiet());
+    }
+}

@@ -28,7 +28,9 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod job;
 pub mod manager;
@@ -36,10 +38,12 @@ pub mod metrics;
 pub mod place_util;
 pub mod policy;
 pub mod profile;
+pub mod snapshot;
 pub mod state;
 
 pub use cluster::{ClusterState, GpuRow, GpuState, GpuType, Node, NodeSpec};
 pub use error::{BloxError, Result};
+pub use fault::{FaultEvent, FaultPlan, FaultState, FaultVerdict, LinkFaults};
 pub use ids::{GpuGlobalId, JobId, NodeId};
 pub use job::{Job, JobStatus};
 pub use manager::{
@@ -50,4 +54,5 @@ pub use policy::{
     AdmissionPolicy, Placement, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
 };
 pub use profile::{IterTimeModel, JobProfile, LossCurve, PolluxProfile};
+pub use snapshot::Snapshot;
 pub use state::JobState;

@@ -168,6 +168,27 @@ impl<B: Backend> BloxManager<B> {
         }
     }
 
+    /// Resume a manager from previously captured state: a restored
+    /// cluster, job set, and statistics (crash recovery from a
+    /// [`crate::snapshot::Snapshot`]). Stop conditions keep working
+    /// across the restart because the restored statistics carry the
+    /// pre-crash job records.
+    pub fn with_state(
+        backend: B,
+        cluster: ClusterState,
+        jobs: JobState,
+        stats: RunStats,
+        config: RunConfig,
+    ) -> Self {
+        BloxManager {
+            backend,
+            cluster,
+            jobs,
+            stats,
+            config,
+        }
+    }
+
     /// The execution backend (immutable).
     pub fn backend(&self) -> &B {
         &self.backend

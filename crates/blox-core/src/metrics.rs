@@ -137,6 +137,30 @@ impl RunStats {
         Summary::of(self.records.iter().filter(|r| r.id.0 >= lo && r.id.0 <= hi))
     }
 
+    /// The raw utilization accumulator (sum over rounds of busy/total);
+    /// exposed for snapshot encoding.
+    pub(crate) fn utilization_sum(&self) -> f64 {
+        self.utilization_sum
+    }
+
+    /// Rebuild statistics from snapshot parts. Used only by snapshot
+    /// decoding; `record_round` / `record_job` remain the live API.
+    pub(crate) fn from_snapshot_parts(
+        records: Vec<JobRecord>,
+        rounds: u64,
+        skipped_rounds: u64,
+        utilization_sum: f64,
+        end_time: f64,
+    ) -> Self {
+        RunStats {
+            records,
+            rounds,
+            skipped_rounds,
+            utilization_sum,
+            end_time,
+        }
+    }
+
     /// Mean GPU utilization across rounds, in [0, 1].
     pub fn mean_utilization(&self) -> f64 {
         if self.rounds == 0 {

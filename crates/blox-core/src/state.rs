@@ -115,6 +115,15 @@ impl JobState {
     pub fn total_seen(&self) -> usize {
         self.active.len() + self.finished.len()
     }
+
+    /// Rebuild a job state from snapshot parts (active jobs plus the
+    /// finished list in completion order). Used only by snapshot decoding.
+    pub(crate) fn from_snapshot_parts(active: Vec<Job>, finished: Vec<Job>) -> Self {
+        JobState {
+            active: active.into_iter().map(|j| (j.id, j)).collect(),
+            finished,
+        }
+    }
 }
 
 #[cfg(test)]

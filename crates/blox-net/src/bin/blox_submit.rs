@@ -7,6 +7,11 @@
 //!
 //! Submits `count` identical jobs, spaced `gap-sim-s` simulated seconds
 //! apart (open-loop), and prints each accepted job id.
+//!
+//! Exit status: 0 only when every submission was acknowledged with a
+//! `JobAccepted`. A scheduler that is unreachable, rejects the request,
+//! or never acknowledges within the timeout yields a diagnostic on
+//! stderr and a non-zero exit, so scripts can gate on submission success.
 
 use blox_net::client::{submit_timed, JobRequest};
 
@@ -35,10 +40,17 @@ fn main() {
             other => panic!("unknown flag {other}"),
         }
     }
-    let sched = sched
-        .expect("--sched ADDR is required")
-        .parse()
-        .expect("--sched must be a socket address");
+    let Some(sched) = sched else {
+        eprintln!("blox-submit: error: --sched ADDR is required");
+        std::process::exit(2);
+    };
+    let sched = match sched.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("blox-submit: error: --sched {sched}: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let timeline: Vec<(f64, JobRequest)> = (0..count)
         .map(|i| {
@@ -52,8 +64,17 @@ fn main() {
             )
         })
         .collect();
-    let ids = submit_timed(sched, &timeline, time_scale).expect("submission");
-    for id in ids {
-        println!("accepted {id:?}");
+    match submit_timed(sched, &timeline, time_scale) {
+        Ok(ids) => {
+            for id in ids {
+                println!("accepted {id:?}");
+            }
+        }
+        Err(e) => {
+            // Rejected, unreachable, or never acknowledged: diagnose on
+            // stderr and exit non-zero so callers can gate on success.
+            eprintln!("blox-submit: error: {e}");
+            std::process::exit(1);
+        }
     }
 }

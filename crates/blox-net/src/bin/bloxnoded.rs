@@ -37,6 +37,7 @@ fn main() {
         sched,
         gpus,
         reconnect,
+        faults: None,
     })
     .expect("node daemon");
     println!("bloxnoded: shut down");

@@ -6,17 +6,27 @@
 //! ```text
 //! bloxschedd [--bind 127.0.0.1:0] [--nodes 1] [--jobs N | --time-limit SIM_S]
 //!            [--policy tiresias|las|fifo] [--round 300] [--time-scale 1e-4]
+//!            [--stall-rounds 10]
+//!            [--checkpoint PATH] [--checkpoint-every ROUNDS] [--restore PATH]
 //! ```
 //!
 //! The first stdout line is `LISTEN <addr>` so scripts (and the
 //! integration tests) can discover the chosen ephemeral port.
+//!
+//! Crash recovery: `--checkpoint PATH` snapshots the full scheduler state
+//! every `--checkpoint-every` rounds (atomic rename, so a crash mid-write
+//! never corrupts the file); `--restore PATH` resumes a run from such a
+//! snapshot — typically on the *same* `--bind` address, so the surviving
+//! `bloxnoded` daemons reconnect and re-adopt their old node identities.
+//! When an explicit port is still in `TIME_WAIT` from the crashed
+//! process, binding is retried for a few seconds.
 
 use std::io::Write;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use blox_core::manager::{ExecMode, RunConfig, StopCondition};
 use blox_core::policy::SchedulingPolicy;
-use blox_net::sched::{serve, NetBackend, SchedulerConfig};
+use blox_net::sched::{read_checkpoint, serve_with, NetBackend, RecoveryOptions, SchedulerConfig};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::{Fifo, Las, Tiresias};
@@ -30,6 +40,10 @@ struct Args {
     policy: String,
     round: f64,
     time_scale: f64,
+    stall_rounds: u32,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    restore: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +55,10 @@ fn parse_args() -> Args {
         policy: "tiresias".to_string(),
         round: 300.0,
         time_scale: 1e-4,
+        stall_rounds: 10,
+        checkpoint: None,
+        checkpoint_every: 5,
+        restore: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +78,16 @@ fn parse_args() -> Args {
             "--time-scale" => {
                 args.time_scale = val("--time-scale").parse().expect("--time-scale f64")
             }
+            "--stall-rounds" => {
+                args.stall_rounds = val("--stall-rounds").parse().expect("--stall-rounds u32")
+            }
+            "--checkpoint" => args.checkpoint = Some(val("--checkpoint")),
+            "--checkpoint-every" => {
+                args.checkpoint_every = val("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every u64")
+            }
+            "--restore" => args.restore = Some(val("--restore")),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -72,6 +100,25 @@ fn scheduling_policy(name: &str) -> Box<dyn SchedulingPolicy> {
         "las" => Box::new(Las::new()),
         "tiresias" => Box::new(Tiresias::new()),
         other => panic!("unknown policy {other} (expected tiresias|las|fifo)"),
+    }
+}
+
+/// Bind, retrying `AddrInUse` briefly: a restarted scheduler reclaiming
+/// its crashed predecessor's explicit port may race the kernel's
+/// `TIME_WAIT` cleanup of the old connections.
+fn bind_with_retry(bind: &str, cfg: &SchedulerConfig) -> NetBackend {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match NetBackend::bind_to(bind, cfg.clone()) {
+            Ok(backend) => return backend,
+            // Retry only the transient TIME_WAIT race; permanent failures
+            // (bad address, permission denied) fail immediately.
+            Err(e) if e.to_string().contains("in use") && Instant::now() < deadline => {
+                eprintln!("bloxschedd: bind {bind} failed ({e}); retrying");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => panic!("bind scheduler on {bind}: {e}"),
+        }
     }
 }
 
@@ -88,21 +135,24 @@ fn main() {
         panic!("pass --jobs N or --time-limit SIM_S so the daemon can terminate");
     };
 
-    let backend = NetBackend::bind_to(
-        &args.bind,
-        SchedulerConfig {
-            runtime: RuntimeConfig {
-                time_scale: args.time_scale,
-                emu_iter_sim_s: 30.0,
-            },
-            ..SchedulerConfig::default()
+    let restore = args.restore.as_ref().map(|path| {
+        read_checkpoint(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("--restore {path}: {e}"))
+    });
+
+    let cfg = SchedulerConfig {
+        runtime: RuntimeConfig {
+            time_scale: args.time_scale,
+            emu_iter_sim_s: 30.0,
         },
-    )
-    .expect("bind scheduler");
+        stall_rounds: args.stall_rounds,
+        ..SchedulerConfig::default()
+    };
+    let backend = bind_with_retry(&args.bind, &cfg);
     println!("LISTEN {}", backend.addr());
     std::io::stdout().flush().expect("flush LISTEN line");
 
-    let report = serve(
+    let report = serve_with(
         backend,
         RunConfig {
             round_duration: args.round,
@@ -112,6 +162,11 @@ fn main() {
         },
         args.nodes,
         Duration::from_secs(60),
+        RecoveryOptions {
+            checkpoint_path: args.checkpoint.map(std::path::PathBuf::from),
+            checkpoint_every_rounds: args.checkpoint_every,
+            restore,
+        },
         &mut AcceptAll::new(),
         scheduling_policy(&args.policy).as_mut(),
         &mut ConsolidatedPlacement::preferred(),
@@ -120,7 +175,12 @@ fn main() {
 
     let s = report.stats.summary();
     println!(
-        "summary: jobs={} avg_jct={:.0} p50_jct={:.0} nodes_joined={} failures={}",
-        s.jobs, s.avg_jct, s.p50_jct, report.nodes_joined, report.failures_detected
+        "summary: jobs={} avg_jct={:.0} p50_jct={:.0} nodes_joined={} failures={} stalls={}",
+        s.jobs,
+        s.avg_jct,
+        s.p50_jct,
+        report.nodes_joined,
+        report.failures_detected,
+        report.stalls_detected
     );
 }

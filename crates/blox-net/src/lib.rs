@@ -34,5 +34,8 @@ pub mod tcp;
 
 pub use client::{submit, submit_timed, JobRequest};
 pub use node::{run_node, spawn_node, NodeConfig, NodeHandle};
-pub use sched::{serve, NetBackend, NetReport, SchedulerConfig};
+pub use sched::{
+    read_checkpoint, serve, serve_with, write_checkpoint, NetBackend, NetReport, RecoveryOptions,
+    SchedulerConfig,
+};
 pub use tcp::{TcpSender, TcpTransport};

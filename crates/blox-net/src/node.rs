@@ -16,9 +16,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use blox_core::error::{BloxError, Result};
+use blox_core::fault::FaultPlan;
 use blox_core::ids::NodeId;
+use blox_runtime::fault::{FaultySender, FaultyTransport};
 use blox_runtime::runtime::{RuntimeConfig, ServeEnd, SimClock, WorkerManager};
-use blox_runtime::wire::{Message, Transport};
+use blox_runtime::wire::{Message, Transport, WireSender};
 use parking_lot::Mutex;
 
 use crate::tcp::{TcpSender, TcpTransport};
@@ -33,6 +35,25 @@ pub struct NodeConfig {
     /// Reconnect (and re-register as a fresh node) when the scheduler
     /// link drops, instead of exiting.
     pub reconnect: bool,
+    /// Deterministic fault plan for this node's scheduler link (chaos
+    /// testing). Applied once the node is assigned an identity — the
+    /// registration handshake itself is never perturbed, matching the
+    /// fault model "nodes join cleanly, then the network degrades".
+    /// Commands (scheduler → node) and status/heartbeat traffic
+    /// (node → scheduler) draw from two decorrelated per-node streams.
+    pub faults: Option<FaultPlan>,
+}
+
+impl NodeConfig {
+    /// A fault-free configuration (the common case).
+    pub fn new(sched: SocketAddr, gpus: u32, reconnect: bool) -> Self {
+        NodeConfig {
+            sched,
+            gpus,
+            reconnect,
+            faults: None,
+        }
+    }
 }
 
 /// One registration session: register, get assigned, serve until the
@@ -64,18 +85,42 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<Se
     let clock = Arc::new(SimClock::synced(now_sim, time_scale));
     let manager = WorkerManager::new(
         node,
-        clock,
+        clock.clone(),
         RuntimeConfig {
             time_scale,
             emu_iter_sim_s,
         },
     );
 
+    // Keep a raw sender for the teardown shutdown; the serving path may be
+    // routed through the fault-injection decorators below.
+    let raw_sender = link.sender();
+    let (cmd, up): (Box<dyn Transport>, Box<dyn WireSender>) = match &cfg.faults {
+        Some(plan) if !plan.is_quiet() => {
+            // Two decorrelated decision streams per node: even stream ids
+            // for the command direction, odd for status/heartbeats.
+            let link_id = 2 * u64::from(node.0);
+            (
+                Box::new(FaultyTransport::new(
+                    link,
+                    plan.state(link_id),
+                    clock.clone(),
+                )),
+                Box::new(FaultySender::new(
+                    Box::new(raw_sender.clone()),
+                    plan.state(link_id + 1),
+                    clock,
+                )),
+            )
+        }
+        _ => (Box::new(link), Box::new(raw_sender.clone())),
+    };
+
     // Liveness beacons on a side thread; the failure detector declares this
     // node dead after a configurable number of missed intervals.
     let hb_stop = Arc::new(AtomicBool::new(false));
     let hb_stop2 = hb_stop.clone();
-    let hb_tx = link.sender();
+    let hb_tx = up.clone_sender();
     let hb_wall = Duration::from_secs_f64((heartbeat_sim_s * time_scale).max(1e-3));
     let heartbeat = std::thread::spawn(move || {
         let mut seq = 0u64;
@@ -88,9 +133,9 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<Se
         }
     });
 
-    let end = manager.serve(&link, &link.sender());
+    let end = manager.serve(cmd.as_ref(), up.as_ref());
     hb_stop.store(true, Ordering::Relaxed);
-    link.shutdown();
+    raw_sender.shutdown();
     let _ = heartbeat.join();
     Ok(end)
 }

@@ -18,8 +18,9 @@
 //! * [`Message::SubmitJob`] from clients lands in the live wait queue,
 //!   enabling open-loop online traffic instead of pre-loaded traces.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,6 +33,7 @@ use blox_core::manager::{apply_placement, Backend, BloxManager, RunConfig, StopC
 use blox_core::metrics::RunStats;
 use blox_core::policy::{AdmissionPolicy, Placement, PlacementPolicy, SchedulingPolicy};
 use blox_core::profile::JobProfile;
+use blox_core::snapshot::Snapshot;
 use blox_core::state::JobState;
 use blox_runtime::runtime::{apply_status_message, placement_iter_time, RuntimeConfig, SimClock};
 use blox_runtime::wire::Message;
@@ -57,6 +59,12 @@ pub struct SchedulerConfig {
     /// resulting deadline is evaluated in wall time from each beat's
     /// arrival, floored at [`MIN_DETECT_WALL_S`].
     pub heartbeat_misses: u32,
+    /// Rounds a `Running` job may report zero progress before the
+    /// scheduler presumes its launch (or its worker's reports) were lost
+    /// and requeues it — the self-healing path for dropped `Launch`,
+    /// `Progress`, and `JobDone` messages on a lossy link. `0` disables
+    /// stall detection.
+    pub stall_rounds: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -65,6 +73,7 @@ impl Default for SchedulerConfig {
             runtime: RuntimeConfig::default(),
             heartbeat_sim_s: 60.0,
             heartbeat_misses: 3,
+            stall_rounds: 10,
         }
     }
 }
@@ -179,10 +188,18 @@ pub struct NetBackend {
     /// so the manager cannot mistake an open-loop submission gap for
     /// "trace drained" and stop early.
     expected_jobs: Option<u64>,
+    /// Dead nodes inherited from a restored snapshot: a registering
+    /// worker with a matching GPU count re-adopts one of these identities
+    /// instead of growing the cluster (no double-placed GPUs).
+    orphaned: BTreeSet<NodeId>,
+    /// Per-running-job stall tracking: last observed progress and how
+    /// many consecutive rounds it has not advanced.
+    stall: BTreeMap<JobId, (f64, u32)>,
     round_now: f64,
     last_update: f64,
     nodes_joined: u32,
     failures_detected: u32,
+    stalls_detected: u32,
 }
 
 impl NetBackend {
@@ -219,10 +236,13 @@ impl NetBackend {
             zoo: ModelZoo::standard(),
             next_job: 0,
             expected_jobs: None,
+            orphaned: BTreeSet::new(),
+            stall: BTreeMap::new(),
             round_now: 0.0,
             last_update: 0.0,
             nodes_joined: 0,
             failures_detected: 0,
+            stalls_detected: 0,
         })
     }
 
@@ -240,6 +260,117 @@ impl NetBackend {
     /// Nodes the failure detector has declared dead.
     pub fn failures_detected(&self) -> u32 {
         self.failures_detected
+    }
+
+    /// Running jobs the stall detector presumed lost and requeued.
+    pub fn stalls_detected(&self) -> u32 {
+        self.stalls_detected
+    }
+
+    /// Pledge that `n` jobs will eventually be submitted: until then,
+    /// `peek_next_arrival` reports a pending future arrival so an
+    /// open-loop submission gap never reads as a drained trace. [`serve`]
+    /// sets this from a `TrackedWindowDone` stop condition; embedders
+    /// driving the backend manually call it directly.
+    pub fn expect_jobs(&mut self, n: u64) {
+        self.expected_jobs = Some(n);
+    }
+
+    /// Mark the current simulated time as the start of round execution
+    /// (so registration latency never reads as a backlog of instantly
+    /// executed rounds) and return it. [`serve`] calls this after the
+    /// registration wait; embedders driving the backend manually through
+    /// `BloxManager` must do the same.
+    pub fn begin_rounds(&mut self) -> f64 {
+        let start = self.clock.sim_now();
+        self.round_now = start;
+        self.last_update = start;
+        start
+    }
+
+    /// Capture a recoverable snapshot of this scheduler: backend-owned
+    /// submission state plus the shared state and statistics the manager
+    /// holds. `bloxschedd --checkpoint` persists one of these per
+    /// checkpoint interval; `--restore` feeds it back through
+    /// [`NetBackend::restore`].
+    pub fn snapshot(&self, cluster: &ClusterState, jobs: &JobState, stats: &RunStats) -> Snapshot {
+        Snapshot {
+            now: self.round_now,
+            next_job: self.next_job,
+            expected_jobs: self.expected_jobs,
+            cluster: cluster.clone(),
+            jobs: jobs.clone(),
+            queue: self.queue.iter().cloned().collect(),
+            stats: stats.clone(),
+        }
+    }
+
+    /// Rebuild scheduler state from a snapshot, reconciling it with the
+    /// reality of a crash: every worker link died with the old process,
+    /// so jobs recorded as `Running` are demoted to `Suspended` (they
+    /// resume from their last reported checkpoint, one preemption
+    /// charged) with their GPUs released, and every node is marked as an
+    /// *orphan* — hidden from placement until its worker re-registers, at
+    /// which point the node is re-adopted under its old identity instead
+    /// of being added again. That reconciliation is what prevents a
+    /// restarted scheduler from double-placing GPUs that live workers
+    /// still consider theirs.
+    ///
+    /// Returns the shared state triple to hand to the scheduling loop
+    /// (via `BloxManager::with_state`).
+    pub fn restore(&mut self, snap: Snapshot) -> (ClusterState, JobState, RunStats) {
+        self.clock = Arc::new(SimClock::synced(snap.now, self.cfg.runtime.time_scale));
+        self.round_now = snap.now;
+        self.last_update = snap.now;
+        self.next_job = snap.next_job;
+        self.expected_jobs = snap.expected_jobs;
+        self.queue = snap.queue.into();
+        self.stall.clear();
+        let mut cluster = snap.cluster;
+        let mut jobs = snap.jobs;
+
+        let running: Vec<JobId> = jobs
+            .active()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| j.id)
+            .collect();
+        for id in running {
+            cluster.release(id);
+            if let Some(job) = jobs.get_mut(id) {
+                job.placement.clear();
+                job.status = JobStatus::Suspended;
+                job.preemptions += 1;
+            }
+        }
+
+        let nodes: Vec<NodeId> = cluster.all_nodes().map(|n| n.id).collect();
+        for node in nodes {
+            if cluster.node(node).map(|n| n.alive) == Some(true) {
+                let _ = cluster.fail_node(node);
+            }
+            self.orphaned.insert(node);
+        }
+        (cluster, jobs, snap.stats)
+    }
+
+    /// Answer a worker registration with a node identity: re-adopt an
+    /// orphaned node of the same GPU count when one exists (crash
+    /// recovery), otherwise grow the cluster with a fresh node.
+    fn adopt_or_add(&mut self, gpus: u32, cluster: &mut ClusterState) -> NodeId {
+        let wanted = gpus.max(1);
+        let orphan = self.orphaned.iter().copied().find(|id| {
+            cluster
+                .node(*id)
+                .is_some_and(|n| !n.alive && n.spec.gpus == wanted)
+        });
+        match orphan {
+            Some(id) => {
+                self.orphaned.remove(&id);
+                let _ = cluster.revive_node(id);
+                id
+            }
+            None => cluster.add_node(node_spec(gpus)),
+        }
     }
 
     /// Drain and apply every queued connection event (registrations,
@@ -283,7 +414,7 @@ impl NetBackend {
     ) {
         match msg {
             Message::RegisterWorker { gpus, .. } => {
-                let node = cluster.add_node(node_spec(gpus));
+                let node = self.adopt_or_add(gpus, cluster);
                 let now_sim = self.clock.sim_now();
                 self.node_conn.insert(node, id);
                 self.last_hb.insert(node, at);
@@ -380,6 +511,28 @@ impl NetBackend {
         }
     }
 
+    /// Best-effort crash-style requeue of one running job: revoke the
+    /// leases of any shards on still-live nodes (no suspension ack is
+    /// awaited — the worker may be dead or unreachable), release the
+    /// GPUs, and return the job to the schedulable set from its last
+    /// reported checkpoint with a preemption charged.
+    fn requeue_job(&mut self, id: JobId, cluster: &mut ClusterState, jobs: &mut JobState) {
+        if let Some(job) = jobs.get(id) {
+            for node in cluster.nodes_of(&job.placement) {
+                if cluster.node(node).map(|n| n.alive) == Some(true) {
+                    self.send_to(node, &Message::Revoke { job: id });
+                }
+            }
+        }
+        cluster.release(id);
+        self.stall.remove(&id);
+        if let Some(job) = jobs.get_mut(id) {
+            job.placement.clear();
+            job.status = JobStatus::Suspended;
+            job.preemptions += 1;
+        }
+    }
+
     /// Requeue running jobs whose GPUs vanished with a failed node. For
     /// each, surviving shards get their leases revoked first (the orphaned
     /// workers stop burning GPU time), then the job re-enters the
@@ -392,19 +545,71 @@ impl NetBackend {
             }
         }
         for id in lost {
-            if let Some(job) = jobs.get(id) {
-                for node in cluster.nodes_of(&job.placement) {
-                    if cluster.node(node).map(|n| n.alive) == Some(true) {
-                        self.send_to(node, &Message::Revoke { job: id });
+            self.requeue_job(id, cluster, jobs);
+        }
+    }
+
+    /// Loss-tolerant completion and stall handling, evaluated once per
+    /// round after worker status traffic has been applied:
+    ///
+    /// * a `Running` job whose reported progress has reached its total
+    ///   work is completed even if the `JobDone` message was lost
+    ///   (completion stamps at the round boundary — the exact sub-round
+    ///   instant died with the message);
+    /// * a `Running` job that reports **zero** progress for
+    ///   `stall_rounds` consecutive rounds is presumed lost — its
+    ///   `Launch` never arrived, or its worker's reports cannot reach us
+    ///   — and is requeued just like a churn eviction.
+    fn detect_lost_jobs(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
+        // Completion fallback for lost JobDone messages.
+        let finished: Vec<JobId> = jobs
+            .active()
+            .filter(|j| j.status == JobStatus::Running && j.completed_iters >= j.total_iters)
+            .map(|j| j.id)
+            .collect();
+        for id in finished {
+            cluster.release(id);
+            self.stall.remove(&id);
+            if let Some(job) = jobs.get_mut(id) {
+                job.placement.clear();
+                job.status = JobStatus::Completed;
+                job.completion_time = Some(self.round_now);
+            }
+        }
+
+        // Stall verdicts.
+        if self.cfg.stall_rounds == 0 {
+            return;
+        }
+        let mut stalled = Vec::new();
+        let mut seen = BTreeSet::new();
+        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+            seen.insert(job.id);
+            match self.stall.get_mut(&job.id) {
+                // First observation sets the baseline only; counting
+                // starts next round, so `stall_rounds` means "rounds with
+                // zero progress *after* the baseline round" and even
+                // `--stall-rounds 1` cannot requeue a healthy job.
+                None => {
+                    self.stall.insert(job.id, (job.completed_iters, 0));
+                }
+                Some(entry) => {
+                    if job.completed_iters > entry.0 {
+                        *entry = (job.completed_iters, 0);
+                    } else {
+                        entry.1 += 1;
+                        if entry.1 >= self.cfg.stall_rounds {
+                            stalled.push(job.id);
+                        }
                     }
                 }
             }
-            cluster.release(id);
-            if let Some(job) = jobs.get_mut(id) {
-                job.placement.clear();
-                job.status = JobStatus::Suspended;
-                job.preemptions += 1;
-            }
+        }
+        // Forget jobs that are no longer running (suspended, completed).
+        self.stall.retain(|id, _| seen.contains(id));
+        for id in stalled {
+            self.stalls_detected += 1;
+            self.requeue_job(id, cluster, jobs);
         }
     }
 
@@ -511,6 +716,7 @@ impl Backend for NetBackend {
         while let Some(msg) = self.pending_status.pop_front() {
             apply_status_message(msg, cluster, jobs);
         }
+        self.detect_lost_jobs(cluster, jobs);
         if elapsed > 0.0 {
             for job in jobs.active_mut() {
                 if job.status == JobStatus::Running {
@@ -608,8 +814,40 @@ pub struct NetReport {
     pub nodes_joined: u32,
     /// Nodes the failure detector declared dead.
     pub failures_detected: u32,
+    /// Running jobs the stall detector presumed lost and requeued.
+    pub stalls_detected: u32,
     /// Nodes still marked dead at the end of the run.
     pub dead_nodes: Vec<NodeId>,
+}
+
+/// Crash-recovery options for [`serve_with`]: periodic checkpointing of
+/// the scheduler state and/or restoration from a prior checkpoint.
+#[derive(Debug, Default)]
+pub struct RecoveryOptions {
+    /// Write a snapshot here every `checkpoint_every_rounds` rounds
+    /// (atomically: temp file + rename). `None` disables checkpointing.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in rounds; `0` is treated as every round.
+    pub checkpoint_every_rounds: u64,
+    /// Resume from this snapshot instead of starting fresh (see
+    /// [`NetBackend::restore`] for the reconciliation semantics).
+    pub restore: Option<Snapshot>,
+}
+
+/// Atomically persist a snapshot: write to `<path>.tmp`, then rename, so
+/// a crash mid-write can never leave a truncated checkpoint behind.
+pub fn write_checkpoint(path: &Path, snap: &Snapshot) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, snap.encode())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| BloxError::Io(format!("write checkpoint {}: {e}", path.display())))
+}
+
+/// Load and decode a checkpoint written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<Snapshot> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| BloxError::Io(format!("read checkpoint {}: {e}", path.display())))?;
+    Snapshot::decode(&bytes)
 }
 
 /// Drive a bound [`NetBackend`] to completion: wait for `min_nodes`
@@ -623,10 +861,40 @@ pub struct NetReport {
 /// trace, so the run would silently stop before the first job arrives —
 /// use `TrackedWindowDone` (wait for N jobs) or `TimeLimit` instead.
 pub fn serve(
+    backend: NetBackend,
+    run: RunConfig,
+    min_nodes: u32,
+    register_timeout: Duration,
+    admission: &mut dyn AdmissionPolicy,
+    scheduling: &mut dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) -> Result<NetReport> {
+    serve_with(
+        backend,
+        run,
+        min_nodes,
+        register_timeout,
+        RecoveryOptions::default(),
+        admission,
+        scheduling,
+        placement,
+    )
+}
+
+/// [`serve`] with crash-recovery options: optionally restore the run from
+/// a snapshot first, and/or write a checkpoint snapshot every N rounds so
+/// a later `--restore` can resume the run after a scheduler crash.
+///
+/// A checkpoint write failure is reported on stderr but does not abort
+/// the run — a scheduler that kills its cluster because a disk filled up
+/// would be a worse failure mode than running uncheckpointed.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_with(
     mut backend: NetBackend,
     mut run: RunConfig,
     min_nodes: u32,
     register_timeout: Duration,
+    recovery: RecoveryOptions,
     admission: &mut dyn AdmissionPolicy,
     scheduling: &mut dyn SchedulingPolicy,
     placement: &mut dyn PlacementPolicy,
@@ -638,7 +906,10 @@ pub fn serve(
                 .into(),
         ));
     }
-    let mut cluster = ClusterState::new();
+    let (mut cluster, jobs, stats) = match recovery.restore {
+        Some(snap) => backend.restore(snap),
+        None => (ClusterState::new(), JobState::new(), RunStats::new()),
+    };
     let deadline = Instant::now() + register_timeout;
     while backend.nodes_joined() < min_nodes {
         if Instant::now() > deadline {
@@ -652,10 +923,9 @@ pub fn serve(
     }
 
     // Rounds start at the current simulated time: registration latency
-    // must not appear as a backlog of instantly-executed rounds.
-    let start = backend.clock.sim_now();
-    backend.round_now = start;
-    backend.last_update = start;
+    // must not appear as a backlog of instantly-executed rounds. (A
+    // restored backend's clock resumes from the snapshot time.)
+    let start = backend.begin_rounds();
     match run.stop {
         StopCondition::TimeLimit(t) => run.stop = StopCondition::TimeLimit(start + t),
         // The run waits for the whole tracked window to be submitted,
@@ -664,8 +934,32 @@ pub fn serve(
         StopCondition::AllJobsDone => {}
     }
 
-    let mut mgr = BloxManager::new(backend, cluster, run);
-    let stats = mgr.run(admission, scheduling, placement);
+    let mut mgr = BloxManager::with_state(backend, cluster, jobs, stats, run);
+    let stats = match &recovery.checkpoint_path {
+        // No checkpointing: keep the manager's own run loop (including
+        // the event-driven fast-forward path, should a backend ever
+        // provide event hints) — byte-identical to the pre-recovery
+        // serve() behavior.
+        None => mgr.run(admission, scheduling, placement),
+        Some(path) => {
+            let checkpoint_every = recovery.checkpoint_every_rounds.max(1);
+            let mut rounds_since_checkpoint = 0u64;
+            while !mgr.should_stop() {
+                mgr.step(admission, scheduling, placement);
+                rounds_since_checkpoint += 1;
+                if rounds_since_checkpoint >= checkpoint_every {
+                    rounds_since_checkpoint = 0;
+                    let snap = mgr
+                        .backend()
+                        .snapshot(mgr.cluster(), mgr.jobs(), mgr.stats());
+                    if let Err(e) = write_checkpoint(path, &snap) {
+                        eprintln!("bloxschedd: checkpoint failed: {e}");
+                    }
+                }
+            }
+            mgr.stats().clone()
+        }
+    };
     let dead_nodes = mgr
         .cluster()
         .all_nodes()
@@ -676,6 +970,7 @@ pub fn serve(
         stats,
         nodes_joined: mgr.backend().nodes_joined(),
         failures_detected: mgr.backend().failures_detected(),
+        stalls_detected: mgr.backend().stalls_detected(),
         dead_nodes,
     })
 }

@@ -12,8 +12,6 @@
 
 use std::io::{BufRead, BufReader, Read};
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use blox_core::ids::NodeId;
@@ -30,33 +28,10 @@ use blox_runtime::wire::{Message, Transport};
 use blox_sim::cluster_of_v100;
 use blox_workloads::{ModelZoo, PhillyTraceGen, Trace};
 
+mod common;
+use common::watchdog;
+
 const TIME_SCALE: f64 = 1e-4;
-
-/// Abort the process if a test wedges: socket tests can deadlock in ways
-/// the harness cannot unwind, so CI gets a hard in-process timeout guard
-/// (in addition to the CI-level `timeout` wrapper).
-struct Watchdog {
-    armed: Arc<AtomicBool>,
-}
-
-fn watchdog(limit: Duration, what: &'static str) -> Watchdog {
-    let armed = Arc::new(AtomicBool::new(true));
-    let armed2 = armed.clone();
-    std::thread::spawn(move || {
-        std::thread::sleep(limit);
-        if armed2.load(Ordering::Relaxed) {
-            eprintln!("watchdog: `{what}` exceeded {limit:?}; aborting");
-            std::process::abort();
-        }
-    });
-    Watchdog { armed }
-}
-
-impl Drop for Watchdog {
-    fn drop(&mut self) {
-        self.armed.store(false, Ordering::Relaxed);
-    }
-}
 
 fn sched_config() -> SchedulerConfig {
     SchedulerConfig {
@@ -88,6 +63,7 @@ fn run_networked(trace: &Trace, nodes: u32) -> blox_net::sched::NetReport {
                 sched: addr,
                 gpus: 4,
                 reconnect: false,
+                faults: None,
             })
         })
         .collect();
@@ -201,6 +177,7 @@ fn node_crash_triggers_churn_and_jobs_still_finish() {
                 sched: addr,
                 gpus: 4,
                 reconnect: false,
+                faults: None,
             })
         })
         .collect();
@@ -282,6 +259,7 @@ fn silent_worker_trips_heartbeat_deadline() {
         },
         heartbeat_sim_s: 60.0,
         heartbeat_misses: 3,
+        ..SchedulerConfig::default()
     })
     .expect("bind ephemeral");
     let addr = backend.addr();
@@ -341,6 +319,7 @@ fn open_loop_submission_gap_does_not_end_run_early() {
         sched: addr,
         gpus: 4,
         reconnect: false,
+        faults: None,
     });
 
     let submitter = std::thread::spawn(move || {

@@ -1,0 +1,33 @@
+//! Shared integration-test helpers for the blox-net socket suites.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Abort the process if a test wedges: socket tests can deadlock in ways
+/// the harness cannot unwind, so CI gets a hard in-process timeout guard
+/// (in addition to the CI-level `timeout` wrapper). Disarms on drop.
+pub struct Watchdog {
+    armed: Arc<AtomicBool>,
+}
+
+/// Arm a watchdog for the current test; keep the guard alive for the
+/// test's whole scope.
+pub fn watchdog(limit: Duration, what: &'static str) -> Watchdog {
+    let armed = Arc::new(AtomicBool::new(true));
+    let armed2 = armed.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(limit);
+        if armed2.load(Ordering::Relaxed) {
+            eprintln!("watchdog: `{what}` exceeded {limit:?}; aborting");
+            std::process::abort();
+        }
+    });
+    Watchdog { armed }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+}

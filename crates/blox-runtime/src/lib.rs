@@ -25,10 +25,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod lease;
 pub mod runtime;
 pub mod wire;
 
+pub use fault::{FaultySender, FaultyTransport};
 pub use lease::{LeaseMode, LeaseTable, TwoPhaseExit};
 pub use runtime::{
     apply_status_message, placement_iter_time, EmulatedCluster, RuntimeBackend, RuntimeConfig,

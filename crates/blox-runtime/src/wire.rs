@@ -4,8 +4,10 @@
 //! encoded by this module — the same discipline a gRPC deployment imposes
 //! — so the lease-renewal benchmark measures real serialize / transfer /
 //! deserialize work, and a TCP transport can be swapped in without
-//! touching the protocol.
+//! touching the protocol. Encoding primitives come from the shared
+//! [`blox_core::codec`], the same codec the scheduler state snapshots use.
 
+use blox_core::codec::{put_bool, put_f64, put_str, put_u32, put_u64, put_u8, Reader};
 use blox_core::error::{BloxError, Result};
 use blox_core::ids::{JobId, NodeId};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -137,89 +139,6 @@ pub enum Message {
 }
 
 // Encoding -----------------------------------------------------------------
-
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
-    buf.push(v);
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-fn put_bool(buf: &mut Vec<u8>, v: bool) {
-    buf.push(u8::from(v));
-}
-
-/// Cursor-based reader over a received frame.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(BloxError::Transport(format!(
-                "truncated frame: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.buf.len()
-            )));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn string(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| BloxError::Transport(format!("invalid utf-8 in frame: {e}")))
-    }
-
-    fn boolean(&mut self) -> Result<bool> {
-        Ok(self.u8()? != 0)
-    }
-}
 
 impl Message {
     /// Encode into a self-describing frame (1-byte tag + payload).

@@ -120,7 +120,8 @@ fn strategy_covers_every_variant(msg: &Message) {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 512,
+        // PROPTEST_CASES overrides (the nightly CI deep sweep).
+        cases: ProptestConfig::env_cases(512),
         seed: 0xB10C_5EED_0000_0003,
     })]
 

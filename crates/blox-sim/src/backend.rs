@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use blox_core::cluster::ClusterState;
+use blox_core::fault::{FaultPlan, FaultState, FaultVerdict};
 use blox_core::ids::JobId;
 use blox_core::job::{Job, JobStatus};
 use blox_core::manager::{apply_placement, Backend};
@@ -11,6 +12,58 @@ use blox_core::state::JobState;
 
 use crate::churn::{ChurnEvent, ChurnScript};
 use crate::perf::PerfModel;
+
+/// Fault-injection layer over the simulator's job status reports.
+///
+/// The simulator has no real wire, so the "link" the [`FaultPlan`]
+/// perturbs is the status-report path: the application metrics (`loss`,
+/// `iter_time`, `goodput`) that running jobs would push through the
+/// client library each round. Ground-truth progress is untouched — jobs
+/// still complete at exact sub-round instants — but what *policies* see
+/// in the per-job metric store can now be dropped (stale values persist)
+/// or delayed (old samples land rounds later), reproducing the
+/// stale-metrics scenarios metric-driven policies (Pollux, Optimus, loss
+/// termination) face on a lossy cluster. Fully deterministic: one
+/// decision stream, consumed in job-id order each round.
+#[derive(Debug, Clone)]
+struct SimFaults {
+    state: FaultState,
+    /// Delayed reports awaiting their release time, in admission order.
+    delayed: VecDeque<(f64, JobId, &'static str, f64)>,
+}
+
+impl SimFaults {
+    /// Deliver matured reports, then admit this round's fresh reports.
+    fn route(&mut self, now: f64, fresh: Vec<(JobId, &'static str, f64)>, jobs: &mut JobState) {
+        while let Some((release, _, _, _)) = self.delayed.front() {
+            if *release > now {
+                break;
+            }
+            let (_, job, key, value) = self.delayed.pop_front().expect("front exists");
+            if let Some(j) = jobs.get_mut(job) {
+                j.push_metric(key, value);
+            }
+        }
+        for (job, key, value) in fresh {
+            match self.state.verdict(now) {
+                FaultVerdict::Drop => {}
+                FaultVerdict::Deliver {
+                    copies, delay_s, ..
+                } => {
+                    if delay_s > 0.0 {
+                        for _ in 0..copies {
+                            self.delayed.push_back((now + delay_s, job, key, value));
+                        }
+                    } else if let Some(j) = jobs.get_mut(job) {
+                        // Duplicates overwrite the same key; reordering is
+                        // moot within a keyed store.
+                        j.push_metric(key, value);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Simulated execution backend: drives the clock, feeds trace arrivals,
 /// applies the performance model, and mimics the launch/preempt mechanism
@@ -25,6 +78,7 @@ pub struct SimBackend {
     arrivals: VecDeque<Job>,
     perf: PerfModel,
     churn: ChurnScript,
+    faults: Option<SimFaults>,
     /// Charge checkpoint/restore overheads on preemption and launch. The
     /// lease-renewal fidelity experiments disable this to isolate effects.
     pub charge_overheads: bool,
@@ -45,6 +99,7 @@ impl SimBackend {
             arrivals: jobs.into(),
             perf: PerfModel::default(),
             churn: ChurnScript::default(),
+            faults: None,
             charge_overheads: true,
         }
     }
@@ -58,6 +113,23 @@ impl SimBackend {
     /// Attach a churn script (scheduled node failures/recoveries).
     pub fn with_churn(mut self, events: Vec<ChurnEvent>) -> Self {
         self.churn = ChurnScript::new(events);
+        self
+    }
+
+    /// Attach a deterministic fault plan perturbing the job status
+    /// reports (the simulated "wire"): application metrics can be
+    /// dropped or delayed while ground-truth progress stays exact,
+    /// opening stale-metrics scenarios for metric-driven policies. A
+    /// quiet plan is discarded, keeping the fast path untouched.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_quiet() {
+            None
+        } else {
+            Some(SimFaults {
+                state: plan.state(0),
+                delayed: VecDeque::new(),
+            })
+        };
         self
     }
 
@@ -152,6 +224,7 @@ impl Backend for SimBackend {
 
         // Pass 2: apply progress, detect completions sub-round.
         let mut completed = Vec::new();
+        let mut reports: Vec<(JobId, &'static str, f64)> = Vec::new();
         for job in jobs.active_mut() {
             let Some(&rate) = rates.get(&job.id) else {
                 continue;
@@ -184,12 +257,23 @@ impl Backend for SimBackend {
             }
 
             // Application metrics the client library would push.
-            let loss = job.current_loss();
-            job.push_metric("loss", loss);
-            job.push_metric("iter_time", 1.0 / rate);
+            reports.push((job.id, "loss", job.current_loss()));
+            reports.push((job.id, "iter_time", 1.0 / rate));
             if job.profile.pollux.is_some() {
-                job.push_metric("goodput", rate);
+                reports.push((job.id, "goodput", rate));
             }
+        }
+        // Status reports cross the (possibly faulty) report path; without
+        // a fault plan they land immediately, exactly as before.
+        match &mut self.faults {
+            None => {
+                for (job, key, value) in reports {
+                    if let Some(j) = jobs.get_mut(job) {
+                        j.push_metric(key, value);
+                    }
+                }
+            }
+            Some(faults) => faults.route(self.clock, reports, jobs),
         }
         for id in completed {
             cluster.release(id);
@@ -382,6 +466,91 @@ mod tests {
         assert_eq!(j.preemptions, 1);
         assert!(j.placement.is_empty());
         assert_eq!(c.total_gpus(), 0, "failed node's GPUs are gone");
+    }
+
+    #[test]
+    fn dropped_status_reports_leave_metrics_stale() {
+        use blox_core::fault::{FaultPlan, LinkFaults};
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        jobs.add_new_jobs(vec![quick_job(0, 0.0, 1e6)]);
+        let mut b =
+            SimBackend::from_jobs(vec![]).with_faults(FaultPlan::new(1).with_base(LinkFaults {
+                drop_p: 1.0,
+                ..LinkFaults::default()
+            }));
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        assert!(j.completed_iters > 0.0, "ground truth still advances");
+        assert!(j.metric("loss").is_none(), "every report was dropped");
+    }
+
+    #[test]
+    fn delayed_status_reports_land_rounds_later() {
+        use blox_core::fault::{FaultPlan, LinkFaults};
+        let mut c = cluster();
+        let mut jobs = JobState::new();
+        jobs.add_new_jobs(vec![quick_job(0, 0.0, 1e6)]);
+        // 250 s of report latency: a round-1 sample (release 550) is
+        // invisible at the round-1 update (t=300) and lands at round 2
+        // (t=600).
+        let mut b =
+            SimBackend::from_jobs(vec![]).with_faults(FaultPlan::new(2).with_base(LinkFaults {
+                delay_s: 250.0,
+                ..LinkFaults::default()
+            }));
+        let plan = Placement {
+            to_launch: vec![(JobId(0), vec![c.free_gpus()[0]])],
+            to_suspend: vec![],
+        };
+        b.exec_jobs(&plan, &mut c, &mut jobs);
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        assert!(jobs.get(JobId(0)).unwrap().metric("loss").is_none());
+        b.advance_round(300.0);
+        b.update_metrics(&mut c, &mut jobs, 300.0);
+        let j = jobs.get(JobId(0)).unwrap();
+        let seen = j.metric("iter_time").expect("delayed report landed");
+        assert_eq!(seen, 1.0, "the sample is the *old* (round-1) value");
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        use blox_core::fault::{FaultPlan, LinkFaults};
+        let lossy = LinkFaults {
+            drop_p: 0.4,
+            delay_s: 150.0,
+            dup_p: 0.2,
+            reorder_p: 0.1,
+        };
+        let run = |seed: u64| {
+            let mut c = cluster();
+            let mut jobs = JobState::new();
+            jobs.add_new_jobs(vec![quick_job(0, 0.0, 1e6), quick_job(1, 0.0, 1e6)]);
+            let mut b =
+                SimBackend::from_jobs(vec![]).with_faults(FaultPlan::new(seed).with_base(lossy));
+            let free = c.free_gpus();
+            let plan = Placement {
+                to_launch: vec![(JobId(0), vec![free[0]]), (JobId(1), vec![free[1]])],
+                to_suspend: vec![],
+            };
+            b.exec_jobs(&plan, &mut c, &mut jobs);
+            for _ in 0..10 {
+                b.advance_round(300.0);
+                b.update_metrics(&mut c, &mut jobs, 300.0);
+            }
+            jobs.active()
+                .map(|j| (j.id, j.metrics.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same stale-metric trajectory");
+        assert_ne!(run(7), run(8), "different seeds diverge");
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use blox_core::cluster::ClusterState;
+use blox_core::fault::splitmix64;
 use blox_core::job::Job;
 use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_core::metrics::{RunStats, Summary};
@@ -593,16 +594,6 @@ impl SweepReport {
             eprintln!("BLOX_SWEEP_JSON: failed to append to {path}: {e}");
         }
     }
-}
-
-/// One step of the splitmix64 PRNG (public-domain constants), used to
-/// derive per-trial seeds.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// JSON number: shortest round-trip form; non-finite values become

@@ -85,6 +85,7 @@ fn main() {
                 sched: addr,
                 gpus: 4,
                 reconnect: false,
+                faults: None,
             })
         })
         .collect();

@@ -6,10 +6,13 @@
 //! seed plus the test name, and the failure message echoes both.
 
 use blox::core::cluster::{ClusterState, NodeSpec};
+use blox::core::fault::{FaultEvent, FaultPlan, LinkFaults};
 use blox::core::ids::{JobId, NodeId};
-use blox::core::metrics::{cdf, percentile};
+use blox::core::job::JobStatus;
+use blox::core::metrics::{cdf, percentile, RunStats};
 use blox::core::policy::SchedulingPolicy;
 use blox::core::profile::JobProfile;
+use blox::core::snapshot::Snapshot;
 use blox::core::state::JobState;
 use blox::core::Job;
 use blox::policies::admission::ThresholdAdmission;
@@ -128,9 +131,96 @@ fn strategy_covers_every_variant(msg: &Message) {
     }
 }
 
+/// Build a scheduler snapshot from generated scalars, exercising every
+/// encoded field class: mixed-liveness nodes, busy GPUs, jobs in every
+/// status, a wait queue, and accumulated statistics.
+fn build_snapshot(
+    nodes: u32,
+    job_specs: &[(u8, u32, f64, f64)],
+    now: f64,
+    fail_first_node: bool,
+) -> Snapshot {
+    let mut cluster = ClusterState::new();
+    cluster.add_nodes(&NodeSpec::v100_p3_8xlarge(), nodes.max(1));
+    let mut stats = RunStats::new();
+    let mut active = JobState::new();
+    let mut jobs = Vec::new();
+    for (i, (status, gpus, total, frac)) in job_specs.iter().enumerate() {
+        let mut job = Job::new(
+            JobId(i as u64),
+            i as f64 * 10.0,
+            (*gpus).clamp(1, 4),
+            total.max(1.0),
+            JobProfile::synthetic(&format!("model-{i}"), 0.5),
+        );
+        job.completed_iters = frac.clamp(0.0, 1.0) * job.total_iters;
+        job.push_metric("loss", *frac);
+        match status % 5 {
+            0 => job.status = JobStatus::Queued,
+            1 => {
+                let free = cluster.free_gpus();
+                let want = job.requested_gpus as usize;
+                if free.len() >= want {
+                    cluster
+                        .allocate(job.id, &free[..want], 4.0)
+                        .expect("free GPUs allocate");
+                    job.placement = free[..want].to_vec();
+                    job.status = JobStatus::Running;
+                    job.first_scheduled = Some(job.arrival_time);
+                }
+            }
+            2 => {
+                job.status = JobStatus::Suspended;
+                job.preemptions = 1;
+            }
+            3 => {
+                job.status = JobStatus::Completed;
+                job.completion_time = Some(job.arrival_time + 500.0);
+                stats.record_job(&job);
+            }
+            _ => {
+                job.status = JobStatus::TerminatedEarly;
+                job.completion_time = Some(job.arrival_time + 100.0);
+                stats.record_job(&job);
+            }
+        }
+        jobs.push(job);
+    }
+    active.add_new_jobs(jobs);
+    active.prune_completed();
+    if fail_first_node {
+        let first = cluster.all_nodes().next().map(|n| n.id);
+        if let Some(id) = first {
+            let _ = cluster.fail_node(id);
+        }
+    }
+    stats.record_round(
+        cluster.total_gpus() - cluster.free_gpu_count(),
+        cluster.total_gpus(),
+        now,
+    );
+    let queue = vec![Job::new(
+        JobId(900),
+        now + 50.0,
+        2,
+        1000.0,
+        JobProfile::synthetic("queued", 1.0),
+    )];
+    Snapshot {
+        now,
+        next_job: job_specs.len() as u64,
+        expected_jobs: Some(job_specs.len() as u64 + 1),
+        cluster,
+        jobs: active,
+        queue,
+        stats,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 256,
+        // PROPTEST_CASES overrides (the nightly CI deep sweep).
+        cases: ProptestConfig::env_cases(256),
         seed: 0xB10C_5EED_0000_0001,
     })]
 
@@ -246,5 +336,83 @@ proptest! {
         prop_assert_eq!(points.len(), values.len());
         prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
         prop_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    /// Scheduler snapshots round-trip byte-deterministically: decoding an
+    /// encoded snapshot and re-encoding it reproduces the exact bytes,
+    /// for arbitrary mixes of cluster liveness, job status, allocations,
+    /// and statistics (the crash-recovery correctness bedrock: what
+    /// `--restore` reads is exactly what the checkpointer observed).
+    #[test]
+    fn snapshot_roundtrips_byte_identically(
+        nodes in 1u32..4,
+        job_specs in proptest::collection::vec((any::<u8>(), 1u32..5, 1.0f64..1e6, 0.0f64..1.0), 0..10),
+        now in 0.0f64..1e7,
+        fail_first in any::<bool>(),
+    ) {
+        let snap = build_snapshot(nodes, &job_specs, now, fail_first);
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).expect("well-formed snapshot decodes");
+        prop_assert_eq!(back.encode(), bytes);
+        back.cluster.check_invariants().expect("restored cluster is consistent");
+        prop_assert_eq!(back.jobs.total_seen(), snap.jobs.total_seen());
+    }
+
+    /// Truncating a snapshot anywhere yields `Err`, never a panic; the
+    /// decoder must stay total on the exact bytes a crash mid-write (or a
+    /// corrupt disk) could leave behind.
+    #[test]
+    fn truncated_snapshots_error_cleanly(
+        job_specs in proptest::collection::vec((any::<u8>(), 1u32..5, 1.0f64..1e6, 0.0f64..1.0), 0..6),
+        cuts in proptest::collection::vec(any::<u16>(), 1..32),
+    ) {
+        let bytes = build_snapshot(2, &job_specs, 1234.5, false).encode();
+        for cut in cuts {
+            let cut = cut as usize % bytes.len();
+            prop_assert!(Snapshot::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Corrupting snapshot bytes never panics the decoder (it may decode
+    /// to a different-but-valid snapshot or return `Err`).
+    #[test]
+    fn corrupted_snapshots_never_panic(
+        job_specs in proptest::collection::vec((any::<u8>(), 1u32..5, 1.0f64..1e6, 0.0f64..1.0), 0..6),
+        flips in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..16),
+    ) {
+        let mut bytes = build_snapshot(1, &job_specs, 42.0, true).encode();
+        for (pos, val) in flips {
+            let idx = pos as usize % bytes.len();
+            bytes[idx] = val;
+        }
+        let _ = Snapshot::decode(&bytes);
+    }
+
+    /// Fault plans are pure functions of `(seed, link)`: equal pairs give
+    /// equal verdict streams, and scripted partitions black-hole every
+    /// message inside their window regardless of the random draws.
+    #[test]
+    fn fault_plans_are_deterministic_and_partition_totally(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..1.0,
+        dup_p in 0.0f64..1.0,
+        reorder_p in 0.0f64..1.0,
+        delay_s in 0.0f64..1e4,
+        part_from in 0.0f64..1e4,
+        part_len in 1.0f64..1e4,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_base(LinkFaults { delay_s, drop_p, dup_p, reorder_p })
+            .with_event(FaultEvent::Partition { from: part_from, until: part_from + part_len });
+        let mut a = plan.state(1);
+        let mut b = plan.state(1);
+        for i in 0..128 {
+            let t = i as f64 * 100.0;
+            let (va, vb) = (a.verdict(t), b.verdict(t));
+            prop_assert_eq!(va, vb);
+            if t >= part_from && t < part_from + part_len {
+                prop_assert_eq!(va, blox::core::fault::FaultVerdict::Drop);
+            }
+        }
     }
 }

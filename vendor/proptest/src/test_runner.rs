@@ -27,12 +27,25 @@ impl ProptestConfig {
             ..Default::default()
         }
     }
+
+    /// The case count from the `PROPTEST_CASES` environment variable
+    /// (upstream proptest's override convention — the nightly CI job sets
+    /// it to run deep sweeps), falling back to `default_cases` when the
+    /// variable is unset or unparsable. Suites whose cases are expensive
+    /// wall-clock runs should cap the result (`.min(n)`).
+    pub fn env_cases(default_cases: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|cases| *cases > 0)
+            .unwrap_or(default_cases)
+    }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
-            cases: 128,
+            cases: Self::env_cases(128),
             // A fixed default seed keeps even un-configured proptest!
             // blocks reproducible in CI.
             seed: 0x0B10_C5EE_D000_0001,
