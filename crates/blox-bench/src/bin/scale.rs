@@ -1,0 +1,383 @@
+//! Scale benchmark: the state layer and round pipeline at production
+//! scale (4k GPUs / 10k jobs), indexed versus the pre-refactor scan path.
+//!
+//! Two measurements:
+//!
+//! 1. **State-layer round latency** — one synthetic round's worth of the
+//!    state operations the pipeline performs (running-set allocation
+//!    audit, free-capacity queries, waiting-set walk, placement-pool
+//!    construction + consolidated picks, churn release/allocate),
+//!    executed against the indexed [`blox_core::ClusterState`] /
+//!    [`blox_core::state::JobState`] and against
+//!    [`blox_bench::naive::NaiveCluster`] — a faithful port of the
+//!    pre-index scan-everything implementation. Both sides run the
+//!    identical deterministic workload on their own copy of the world and
+//!    are cross-checked for agreement.
+//! 2. **End-to-end pipeline telemetry** — a real `BloxManager` run at the
+//!    same scale (Tiresias over consolidated placement), reporting the
+//!    per-stage wall times from `RunStats::stage_times`.
+//!
+//! Output: human-readable rows plus JSON lines appended to the file named
+//! by `BLOX_BENCH_JSON` (or `BENCH_scale.json` with `--json`). `--quick`
+//! shrinks everything for CI smoke.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use blox_bench::naive::NaiveCluster;
+use blox_core::cluster::{ClusterState, NodeSpec};
+use blox_core::ids::{GpuGlobalId, JobId};
+use blox_core::job::{Job, JobStatus};
+use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
+use blox_core::metrics::Stage;
+use blox_core::place_util::FreePool;
+use blox_core::profile::JobProfile;
+use blox_core::state::JobState;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::Tiresias;
+use blox_sim::SimBackend;
+
+/// Jobs cycled through release → re-allocate each synthetic round.
+const CHURN: usize = 8;
+/// Placement picks planned (and discarded) each synthetic round.
+const PLACE_PROBES: usize = 8;
+
+struct Setup {
+    nodes: u32,
+    jobs: usize,
+    rounds: usize,
+    pipeline_rounds: u64,
+}
+
+fn job(id: u64, gpus: u32) -> Job {
+    let mut p = JobProfile::synthetic("scale", 1.0);
+    p.restore_s = 0.0;
+    Job::new(JobId(id), 0.0, gpus, 1e12, p)
+}
+
+/// Deterministic churn schedule shared by both worlds.
+#[derive(Clone)]
+struct Rotation {
+    running: VecDeque<JobId>,
+    waiting: VecDeque<JobId>,
+}
+
+/// The indexed world: the real shared state structures.
+struct IndexedWorld {
+    cluster: ClusterState,
+    jobs: JobState,
+    rot: Rotation,
+}
+
+/// The naive world: the scan-based reference cluster plus the
+/// scan-filter job-table shape of the pre-index `JobState`.
+struct NaiveWorld {
+    cluster: NaiveCluster,
+    jobs: Vec<(JobId, JobStatus, Vec<GpuGlobalId>)>,
+    rot: Rotation,
+}
+
+/// Build both worlds in the same initial state: ~95% of nodes busy under
+/// 4-GPU running jobs, the remaining submissions waiting.
+fn build_worlds(setup: &Setup) -> (IndexedWorld, NaiveWorld) {
+    let spec = NodeSpec::v100_p3_8xlarge();
+    let mut cluster = ClusterState::new();
+    let mut naive = NaiveCluster::new();
+    for _ in 0..setup.nodes {
+        cluster.add_node(spec.clone());
+        naive.add_node(&spec);
+    }
+    cluster.take_churn();
+
+    let busy_nodes = (setup.nodes as usize * 95) / 100;
+    let mut jobs = JobState::new();
+    let mut naive_jobs = Vec::new();
+    let mut rot = Rotation {
+        running: VecDeque::new(),
+        waiting: VecDeque::new(),
+    };
+    let mut batch = Vec::new();
+    for i in 0..setup.jobs {
+        let id = JobId(i as u64);
+        let mut j = job(id.0, 4);
+        if i < busy_nodes {
+            let gpus: Vec<GpuGlobalId> = (0..4).map(|k| GpuGlobalId((i * 4 + k) as u32)).collect();
+            cluster.allocate(id, &gpus, 4.0).expect("gpus are free");
+            naive.allocate(id, &gpus).expect("gpus are free");
+            j.status = JobStatus::Running;
+            j.placement = gpus.clone();
+            naive_jobs.push((id, JobStatus::Running, gpus));
+            rot.running.push_back(id);
+        } else {
+            naive_jobs.push((id, JobStatus::Queued, Vec::new()));
+            rot.waiting.push_back(id);
+        }
+        batch.push(j);
+    }
+    jobs.add_new_jobs(batch);
+    (
+        IndexedWorld {
+            cluster,
+            jobs,
+            rot: rot.clone(),
+        },
+        NaiveWorld {
+            cluster: naive,
+            jobs: naive_jobs,
+            rot,
+        },
+    )
+}
+
+/// One synthetic round against the **indexed** state layer.
+fn indexed_round(w: &mut IndexedWorld) -> u64 {
+    let mut acc = 0u64;
+    // Collect: audit every running job's allocation against its placement
+    // (the backends' lost-GPU sweep), index-driven.
+    for j in w.jobs.running() {
+        acc += (w.cluster.job_gpu_count(j.id) == j.placement.len()) as u64;
+    }
+    // Schedule-support queries: capacity plus a waiting-set walk.
+    acc += (w.cluster.total_gpus() - w.cluster.free_gpu_count()) as u64;
+    acc += w
+        .jobs
+        .waiting()
+        .map(|j| j.requested_gpus as u64)
+        .sum::<u64>();
+    // Place: seed a pool from the free map and plan consolidated picks.
+    let mut pool = FreePool::new(&w.cluster);
+    for _ in 0..PLACE_PROBES {
+        if let Some(got) = pool.take_consolidated(2) {
+            acc += got.len() as u64;
+        }
+    }
+    // Actuate/churn: rotate CHURN jobs out and their successors in.
+    for _ in 0..CHURN {
+        let (Some(out), Some(inn)) = (w.rot.running.pop_front(), w.rot.waiting.pop_front()) else {
+            break;
+        };
+        let freed = w.cluster.release(out);
+        w.jobs.get_mut(out).expect("active").placement.clear();
+        w.jobs.set_status(out, JobStatus::Queued).expect("active");
+
+        w.cluster.allocate(inn, &freed, 4.0).expect("just freed");
+        let j = w.jobs.get_mut(inn).expect("active");
+        j.placement = freed;
+        w.jobs.set_status(inn, JobStatus::Running).expect("active");
+        w.rot.waiting.push_back(out);
+        w.rot.running.push_back(inn);
+    }
+    acc
+}
+
+/// The same synthetic round against the **naive** scan-based layer:
+/// identical logical operations, every query and mutation paid at
+/// pre-refactor (full-scan) cost.
+fn naive_round(w: &mut NaiveWorld) -> u64 {
+    let mut acc = 0u64;
+    // Collect: full job-table scan filtering running, one fresh Vec per
+    // job from gpus_of_job (the pre-refactor requeue sweep).
+    for (id, status, placement) in &w.jobs {
+        if *status != JobStatus::Running {
+            continue;
+        }
+        acc += (w.cluster.gpus_of_job(*id).len() == placement.len()) as u64;
+    }
+    // Schedule-support queries: two full GPU-table scans plus a job scan.
+    acc += (w.cluster.total_gpus() - w.cluster.free_gpu_count()) as u64;
+    acc += w
+        .jobs
+        .iter()
+        .filter(|(_, s, _)| matches!(s, JobStatus::Queued | JobStatus::Suspended))
+        .count() as u64
+        * 4;
+    // Place: rebuild the free pool by scanning the GPU table, then the
+    // same best-fit consolidated picks.
+    let mut pool = w.cluster.free_pool();
+    for _ in 0..PLACE_PROBES {
+        let pick = pool
+            .iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .min_by_key(|(id, v)| (v.len(), **id))
+            .map(|(id, _)| *id);
+        if let Some(node) = pick {
+            let list = pool.get_mut(&node).expect("picked above");
+            let got: Vec<GpuGlobalId> = list.drain(..2).collect();
+            acc += got.len() as u64;
+        }
+    }
+    // Actuate/churn: the identical rotation, with release paying its
+    // full-table scan.
+    for _ in 0..CHURN {
+        let (Some(out), Some(inn)) = (w.rot.running.pop_front(), w.rot.waiting.pop_front()) else {
+            break;
+        };
+        let freed = w.cluster.release(out);
+        w.jobs[out.0 as usize].1 = JobStatus::Queued;
+        w.jobs[out.0 as usize].2.clear();
+        w.cluster.allocate(inn, &freed).expect("just freed");
+        w.jobs[inn.0 as usize].1 = JobStatus::Running;
+        w.jobs[inn.0 as usize].2 = freed;
+        w.rot.waiting.push_back(out);
+        w.rot.running.push_back(inn);
+    }
+    acc
+}
+
+/// Time the synthetic rounds; returns mean microseconds per round for
+/// (indexed, naive).
+fn run_synthetic(setup: &Setup) -> (f64, f64) {
+    let (mut iw, mut nw) = build_worlds(setup);
+    // Warm-up round + agreement check: both layers must compute the same
+    // answers and end in the same allocation state.
+    let a = indexed_round(&mut iw);
+    let b = naive_round(&mut nw);
+    assert_eq!(a, b, "indexed and naive rounds must agree");
+    assert_eq!(iw.cluster.free_gpu_count(), nw.cluster.free_gpu_count());
+
+    let mut sink = 0u64;
+    let t = Instant::now();
+    for _ in 0..setup.rounds {
+        sink = sink.wrapping_add(naive_round(&mut nw));
+    }
+    let naive_us = t.elapsed().as_secs_f64() * 1e6 / setup.rounds as f64;
+
+    let t = Instant::now();
+    for _ in 0..setup.rounds {
+        sink = sink.wrapping_add(indexed_round(&mut iw));
+    }
+    let indexed_us = t.elapsed().as_secs_f64() * 1e6 / setup.rounds as f64;
+
+    assert_eq!(
+        iw.cluster.free_gpu_count(),
+        nw.cluster.free_gpu_count(),
+        "models diverged (sink {sink})"
+    );
+    iw.cluster.check_invariants().expect("indexed invariants");
+    (indexed_us, naive_us)
+}
+
+/// Real pipeline at scale: `BloxManager` + Tiresias + consolidated
+/// placement over a synthetic burst trace; returns mean round ms and
+/// per-stage mean ms.
+fn run_pipeline(setup: &Setup) -> (f64, [f64; 5]) {
+    let spec = NodeSpec::v100_p3_8xlarge();
+    let mut cluster = ClusterState::new();
+    for _ in 0..setup.nodes {
+        cluster.add_node(spec.clone());
+    }
+    // An arrival burst that oversubscribes the cluster: every round keeps
+    // all policies ranking the full job set.
+    let jobs: Vec<Job> = (0..setup.jobs as u64).map(|i| job(i, 4)).collect();
+    let mut mgr = BloxManager::new(
+        SimBackend::from_jobs(jobs),
+        cluster,
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: setup.pipeline_rounds,
+            stop: StopCondition::AllJobsDone,
+            mode: ExecMode::FixedRounds,
+        },
+    );
+    let stats = mgr.run(
+        &mut AcceptAll::new(),
+        &mut Tiresias::new(),
+        &mut ConsolidatedPlacement::preferred(),
+    );
+    let per_stage: [f64; 5] = Stage::ALL.map(|s| stats.stage_times.mean(s) * 1e3);
+    (stats.stage_times.mean_round() * 1e3, per_stage)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let setup = if quick {
+        Setup {
+            nodes: 16,
+            jobs: 200,
+            rounds: 20,
+            pipeline_rounds: 5,
+        }
+    } else {
+        Setup {
+            nodes: 1000,
+            jobs: 10_000,
+            rounds: 50,
+            pipeline_rounds: 20,
+        }
+    };
+
+    blox_bench::banner(
+        "BENCH scale",
+        "maintained state indexes keep manager round latency flat at \
+         production scale (>=5x over the scan-based state layer at 4k GPUs / 10k jobs)",
+    );
+    println!(
+        "cluster: {} nodes / {} GPUs, jobs: {}, mode: {}",
+        setup.nodes,
+        setup.nodes * 4,
+        setup.jobs,
+        if quick { "quick" } else { "full" }
+    );
+
+    let (indexed_us, naive_us) = run_synthetic(&setup);
+    let speedup = naive_us / indexed_us.max(1e-9);
+    blox_bench::row(&[
+        "state_layer_round".into(),
+        format!("indexed_us={indexed_us:.1}"),
+        format!("naive_us={naive_us:.1}"),
+        format!("speedup={speedup:.1}x"),
+    ]);
+
+    let (mean_round_ms, stages_ms) = run_pipeline(&setup);
+    let mut cols = vec![
+        "pipeline_round".into(),
+        format!("mean_ms={mean_round_ms:.3}"),
+    ];
+    for (stage, ms) in Stage::ALL.iter().zip(stages_ms) {
+        cols.push(format!("{}_ms={ms:.3}", stage.name()));
+    }
+    blox_bench::row(&cols);
+
+    // Shape check: the acceptance bar only applies at full scale — quick
+    // mode exists to prove the binary runs and emits JSON.
+    if !quick {
+        blox_bench::shape_check("scale_speedup_5x", speedup >= 5.0);
+    }
+
+    let json_path = std::env::var("BLOX_BENCH_JSON").ok().or_else(|| {
+        args.iter()
+            .any(|a| a == "--json")
+            .then(|| "BENCH_scale.json".to_string())
+    });
+    if let Some(path) = json_path {
+        use std::io::Write;
+        let mut lines = String::new();
+        lines.push_str(&format!(
+            "{{\"name\":\"scale/state_layer_round\",\"gpus\":{},\"jobs\":{},\"rounds\":{},\
+             \"indexed_us\":{indexed_us:.3},\"naive_us\":{naive_us:.3},\"speedup\":{speedup:.3}}}\n",
+            setup.nodes * 4,
+            setup.jobs,
+            setup.rounds,
+        ));
+        lines.push_str(&format!(
+            "{{\"name\":\"scale/pipeline_round\",\"gpus\":{},\"jobs\":{},\"rounds\":{},\
+             \"mean_ms\":{mean_round_ms:.3}",
+            setup.nodes * 4,
+            setup.jobs,
+            setup.pipeline_rounds,
+        ));
+        for (stage, ms) in Stage::ALL.iter().zip(stages_ms) {
+            lines.push_str(&format!(",\"{}_ms\":{ms:.3}", stage.name()));
+        }
+        lines.push_str("}\n");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open BLOX_BENCH_JSON file");
+        f.write_all(lines.as_bytes()).expect("write bench JSON");
+        println!("json: appended 2 lines to {path}");
+    }
+}

@@ -17,6 +17,7 @@
 //! every ported figure binary append its aggregated trial results as
 //! one JSON line to that file.
 
+pub mod naive;
 pub mod reference;
 
 use blox_core::cluster::ClusterState;

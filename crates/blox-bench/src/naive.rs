@@ -1,0 +1,221 @@
+//! Scan-based reference model of the cluster state layer.
+//!
+//! [`NaiveCluster`] preserves the **pre-index** `ClusterState`
+//! implementation: a node map and a GPU table with every query answered
+//! by a full-table scan and every `free_gpus`/`gpus_of_job` call
+//! materializing a fresh `Vec` — exactly the code the indexed state layer
+//! replaced. It exists for two reasons:
+//!
+//! 1. **Model-based testing**: the root property suite drives random
+//!    `add_node` / `allocate` / `release` / `fail_node` / `revive_node`
+//!    sequences through both implementations and asserts every observable
+//!    query agrees (`tests/properties.rs`).
+//! 2. **The scale benchmark**: `blox-bench --bin scale` measures the
+//!    per-round cost of the state layer at production scale through both
+//!    implementations; the naive one *is* the pre-refactor code path.
+
+use std::collections::BTreeMap;
+
+use blox_core::cluster::{GpuState, NodeSpec};
+use blox_core::error::{BloxError, Result};
+use blox_core::ids::{GpuGlobalId, JobId, NodeId};
+
+/// One GPU row of the naive table (the fields the scans touch).
+#[derive(Debug, Clone)]
+pub struct NaiveGpu {
+    /// Row key.
+    pub id: GpuGlobalId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Allocation state.
+    pub state: GpuState,
+    /// Assigned job, if any.
+    pub job: Option<JobId>,
+}
+
+/// One node of the naive model.
+#[derive(Debug, Clone)]
+pub struct NaiveNode {
+    /// Node key.
+    pub id: NodeId,
+    /// GPUs installed.
+    pub gpus: u32,
+    /// Liveness flag.
+    pub alive: bool,
+}
+
+/// The scan-everything reference cluster (pre-refactor semantics).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveCluster {
+    nodes: BTreeMap<NodeId, NaiveNode>,
+    gpus: BTreeMap<GpuGlobalId, NaiveGpu>,
+    next_node: u32,
+    next_gpu: u32,
+}
+
+impl NaiveCluster {
+    /// Empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one node of the given spec; returns its id.
+    pub fn add_node(&mut self, spec: &NodeSpec) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        for _ in 0..spec.gpus {
+            let gid = GpuGlobalId(self.next_gpu);
+            self.next_gpu += 1;
+            self.gpus.insert(
+                gid,
+                NaiveGpu {
+                    id: gid,
+                    node: id,
+                    state: GpuState::Free,
+                    job: None,
+                },
+            );
+        }
+        self.nodes.insert(
+            id,
+            NaiveNode {
+                id,
+                gpus: spec.gpus,
+                alive: true,
+            },
+        );
+        id
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// GPU rows on live nodes, in global-id order (full scan).
+    fn live_gpus(&self) -> impl Iterator<Item = &NaiveGpu> {
+        self.gpus.values().filter(|g| self.alive(g.node))
+    }
+
+    /// Total GPUs on live nodes (full scan).
+    pub fn total_gpus(&self) -> u32 {
+        self.live_gpus().count() as u32
+    }
+
+    /// Free GPUs on live nodes (full scan, fresh `Vec` per call).
+    pub fn free_gpus(&self) -> Vec<GpuGlobalId> {
+        self.live_gpus()
+            .filter(|g| g.state == GpuState::Free)
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Count of free GPUs on live nodes (full scan).
+    pub fn free_gpu_count(&self) -> u32 {
+        self.live_gpus()
+            .filter(|g| g.state == GpuState::Free)
+            .count() as u32
+    }
+
+    /// Free GPUs on one node (full scan, fresh `Vec` per call).
+    pub fn free_gpus_on(&self, node: NodeId) -> Vec<GpuGlobalId> {
+        self.live_gpus()
+            .filter(|g| g.node == node && g.state == GpuState::Free)
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// GPUs assigned to a job (full scan, fresh `Vec` per call).
+    pub fn gpus_of_job(&self, job: JobId) -> Vec<GpuGlobalId> {
+        self.gpus
+            .values()
+            .filter(|g| g.job == Some(job))
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// The per-node free lists, derived by the scan the pre-refactor
+    /// `FreePool::new` performed every placement call.
+    pub fn free_pool(&self) -> BTreeMap<NodeId, Vec<GpuGlobalId>> {
+        let mut per_node: BTreeMap<NodeId, Vec<GpuGlobalId>> = BTreeMap::new();
+        for gpu in self.live_gpus().filter(|g| g.state == GpuState::Free) {
+            per_node.entry(gpu.node).or_default().push(gpu.id);
+        }
+        per_node
+    }
+
+    /// Assign GPUs to a job; fails atomically on busy/unknown GPUs.
+    pub fn allocate(&mut self, job: JobId, gpus: &[GpuGlobalId]) -> Result<()> {
+        for g in gpus {
+            let row = self.gpus.get(g).ok_or(BloxError::UnknownGpu(*g))?;
+            if row.state == GpuState::Busy {
+                return Err(BloxError::GpuBusy(*g, job));
+            }
+        }
+        for g in gpus {
+            let row = self.gpus.get_mut(g).expect("validated above");
+            row.state = GpuState::Busy;
+            row.job = Some(job);
+        }
+        Ok(())
+    }
+
+    /// Release every GPU of a job (full scan); returns the freed ids.
+    pub fn release(&mut self, job: JobId) -> Vec<GpuGlobalId> {
+        let mut freed = Vec::new();
+        for row in self.gpus.values_mut() {
+            if row.job == Some(job) {
+                row.job = None;
+                row.state = GpuState::Free;
+                freed.push(row.id);
+            }
+        }
+        freed
+    }
+
+    /// Fail a node; returns the evicted jobs (scan over the GPU table).
+    pub fn fail_node(&mut self, id: NodeId) -> Result<Vec<JobId>> {
+        let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
+        node.alive = false;
+        let mut evicted = Vec::new();
+        for gpu in self.gpus.values_mut().filter(|g| g.node == id) {
+            if let Some(job) = gpu.job.take() {
+                if !evicted.contains(&job) {
+                    evicted.push(job);
+                }
+            }
+            gpu.state = GpuState::Free;
+        }
+        Ok(evicted)
+    }
+
+    /// Revive a failed node.
+    pub fn revive_node(&mut self, id: NodeId) -> Result<()> {
+        let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
+        node.alive = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_model_basics() {
+        let mut c = NaiveCluster::new();
+        let spec = NodeSpec::v100_p3_8xlarge();
+        let n0 = c.add_node(&spec);
+        c.add_node(&spec);
+        assert_eq!(c.total_gpus(), 8);
+        let free = c.free_gpus();
+        c.allocate(JobId(1), &free[..2]).unwrap();
+        assert_eq!(c.free_gpu_count(), 6);
+        assert_eq!(c.gpus_of_job(JobId(1)).len(), 2);
+        let evicted = c.fail_node(n0).unwrap();
+        assert_eq!(evicted, vec![JobId(1)]);
+        assert_eq!(c.total_gpus(), 4);
+        c.revive_node(n0).unwrap();
+        assert_eq!(c.free_gpu_count(), 8);
+        assert_eq!(c.release(JobId(1)), vec![]);
+    }
+}

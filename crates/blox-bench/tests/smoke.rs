@@ -65,6 +65,38 @@ smoke_test!(
     table4_intranode_bandwidth,
 );
 
+/// The scale benchmark takes `--quick` (no `BLOX_SCALE` wiring: its
+/// dimensions are explicit) and must run to completion and emit its JSON
+/// lines — the per-PR CI smoke for the state-layer benchmark.
+#[test]
+fn scale() {
+    let bin = env!("CARGO_BIN_EXE_scale");
+    let tmp = std::env::temp_dir().join(format!("blox-scale-smoke-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&tmp);
+    let output = Command::new(bin)
+        .arg("--quick")
+        .env("BLOX_BENCH_JSON", &tmp)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "scale --quick exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let json = std::fs::read_to_string(&tmp).expect("scale must write BLOX_BENCH_JSON");
+    let _ = std::fs::remove_file(&tmp);
+    assert!(
+        json.contains("\"name\":\"scale/state_layer_round\"") && json.contains("\"speedup\":"),
+        "scale JSON missing expected fields: {json}"
+    );
+    assert!(
+        json.contains("\"name\":\"scale/pipeline_round\"") && json.contains("\"collect_ms\":"),
+        "scale JSON missing stage telemetry: {json}"
+    );
+}
+
 /// The `cluster_deployment` example doubles as the deployment-fidelity
 /// smoke check: it runs the same policies on the in-process runtime and
 /// then on the `blox-net` TCP deployment. Examples belong to the root

@@ -6,11 +6,42 @@
 //! memory, running job)`. Policies query this table; only the execution
 //! backend mutates allocations through [`ClusterState::allocate`] /
 //! [`ClusterState::release`], which keeps GPU accounting in one place.
+//!
+//! # Maintained indexes
+//!
+//! The GPU table is the *source of truth*, but every query a policy makes
+//! per round is answered from indexes maintained incrementally by the
+//! mutation paths: a per-node free-GPU free-list, O(1) free/total GPU
+//! counts over live nodes, a job → allocation map, and a node → GPU list.
+//! At production scale (thousands of GPUs, thousands of active jobs) this
+//! turns the round loop's per-policy full-table scans into O(changed)
+//! work. Snapshots encode only the source-of-truth rows; the indexes are
+//! rebuilt on decode (see [`crate::snapshot`]), and
+//! [`ClusterState::check_invariants`] re-derives them from scratch to
+//! verify the incremental maintenance (the property suite and the round
+//! loop's debug assertions run it continuously).
 
 use std::collections::BTreeMap;
 
 use crate::error::{BloxError, Result};
 use crate::ids::{GpuGlobalId, JobId, NodeId};
+
+/// One node-liveness transition recorded by the cluster's churn log.
+///
+/// [`ClusterState::add_node`], [`ClusterState::fail_node`], and
+/// [`ClusterState::revive_node`] append events here; the round loop drains
+/// them via [`ClusterState::take_churn`] into the round's
+/// [`crate::delta::StateDelta`] so policies can react incrementally
+/// instead of diffing node sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A node joined the cluster.
+    Added(NodeId),
+    /// A live node failed (its GPUs left the schedulable pool).
+    Failed(NodeId),
+    /// A failed node returned to service.
+    Revived(NodeId),
+}
 
 /// Accelerator models the toolkit knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -194,12 +225,38 @@ pub struct Node {
 ///
 /// Iteration over nodes and GPUs is in id order (deterministic), which the
 /// simulator relies on for reproducibility.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ClusterState {
     nodes: BTreeMap<NodeId, Node>,
     gpus: BTreeMap<GpuGlobalId, GpuRow>,
     next_node: u32,
     next_gpu: u32,
+    /// Index: free GPUs per live node, ascending global id. Nodes that are
+    /// dead have no entry; fully busy live nodes have an empty entry.
+    free_by_node: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+    /// Index: count of free GPUs on live nodes.
+    free_count: u32,
+    /// Index: count of all GPUs on live nodes.
+    live_gpus: u32,
+    /// Index: GPUs owned by each job, ascending global id.
+    job_gpus: BTreeMap<JobId, Vec<GpuGlobalId>>,
+    /// Index: all GPUs of each node (live or not), ascending global id.
+    node_gpus: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+    /// Liveness transitions since the last [`ClusterState::take_churn`].
+    churn_log: Vec<NodeEvent>,
+}
+
+/// Equality is defined on the source-of-truth state only (nodes, GPU
+/// table, id counters). The indexes are deterministic functions of it and
+/// the churn log is transient observability, so including them would make
+/// a decoded snapshot compare unequal to the live state it captured.
+impl PartialEq for ClusterState {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.gpus == other.gpus
+            && self.next_node == other.next_node
+            && self.next_gpu == other.next_gpu
+    }
 }
 
 impl ClusterState {
@@ -217,9 +274,11 @@ impl ClusterState {
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
+        let mut gpu_ids = Vec::with_capacity(spec.gpus as usize);
         for local in 0..spec.gpus {
             let gid = GpuGlobalId(self.next_gpu);
             self.next_gpu += 1;
+            gpu_ids.push(gid);
             self.gpus.insert(
                 gid,
                 GpuRow {
@@ -233,6 +292,10 @@ impl ClusterState {
                 },
             );
         }
+        self.free_count += spec.gpus;
+        self.live_gpus += spec.gpus;
+        self.free_by_node.insert(id, gpu_ids.clone());
+        self.node_gpus.insert(id, gpu_ids);
         let node = Node {
             id,
             free_cpu_cores: spec.cpu_cores as f64,
@@ -241,6 +304,7 @@ impl ClusterState {
             alive: true,
         };
         self.nodes.insert(id, node);
+        self.churn_log.push(NodeEvent::Added(id));
         id
     }
 
@@ -248,12 +312,29 @@ impl ClusterState {
     /// the caller (backend) can requeue them.
     pub fn fail_node(&mut self, id: NodeId) -> Result<Vec<JobId>> {
         let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
+        let was_alive = node.alive;
         node.alive = false;
+        if was_alive {
+            let node_total = node.spec.gpus;
+            let free_here = self.free_by_node.remove(&id).map_or(0, |v| v.len() as u32);
+            self.free_count -= free_here;
+            self.live_gpus -= node_total;
+            self.churn_log.push(NodeEvent::Failed(id));
+        }
         let mut evicted = Vec::new();
-        for gpu in self.gpus.values_mut().filter(|g| g.node == id) {
+        for gid in self.node_gpus.get(&id).cloned().unwrap_or_default() {
+            let gpu = self.gpus.get_mut(&gid).expect("node gpus exist");
             if let Some(job) = gpu.job.take() {
                 if !evicted.contains(&job) {
                     evicted.push(job);
+                }
+                // Drop the GPU from the job's allocation index; the job may
+                // keep shards on other (live) nodes.
+                if let Some(owned) = self.job_gpus.get_mut(&job) {
+                    owned.retain(|g| *g != gid);
+                    if owned.is_empty() {
+                        self.job_gpus.remove(&job);
+                    }
                 }
             }
             gpu.state = GpuState::Free;
@@ -265,8 +346,31 @@ impl ClusterState {
     /// Restore a previously failed node to service.
     pub fn revive_node(&mut self, id: NodeId) -> Result<()> {
         let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
-        node.alive = true;
+        if !node.alive {
+            node.alive = true;
+            self.live_gpus += node.spec.gpus;
+            let free: Vec<GpuGlobalId> = self
+                .node_gpus
+                .get(&id)
+                .map(|gpus| {
+                    gpus.iter()
+                        .filter(|g| self.gpus[g].state == GpuState::Free)
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default();
+            self.free_count += free.len() as u32;
+            self.free_by_node.insert(id, free);
+            self.churn_log.push(NodeEvent::Revived(id));
+        }
         Ok(())
+    }
+
+    /// Drain the node-liveness events recorded since the last call. The
+    /// round loop folds these into the round's
+    /// [`crate::delta::StateDelta`].
+    pub fn take_churn(&mut self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.churn_log)
     }
 
     /// Iterate over live nodes in id order.
@@ -303,39 +407,62 @@ impl ClusterState {
         self.gpus.get(&id)
     }
 
-    /// Total GPUs on live nodes.
+    /// Total GPUs on live nodes. O(1) from the maintained count.
     pub fn total_gpus(&self) -> u32 {
-        self.gpus().count() as u32
+        self.live_gpus
     }
 
     /// Free GPUs on live nodes, in global-id order.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should use
+    /// [`ClusterState::free_gpu_count`], [`ClusterState::free_gpus_on`],
+    /// or the per-node free map behind
+    /// [`crate::place_util::FreePool`] instead. Kept (hidden) for tests
+    /// and setup code.
+    #[doc(hidden)]
     pub fn free_gpus(&self) -> Vec<GpuGlobalId> {
-        self.gpus()
-            .filter(|g| g.state == GpuState::Free)
-            .map(|g| g.id)
-            .collect()
+        let mut all: Vec<GpuGlobalId> = self
+            .free_by_node
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
     }
 
-    /// Count of free GPUs on live nodes.
+    /// Count of free GPUs on live nodes. O(1) from the maintained count.
     pub fn free_gpu_count(&self) -> u32 {
-        self.gpus().filter(|g| g.state == GpuState::Free).count() as u32
+        self.free_count
     }
 
-    /// Free GPUs on one node, in local order.
-    pub fn free_gpus_on(&self, node: NodeId) -> Vec<GpuGlobalId> {
-        self.gpus()
-            .filter(|g| g.node == node && g.state == GpuState::Free)
-            .map(|g| g.id)
-            .collect()
+    /// Free GPUs on one live node, ascending global id (which equals local
+    /// order). Empty for dead or unknown nodes. O(log nodes), no
+    /// allocation.
+    pub fn free_gpus_on(&self, node: NodeId) -> &[GpuGlobalId] {
+        self.free_by_node.get(&node).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Free-GPU count on one live node; zero for dead or unknown nodes.
+    pub fn free_count_on(&self, node: NodeId) -> u32 {
+        self.free_by_node.get(&node).map_or(0, |v| v.len() as u32)
+    }
+
+    /// The per-live-node free-GPU map backing [`Self::free_gpus_on`];
+    /// placement planners seed their scratch pools from it without
+    /// scanning the GPU table.
+    pub fn free_map(&self) -> &BTreeMap<NodeId, Vec<GpuGlobalId>> {
+        &self.free_by_node
     }
 
     /// All GPUs currently assigned to `job`, in global-id order.
-    pub fn gpus_of_job(&self, job: JobId) -> Vec<GpuGlobalId> {
-        self.gpus
-            .values()
-            .filter(|g| g.job == Some(job))
-            .map(|g| g.id)
-            .collect()
+    /// O(log jobs), no allocation.
+    pub fn gpus_of_job(&self, job: JobId) -> &[GpuGlobalId] {
+        self.job_gpus.get(&job).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of GPUs currently assigned to `job`.
+    pub fn job_gpu_count(&self, job: JobId) -> usize {
+        self.job_gpus.get(&job).map_or(0, |v| v.len())
     }
 
     /// Whether an allocation fits entirely on one node.
@@ -411,19 +538,38 @@ impl ClusterState {
             row.state = GpuState::Busy;
             row.job = Some(job);
             row.free_mem_gb = (row.gpu_type.mem_gb() - mem_gb).max(0.0);
+            // Free list / count track live nodes only; a dead node has no
+            // free-list entry and its GPUs were never counted.
+            if let Some(free) = self.free_by_node.get_mut(&row.node) {
+                if let Ok(pos) = free.binary_search(g) {
+                    free.remove(pos);
+                    self.free_count -= 1;
+                }
+            }
         }
+        let owned = self.job_gpus.entry(job).or_default();
+        owned.extend_from_slice(gpus);
+        owned.sort_unstable();
+        // A malformed plan may repeat a GPU id; the row mutation above is
+        // idempotent, so keep the allocation index set-shaped too.
+        owned.dedup();
         Ok(())
     }
 
-    /// Release every GPU owned by `job`; returns the freed GPU ids.
+    /// Release every GPU owned by `job`; returns the freed GPU ids in
+    /// global-id order. O(GPUs of the job) via the allocation index.
     pub fn release(&mut self, job: JobId) -> Vec<GpuGlobalId> {
-        let mut freed = Vec::new();
-        for row in self.gpus.values_mut() {
-            if row.job == Some(job) {
-                row.job = None;
-                row.state = GpuState::Free;
-                row.free_mem_gb = row.gpu_type.mem_gb();
-                freed.push(row.id);
+        let freed = self.job_gpus.remove(&job).unwrap_or_default();
+        for g in &freed {
+            let row = self.gpus.get_mut(g).expect("indexed gpus exist");
+            row.job = None;
+            row.state = GpuState::Free;
+            row.free_mem_gb = row.gpu_type.mem_gb();
+            if let Some(free) = self.free_by_node.get_mut(&row.node) {
+                if let Err(pos) = free.binary_search(g) {
+                    free.insert(pos, *g);
+                    self.free_count += 1;
+                }
             }
         }
         freed
@@ -462,24 +608,84 @@ impl ClusterState {
     /// Rebuild a cluster from snapshot parts. The inverse of walking
     /// [`ClusterState::all_nodes`] / [`ClusterState::all_gpus`] plus
     /// [`ClusterState::id_counters`]; used only by snapshot decoding.
+    /// Snapshots carry the source of truth only — the indexes are
+    /// re-derived here.
     pub(crate) fn from_snapshot_parts(
         nodes: Vec<Node>,
         gpus: Vec<GpuRow>,
         next_node: u32,
         next_gpu: u32,
     ) -> Self {
-        ClusterState {
+        let mut cluster = ClusterState {
             nodes: nodes.into_iter().map(|n| (n.id, n)).collect(),
             gpus: gpus.into_iter().map(|g| (g.id, g)).collect(),
             next_node,
             next_gpu,
+            ..ClusterState::default()
+        };
+        cluster.rebuild_indexes();
+        cluster
+    }
+
+    /// Recompute every maintained index from the node/GPU tables. Used by
+    /// snapshot decoding; [`Self::check_invariants`] uses the same
+    /// derivation to audit the incremental maintenance.
+    fn rebuild_indexes(&mut self) {
+        let (free_by_node, free_count, live_gpus, job_gpus, node_gpus) = self.derive_indexes();
+        self.free_by_node = free_by_node;
+        self.free_count = free_count;
+        self.live_gpus = live_gpus;
+        self.job_gpus = job_gpus;
+        self.node_gpus = node_gpus;
+    }
+
+    /// Derive all indexes from scratch by scanning the GPU table.
+    #[allow(clippy::type_complexity)]
+    fn derive_indexes(
+        &self,
+    ) -> (
+        BTreeMap<NodeId, Vec<GpuGlobalId>>,
+        u32,
+        u32,
+        BTreeMap<JobId, Vec<GpuGlobalId>>,
+        BTreeMap<NodeId, Vec<GpuGlobalId>>,
+    ) {
+        let mut free_by_node: BTreeMap<NodeId, Vec<GpuGlobalId>> = self
+            .nodes
+            .values()
+            .filter(|n| n.alive)
+            .map(|n| (n.id, Vec::new()))
+            .collect();
+        let mut free_count = 0u32;
+        let mut live_gpus = 0u32;
+        let mut job_gpus: BTreeMap<JobId, Vec<GpuGlobalId>> = BTreeMap::new();
+        let mut node_gpus: BTreeMap<NodeId, Vec<GpuGlobalId>> =
+            self.nodes.values().map(|n| (n.id, Vec::new())).collect();
+        for row in self.gpus.values() {
+            if let Some(list) = node_gpus.get_mut(&row.node) {
+                list.push(row.id);
+            }
+            let alive = self.nodes.get(&row.node).map(|n| n.alive).unwrap_or(false);
+            if alive {
+                live_gpus += 1;
+                if row.state == GpuState::Free {
+                    free_count += 1;
+                    free_by_node.entry(row.node).or_default().push(row.id);
+                }
+            }
+            if let Some(job) = row.job {
+                job_gpus.entry(job).or_default().push(row.id);
+            }
         }
+        (free_by_node, free_count, live_gpus, job_gpus, node_gpus)
     }
 
     /// Verify internal invariants; used by tests and debug assertions.
     ///
-    /// Checks that busy GPUs carry a job, free GPUs don't, and that no two
-    /// rows disagree about which node a GPU lives on.
+    /// Checks that busy GPUs carry a job, free GPUs don't, that no two
+    /// rows disagree about which node a GPU lives on, and that every
+    /// maintained index matches a from-scratch derivation over the GPU
+    /// table (the indexes are pure acceleration — any drift is a bug).
     pub fn check_invariants(&self) -> Result<()> {
         for row in self.gpus.values() {
             match (row.state, row.job) {
@@ -497,6 +703,28 @@ impl ClusterState {
             if !self.nodes.contains_key(&row.node) {
                 return Err(BloxError::UnknownNode(row.node));
             }
+        }
+        let (free_by_node, free_count, live_gpus, job_gpus, node_gpus) = self.derive_indexes();
+        if free_by_node != self.free_by_node {
+            return Err(BloxError::Config("free-list index out of sync".into()));
+        }
+        if free_count != self.free_count {
+            return Err(BloxError::Config(format!(
+                "free count index {} != derived {free_count}",
+                self.free_count
+            )));
+        }
+        if live_gpus != self.live_gpus {
+            return Err(BloxError::Config(format!(
+                "live-gpu count index {} != derived {live_gpus}",
+                self.live_gpus
+            )));
+        }
+        if job_gpus != self.job_gpus {
+            return Err(BloxError::Config("job-allocation index out of sync".into()));
+        }
+        if node_gpus != self.node_gpus {
+            return Err(BloxError::Config("node-gpu index out of sync".into()));
         }
         Ok(())
     }
@@ -549,13 +777,30 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_gpu_in_one_allocation_keeps_indexes_consistent() {
+        // A malformed plan repeating a GPU id was harmless under the old
+        // scan-based implementation; the allocation index must stay
+        // set-shaped too.
+        let mut c = cluster(1);
+        let free = c.free_gpus();
+        c.allocate(JobId(1), &[free[0], free[0]], 4.0).unwrap();
+        assert_eq!(c.gpus_of_job(JobId(1)), &[free[0]]);
+        assert_eq!(c.job_gpu_count(JobId(1)), 1);
+        assert_eq!(c.free_gpu_count(), 3);
+        c.check_invariants().unwrap();
+        assert_eq!(c.release(JobId(1)), vec![free[0]]);
+        assert_eq!(c.free_gpu_count(), 4);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
     fn consolidation_detection() {
         let mut c = cluster(2);
         let free = c.free_gpus();
         assert!(c.is_consolidated(&free[..4]));
         assert!(!c.is_consolidated(&free[2..6]));
         c.allocate(JobId(1), &free[2..6], 4.0).unwrap();
-        assert_eq!(c.nodes_of(&c.gpus_of_job(JobId(1))).len(), 2);
+        assert_eq!(c.nodes_of(c.gpus_of_job(JobId(1))).len(), 2);
     }
 
     #[test]

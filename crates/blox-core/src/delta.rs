@@ -1,0 +1,109 @@
+//! Per-round change summaries of the shared scheduler state.
+//!
+//! A [`StateDelta`] names exactly what changed during one pass of the
+//! round pipeline: job-set membership changes (admissions and pruned
+//! completions), status transitions driven by the round's plan (launches,
+//! suspensions, terminations), and node-liveness churn. All execution
+//! backends ride the same pipeline, so simulation and deployment emit
+//! deltas through the same paths: [`crate::manager::apply_placement`]
+//! fills the launch/suspension half, [`crate::cluster::ClusterState`]'s
+//! churn log feeds the node half, and the completion path contributes the
+//! pruned ids.
+//!
+//! Policies can subscribe via
+//! [`crate::policy::SchedulingPolicy::observe_delta`] and maintain their
+//! priority structures incrementally instead of re-deriving them from a
+//! full scan each round — the cross-layer-metadata argument of MetaSys
+//! applied to the scheduling substrate.
+
+use crate::cluster::NodeEvent;
+use crate::ids::{JobId, NodeId};
+
+/// What changed in the shared state during one scheduling round.
+///
+/// Two views exist, one value each per round:
+///
+/// * **The round's own delta** ([`crate::manager::RoundOutcome::delta`]):
+///   everything round *r* did — its admissions, completions pruned at its
+///   Collect stage, its churn, and its plan effects (`terminated`,
+///   `launched`, `suspended`).
+/// * **The observed delta** delivered to
+///   [`crate::policy::SchedulingPolicy::observe_delta`] at the start of
+///   round *r*'s Schedule stage: everything since the *previous* round's
+///   schedule call — round *r*'s membership changes and churn, plus round
+///   *r − 1*'s plan effects (a round's plan executes after its schedule
+///   call, so launches/suspensions/terminations — like completions —
+///   reach the policy one round later).
+///
+/// `completed` lists every job pruned from the active set (both natural
+/// completions and early terminations — termination decisions from round
+/// *r* are pruned, and therefore reported in `completed`, at round
+/// *r + 1*), and `admitted` lists every job that entered the active set
+/// (including jobs injected out of band through
+/// [`crate::manager::BloxManager::add_jobs`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDelta {
+    /// Jobs that entered the active set since the last schedule call.
+    pub admitted: Vec<JobId>,
+    /// Jobs pruned from the active set (completed or terminated early),
+    /// in id order.
+    pub completed: Vec<JobId>,
+    /// Jobs actually (re)started by this round's plan.
+    pub launched: Vec<JobId>,
+    /// Jobs actually suspended by this round's plan.
+    pub suspended: Vec<JobId>,
+    /// Jobs the scheduling policy terminated early this round.
+    pub terminated: Vec<JobId>,
+    /// Nodes that joined the cluster.
+    pub added_nodes: Vec<NodeId>,
+    /// Nodes that failed (GPUs left the schedulable pool).
+    pub failed_nodes: Vec<NodeId>,
+    /// Nodes restored to service.
+    pub revived_nodes: Vec<NodeId>,
+}
+
+impl StateDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.admitted.is_empty()
+            && self.completed.is_empty()
+            && self.launched.is_empty()
+            && self.suspended.is_empty()
+            && self.terminated.is_empty()
+            && self.added_nodes.is_empty()
+            && self.failed_nodes.is_empty()
+            && self.revived_nodes.is_empty()
+    }
+
+    /// Fold one node-liveness event into the delta.
+    pub fn record_node_event(&mut self, event: NodeEvent) {
+        match event {
+            NodeEvent::Added(n) => self.added_nodes.push(n),
+            NodeEvent::Failed(n) => self.failed_nodes.push(n),
+            NodeEvent::Revived(n) => self.revived_nodes.push(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detection_and_node_events() {
+        let mut d = StateDelta::new();
+        assert!(d.is_empty());
+        d.record_node_event(NodeEvent::Failed(NodeId(3)));
+        assert!(!d.is_empty());
+        assert_eq!(d.failed_nodes, vec![NodeId(3)]);
+        d.record_node_event(NodeEvent::Added(NodeId(4)));
+        d.record_node_event(NodeEvent::Revived(NodeId(3)));
+        assert_eq!(d.added_nodes, vec![NodeId(4)]);
+        assert_eq!(d.revived_nodes, vec![NodeId(3)]);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod delta;
 pub mod error;
 pub mod fault;
 pub mod ids;
@@ -41,15 +42,17 @@ pub mod profile;
 pub mod snapshot;
 pub mod state;
 
-pub use cluster::{ClusterState, GpuRow, GpuState, GpuType, Node, NodeSpec};
+pub use cluster::{ClusterState, GpuRow, GpuState, GpuType, Node, NodeEvent, NodeSpec};
+pub use delta::StateDelta;
 pub use error::{BloxError, Result};
 pub use fault::{FaultEvent, FaultPlan, FaultState, FaultVerdict, LinkFaults};
 pub use ids::{GpuGlobalId, JobId, NodeId};
 pub use job::{Job, JobStatus};
 pub use manager::{
-    apply_placement, Backend, BloxManager, ExecMode, RoundOutcome, RunConfig, StopCondition,
+    apply_placement, Backend, BloxManager, ExecMode, PlacementOutcome, RoundOutcome, RunConfig,
+    StopCondition,
 };
-pub use metrics::{JobRecord, RunStats, Summary};
+pub use metrics::{JobRecord, RunStats, Stage, StageTimes, Summary};
 pub use policy::{
     AdmissionPolicy, Placement, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
 };

@@ -1,9 +1,23 @@
 //! The round-based scheduling loop (`BloxManager`) and the execution
 //! backend trait that makes the same loop run in simulation or on a real
 //! cluster.
+//!
+//! # The staged round pipeline
+//!
+//! [`BloxManager::step`] is an explicit five-stage pipeline — **Collect →
+//! Admit → Schedule → Place → Actuate** — with per-stage wall-time
+//! telemetry accumulated in [`RunStats::stage_times`] (the paper's
+//! scheduler-overhead measurement). Every backend rides the same
+//! pipeline; each stage contributes its part of the round's
+//! [`StateDelta`], which is delivered to the scheduling policy
+//! ([`crate::policy::SchedulingPolicy::observe_delta`]) before its
+//! `schedule` call and returned in the [`RoundOutcome`].
+
+use std::time::Instant;
 
 use crate::cluster::ClusterState;
-use crate::error::Result;
+use crate::delta::StateDelta;
+use crate::error::BloxError;
 use crate::ids::JobId;
 use crate::job::{Job, JobStatus};
 use crate::metrics::RunStats;
@@ -35,8 +49,16 @@ pub trait Backend: Send {
     /// Completed jobs must have their GPUs released in `cluster`.
     fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64);
 
-    /// Execute this round's placement: suspend, then launch.
-    fn exec_jobs(&mut self, placement: &Placement, cluster: &mut ClusterState, jobs: &mut JobState);
+    /// Execute this round's placement: suspend, then launch. Returns what
+    /// actually happened (the backend's contribution to the round's
+    /// [`StateDelta`]); backends built on [`apply_placement`] return its
+    /// outcome.
+    fn exec_jobs(
+        &mut self,
+        placement: &Placement,
+        cluster: &mut ClusterState,
+        jobs: &mut JobState,
+    ) -> PlacementOutcome;
 
     /// Advance to the next round boundary (simulated clock jump or sleep).
     fn advance_round(&mut self, round_duration: f64);
@@ -141,6 +163,13 @@ pub struct RoundOutcome {
     pub completed: usize,
     /// Jobs terminated early by policy this round.
     pub terminated: usize,
+    /// Exactly what changed, by id — the round's full state delta.
+    pub delta: StateDelta,
+    /// Plan entries the backend could not apply this round, with the
+    /// reason (from [`PlacementOutcome::skipped`]). Empty on every
+    /// healthy round; callers that requeue or alert on skipped launches
+    /// read them here.
+    pub skipped: Vec<(JobId, BloxError)>,
 }
 
 /// The scheduling loop of Figure 2, generic over the execution backend.
@@ -154,6 +183,15 @@ pub struct BloxManager<B: Backend> {
     jobs: JobState,
     stats: RunStats,
     config: RunConfig,
+    /// Jobs injected out of band via [`BloxManager::add_jobs`] since the
+    /// last step; folded into the next round's [`StateDelta::admitted`]
+    /// so delta-subscribed policies never miss a membership change.
+    injected: Vec<JobId>,
+    /// The previous round's plan effects (terminated / launched /
+    /// suspended), not yet delivered to `observe_delta`. A round's plan
+    /// executes *after* its schedule call, so — like completions — plan
+    /// effects reach the policy at the next round's delta.
+    pending_plan: StateDelta,
 }
 
 impl<B: Backend> BloxManager<B> {
@@ -165,6 +203,8 @@ impl<B: Backend> BloxManager<B> {
             jobs: JobState::new(),
             stats: RunStats::new(),
             config,
+            injected: Vec::new(),
+            pending_plan: StateDelta::new(),
         }
     }
 
@@ -186,6 +226,8 @@ impl<B: Backend> BloxManager<B> {
             jobs,
             stats,
             config,
+            injected: Vec::new(),
+            pending_plan: StateDelta::new(),
         }
     }
 
@@ -221,8 +263,11 @@ impl<B: Backend> BloxManager<B> {
 
     /// Inject jobs directly into the schedulable set, bypassing the
     /// backend's wait queue. Used by the automatic scheduler synthesizer
-    /// to re-offer jobs drained from a swapped-out admission policy.
+    /// to re-offer jobs drained from a swapped-out admission policy. The
+    /// injected ids are reported in the next round's
+    /// [`StateDelta::admitted`].
     pub fn add_jobs(&mut self, jobs: Vec<Job>) {
+        self.injected.extend(jobs.iter().map(|j| j.id));
         self.jobs.add_new_jobs(jobs);
     }
 
@@ -238,10 +283,15 @@ impl<B: Backend> BloxManager<B> {
             jobs: self.jobs.clone(),
             stats: RunStats::new(),
             config: self.config.clone(),
+            injected: self.injected.clone(),
+            pending_plan: self.pending_plan.clone(),
         }
     }
 
-    /// Execute one scheduling round with the given policies.
+    /// Execute one scheduling round with the given policies: the explicit
+    /// **Collect → Admit → Schedule → Place → Actuate** pipeline, with
+    /// per-stage wall time recorded in [`RunStats::stage_times`] and the
+    /// round's [`StateDelta`] assembled along the way.
     pub fn step(
         &mut self,
         admission: &mut dyn AdmissionPolicy,
@@ -249,50 +299,81 @@ impl<B: Backend> BloxManager<B> {
         placement: &mut dyn PlacementPolicy,
     ) -> RoundOutcome {
         let mut outcome = RoundOutcome::default();
+        let mut delta = StateDelta::new();
 
-        // Update the set of active machines.
+        // --- Stage 1: Collect ------------------------------------------
+        // Cluster churn, job progress from the previous round (with exact
+        // sub-round completion timestamps), and completion pruning.
+        let stage = Instant::now();
         self.backend.update_cluster(&mut self.cluster);
-
-        // Update metrics of all jobs run in the previous round; this also
-        // detects completions at exact sub-round timestamps.
         self.backend.update_metrics(
             &mut self.cluster,
             &mut self.jobs,
             self.config.round_duration,
         );
-
-        // Prune completed jobs into the finished list, recording them.
-        for job in self.jobs.active() {
-            if job.status.is_done() {
+        for event in self.cluster.take_churn() {
+            delta.record_node_event(event);
+        }
+        // Record done jobs (index-driven — no full scan), then prune them
+        // into the finished list.
+        for id in self.jobs.done_ids() {
+            if let Some(job) = self.jobs.get(*id) {
                 self.stats.record_job(job);
                 outcome.completed += 1;
             }
         }
-        self.jobs.prune_completed();
+        delta.completed = self.jobs.prune_completed();
+        let t_collect = stage.elapsed().as_secs_f64();
 
         let now = self.backend.now();
 
-        // Retrieve new submissions and run admission control.
+        // --- Stage 2: Admit --------------------------------------------
+        let stage = Instant::now();
         let new_jobs = self.backend.pop_wait_queue(now);
         let accepted = admission.admit(new_jobs, &self.jobs, &self.cluster, now);
         outcome.admitted = accepted.len();
+        delta.admitted = std::mem::take(&mut self.injected);
+        delta.admitted.extend(accepted.iter().map(|j| j.id));
         self.jobs.add_new_jobs(accepted);
+        let t_admit = stage.elapsed().as_secs_f64();
 
-        // Scheduling policy: priority-ordered allocations.
+        // --- Stage 3: Schedule -----------------------------------------
+        // Deliver everything since the previous schedule call: this
+        // round's membership changes and churn, plus the previous round's
+        // plan effects (a round's plan executes after its schedule call,
+        // so launches/suspensions/terminations — like completions — reach
+        // the policy one round later).
+        let stage = Instant::now();
+        let mut observed = std::mem::take(&mut self.pending_plan);
+        observed.admitted = delta.admitted.clone();
+        observed.completed = delta.completed.clone();
+        observed.added_nodes = delta.added_nodes.clone();
+        observed.failed_nodes = delta.failed_nodes.clone();
+        observed.revived_nodes = delta.revived_nodes.clone();
+        scheduling.observe_delta(&observed, &self.jobs);
         let mut decision = scheduling.schedule(&self.jobs, &self.cluster, now);
 
         // Apply early terminations before placement.
         for id in std::mem::take(&mut decision.terminate) {
-            if let Some(job) = self.jobs.get_mut(id) {
-                if job.status.is_active() {
-                    if job.status == JobStatus::Running {
-                        self.cluster.release(id);
+            let status = match self.jobs.get(id) {
+                Some(job) => job.status,
+                None => continue,
+            };
+            if status.is_active() {
+                if status == JobStatus::Running {
+                    self.cluster.release(id);
+                    if let Some(job) = self.jobs.get_mut(id) {
                         job.placement.clear();
                     }
-                    job.status = JobStatus::TerminatedEarly;
-                    job.completion_time = Some(now);
-                    outcome.terminated += 1;
                 }
+                self.jobs
+                    .set_status(id, JobStatus::TerminatedEarly)
+                    .expect("job verified active above");
+                if let Some(job) = self.jobs.get_mut(id) {
+                    job.completion_time = Some(now);
+                }
+                outcome.terminated += 1;
+                delta.terminated.push(id);
             }
         }
         decision.allocations.retain(|(id, _)| {
@@ -308,24 +389,56 @@ impl<B: Backend> BloxManager<B> {
                 job.batch_size = *batch;
             }
         }
+        let t_schedule = stage.elapsed().as_secs_f64();
 
-        // Placement policy: map to concrete GPUs.
+        // --- Stage 4: Place --------------------------------------------
+        let stage = Instant::now();
         let plan = placement.place(&decision, &self.jobs, &self.cluster, now);
         outcome.launched = plan.to_launch.len();
         outcome.suspended = plan.to_suspend.len();
+        let t_place = stage.elapsed().as_secs_f64();
 
-        // Execute: preempt then launch via the backend mechanism.
-        self.backend
+        // --- Stage 5: Actuate ------------------------------------------
+        // Preempt then launch via the backend mechanism, then account the
+        // round. (The inter-round wait in `advance_round` is not part of
+        // the measured pipeline: real-time backends sleep there.)
+        let stage = Instant::now();
+        let exec = self
+            .backend
             .exec_jobs(&plan, &mut self.cluster, &mut self.jobs);
-
-        // Round accounting.
+        delta.launched = exec.launched;
+        delta.suspended = exec.suspended;
+        outcome.skipped = exec.skipped;
+        // Queue this round's plan effects for the next round's
+        // observe_delta delivery.
+        self.pending_plan.terminated = delta.terminated.clone();
+        self.pending_plan.launched = delta.launched.clone();
+        self.pending_plan.suspended = delta.suspended.clone();
         let busy = self.cluster.total_gpus() - self.cluster.free_gpu_count();
         self.stats
             .record_round(busy, self.cluster.total_gpus(), now);
+        let t_actuate = stage.elapsed().as_secs_f64();
+
+        self.stats
+            .stage_times
+            .record([t_collect, t_admit, t_schedule, t_place, t_actuate]);
+
+        // The indexes are pure acceleration; in debug builds, verify them
+        // against a from-scratch derivation after every round.
+        #[cfg(debug_assertions)]
+        {
+            self.cluster
+                .check_invariants()
+                .expect("cluster invariants must hold after every round");
+            self.jobs
+                .check_invariants()
+                .expect("job-state invariants must hold after every round");
+        }
 
         // Wait until the next round.
         self.backend.advance_round(self.config.round_duration);
 
+        outcome.delta = delta;
         outcome
     }
 
@@ -463,56 +576,98 @@ impl<B: Backend> BloxManager<B> {
     }
 }
 
+/// What actually happened when a placement plan was applied: the
+/// launch/suspension half of the round's [`StateDelta`], plus every
+/// launch (or suspension) that had to be skipped and why.
+///
+/// Placement policies never emit conflicting plans, so `skipped` is empty
+/// on every healthy path; when it is not, the *full* set of skipped job
+/// ids is reported — not just the first failure — so operators can requeue
+/// or alert on each one.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementOutcome {
+    /// Jobs actually (re)started, in plan order.
+    pub launched: Vec<JobId>,
+    /// Jobs actually transitioned `Running` → `Suspended`, in plan order.
+    pub suspended: Vec<JobId>,
+    /// Every plan entry that could not be applied, with the reason
+    /// (unknown job, busy GPU, ...), in plan order.
+    pub skipped: Vec<(JobId, BloxError)>,
+}
+
+impl PlacementOutcome {
+    /// True when the whole plan applied cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// The first failure, if any (the error historically reported alone).
+    pub fn first_error(&self) -> Option<&BloxError> {
+        self.skipped.first().map(|(_, e)| e)
+    }
+}
+
 /// Apply a placement plan to the shared state: suspend first, then launch.
 ///
-/// Both backends call this to keep state mutation identical between
+/// All backends call this to keep state mutation identical between
 /// simulation and deployment; the backends add their mechanism-specific
 /// side effects (charging overheads, or sending preempt/launch RPCs).
 ///
-/// Returns an error if a launch references unknown jobs or busy GPUs; in
-/// that case the state is left with the suspensions applied but the
-/// offending launch skipped.
+/// A plan entry that references an unknown job or a busy GPU is skipped
+/// and recorded in [`PlacementOutcome::skipped`] — with *every* skipped
+/// id accumulated, not just the first — while the rest of the plan is
+/// still applied.
 pub fn apply_placement(
     placement: &Placement,
     cluster: &mut ClusterState,
     jobs: &mut JobState,
     now: f64,
-) -> Result<()> {
+) -> PlacementOutcome {
+    let mut outcome = PlacementOutcome::default();
     for id in &placement.to_suspend {
-        let job = jobs.require_mut(*id)?;
-        if job.status == JobStatus::Running {
+        let status = match jobs.get(*id) {
+            Some(job) => job.status,
+            None => {
+                outcome.skipped.push((*id, BloxError::UnknownJob(*id)));
+                continue;
+            }
+        };
+        if status == JobStatus::Running {
             cluster.release(*id);
+            let job = jobs.get_mut(*id).expect("job verified present above");
             job.placement.clear();
-            job.status = JobStatus::Suspended;
             job.preemptions += 1;
+            jobs.set_status(*id, JobStatus::Suspended)
+                .expect("job verified present above");
+            outcome.suspended.push(*id);
         }
     }
-    let mut first_error = None;
     for (id, gpus) in &placement.to_launch {
-        let mem = jobs.require(*id)?.profile.gpu_mem_gb;
+        let mem = match jobs.get(*id) {
+            Some(job) => job.profile.gpu_mem_gb,
+            None => {
+                outcome.skipped.push((*id, BloxError::UnknownJob(*id)));
+                continue;
+            }
+        };
         match cluster.allocate(*id, gpus, mem) {
             Ok(()) => {
-                let job = jobs.require_mut(*id)?;
+                let job = jobs.get_mut(*id).expect("job verified present above");
                 job.placement = gpus.clone();
-                job.status = JobStatus::Running;
                 job.launches += 1;
                 // Restore/startup overhead is paid before progress resumes.
                 job.pending_overhead = job.profile.restore_s;
                 if job.first_scheduled.is_none() {
                     job.first_scheduled = Some(now);
                 }
+                jobs.set_status(*id, JobStatus::Running)
+                    .expect("job verified present above");
+                outcome.launched.push(*id);
             }
-            Err(e) => {
-                if first_error.is_none() {
-                    first_error = Some(e);
-                }
-            }
+            Err(e) => outcome.skipped.push((*id, e)),
         }
     }
-    match first_error {
-        None => Ok(()),
-        Some(e) => Err(e),
-    }
+    outcome
 }
 
 #[cfg(test)]
@@ -552,7 +707,10 @@ mod tests {
             to_suspend: vec![JobId(1)],
             to_launch: vec![(JobId(2), vec![GpuGlobalId(0), GpuGlobalId(1)])],
         };
-        apply_placement(&plan, &mut c, &mut js, 42.0).unwrap();
+        let outcome = apply_placement(&plan, &mut c, &mut js, 42.0);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.suspended, vec![JobId(1)]);
+        assert_eq!(outcome.launched, vec![JobId(2)]);
 
         let j1 = js.get(JobId(1)).unwrap();
         assert_eq!(j1.status, JobStatus::Suspended);
@@ -579,11 +737,58 @@ mod tests {
                 (JobId(2), vec![GpuGlobalId(0)]), // conflict
             ],
         };
-        let err = apply_placement(&plan, &mut c, &mut js, 0.0).unwrap_err();
-        assert!(matches!(err, crate::error::BloxError::GpuBusy(_, _)));
+        let outcome = apply_placement(&plan, &mut c, &mut js, 0.0);
+        assert!(matches!(
+            outcome.first_error(),
+            Some(crate::error::BloxError::GpuBusy(_, _))
+        ));
+        assert_eq!(outcome.launched, vec![JobId(1)]);
         assert_eq!(js.get(JobId(1)).unwrap().status, JobStatus::Running);
         assert_eq!(js.get(JobId(2)).unwrap().status, JobStatus::Queued);
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_placement_accumulates_every_skipped_launch() {
+        // Partial-failure regression: a plan with several bad entries must
+        // report each skipped launch id (historically only the first error
+        // surfaced), keep applying the valid remainder, and not lose the
+        // suspend half.
+        let mut c = cluster();
+        let mut js = JobState::new();
+        let mut j1 = job(1, 2);
+        j1.status = JobStatus::Running;
+        j1.placement = vec![GpuGlobalId(0), GpuGlobalId(1)];
+        c.allocate(JobId(1), &j1.placement, 4.0).unwrap();
+        js.add_new_jobs(vec![j1, job(2, 1), job(3, 1), job(4, 1)]);
+
+        let plan = Placement {
+            to_suspend: vec![JobId(1)],
+            to_launch: vec![
+                (JobId(2), vec![GpuGlobalId(2)]),
+                (JobId(9), vec![GpuGlobalId(3)]), // unknown job
+                (JobId(3), vec![GpuGlobalId(2)]), // conflict with job 2
+                (JobId(4), vec![GpuGlobalId(3)]),
+            ],
+        };
+        let outcome = apply_placement(&plan, &mut c, &mut js, 10.0);
+        assert_eq!(outcome.suspended, vec![JobId(1)]);
+        assert_eq!(outcome.launched, vec![JobId(2), JobId(4)]);
+        let skipped_ids: Vec<JobId> = outcome.skipped.iter().map(|(id, _)| *id).collect();
+        assert_eq!(skipped_ids, vec![JobId(9), JobId(3)]);
+        assert!(matches!(
+            outcome.skipped[0].1,
+            crate::error::BloxError::UnknownJob(_)
+        ));
+        assert!(matches!(
+            outcome.skipped[1].1,
+            crate::error::BloxError::GpuBusy(_, _)
+        ));
+        // The valid tail of the plan still applied.
+        assert_eq!(js.get(JobId(4)).unwrap().status, JobStatus::Running);
+        assert_eq!(js.get(JobId(3)).unwrap().status, JobStatus::Queued);
+        c.check_invariants().unwrap();
+        js.check_invariants().unwrap();
     }
 
     #[test]
@@ -592,6 +797,118 @@ mod tests {
         assert_eq!(cfg.round_duration, 300.0);
         assert_eq!(cfg.stop, StopCondition::AllJobsDone);
         assert_eq!(cfg.mode, ExecMode::FixedRounds);
+    }
+
+    #[test]
+    fn observe_delta_carries_membership_now_and_plan_effects_next_round() {
+        struct RecordingSched {
+            observed: Vec<StateDelta>,
+        }
+        impl SchedulingPolicy for RecordingSched {
+            fn schedule(&mut self, js: &JobState, _: &ClusterState, _: f64) -> SchedulingDecision {
+                SchedulingDecision::from_priority_order(js.active())
+            }
+            fn observe_delta(&mut self, delta: &StateDelta, _: &JobState) {
+                self.observed.push(delta.clone());
+            }
+            fn name(&self) -> &str {
+                "recording"
+            }
+        }
+
+        let arrivals = vec![
+            Job::new(JobId(0), 0.0, 1, 100.0, JobProfile::synthetic("t", 1.0)),
+            Job::new(JobId(1), 0.0, 1, 100.0, JobProfile::synthetic("t", 1.0)),
+        ];
+        let mut mgr = BloxManager::new(
+            StubBackend::new(arrivals, 5_000.0),
+            cluster(),
+            RunConfig::default(),
+        );
+        let mut sched = RecordingSched {
+            observed: Vec::new(),
+        };
+        mgr.step(&mut StubAdmit, &mut sched, &mut StubPlace);
+        mgr.step(&mut StubAdmit, &mut sched, &mut StubPlace);
+
+        // Round 1: this round's admissions are visible immediately; no
+        // plan has executed yet.
+        let first = &sched.observed[0];
+        assert_eq!(first.admitted, vec![JobId(0), JobId(1)]);
+        assert!(first.launched.is_empty() && first.suspended.is_empty());
+        // Round 2: the previous round's launches arrive (the plan executed
+        // after round 1's schedule call).
+        let second = &sched.observed[1];
+        assert!(second.admitted.is_empty());
+        assert_eq!(second.launched, vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn skipped_launches_surface_in_round_outcome() {
+        /// Backend that applies plans verbatim (no clean-plan assertion).
+        struct LenientBackend {
+            clock: f64,
+        }
+        impl Backend for LenientBackend {
+            fn now(&self) -> f64 {
+                self.clock
+            }
+            fn update_cluster(&mut self, _: &mut ClusterState) {}
+            fn pop_wait_queue(&mut self, _: f64) -> Vec<Job> {
+                Vec::new()
+            }
+            fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+                None
+            }
+            fn update_metrics(&mut self, _: &mut ClusterState, _: &mut JobState, _: f64) {}
+            fn exec_jobs(
+                &mut self,
+                p: &Placement,
+                c: &mut ClusterState,
+                j: &mut JobState,
+            ) -> PlacementOutcome {
+                apply_placement(p, c, j, self.clock)
+            }
+            fn advance_round(&mut self, d: f64) {
+                self.clock += d;
+            }
+        }
+
+        /// Placement that double-books GPU 0 across two launches.
+        struct ConflictingPlace;
+        impl PlacementPolicy for ConflictingPlace {
+            fn place(
+                &mut self,
+                _: &SchedulingDecision,
+                _: &JobState,
+                _: &ClusterState,
+                _: f64,
+            ) -> Placement {
+                Placement {
+                    to_suspend: vec![],
+                    to_launch: vec![
+                        (JobId(0), vec![GpuGlobalId(0)]),
+                        (JobId(1), vec![GpuGlobalId(0)]),
+                    ],
+                }
+            }
+            fn name(&self) -> &str {
+                "conflicting"
+            }
+        }
+
+        let mut mgr = BloxManager::new(
+            LenientBackend { clock: 0.0 },
+            cluster(),
+            RunConfig::default(),
+        );
+        mgr.add_jobs(vec![job(0, 1), job(1, 1)]);
+        let outcome = mgr.step(&mut StubAdmit, &mut StubSched, &mut ConflictingPlace);
+        // The conflicting half of the plan is observable, not swallowed.
+        assert_eq!(outcome.skipped.len(), 1);
+        assert_eq!(outcome.skipped[0].0, JobId(1));
+        assert!(matches!(outcome.skipped[0].1, BloxError::GpuBusy(_, _)));
+        assert_eq!(outcome.delta.launched, vec![JobId(0)]);
     }
 
     // --- event-driven fast-path tests over a scripted stub backend ---
@@ -644,16 +961,14 @@ mod tests {
             let round_start = self.last_update;
             self.last_update = self.clock;
             let mut done = Vec::new();
-            for job in jobs.active_mut() {
-                if job.status != JobStatus::Running {
-                    continue;
-                }
+            let running: Vec<JobId> = jobs.running_ids().iter().copied().collect();
+            for id in running {
+                let job = jobs.get_mut(id).expect("running jobs are active");
                 job.running_time += self.clock - round_start;
                 let started = job.first_scheduled.expect("running implies scheduled");
                 if started + self.work_s <= self.clock {
-                    job.status = JobStatus::Completed;
                     job.completion_time = Some(started + self.work_s);
-                    done.push(job.id);
+                    done.push(id);
                 }
             }
             for id in done {
@@ -661,11 +976,20 @@ mod tests {
                 if let Some(job) = jobs.get_mut(id) {
                     job.placement.clear();
                 }
+                jobs.set_status(id, JobStatus::Completed)
+                    .expect("completed job is active");
             }
         }
 
-        fn exec_jobs(&mut self, p: &Placement, c: &mut ClusterState, j: &mut JobState) {
-            apply_placement(p, c, j, self.clock).expect("stub placements are valid");
+        fn exec_jobs(
+            &mut self,
+            p: &Placement,
+            c: &mut ClusterState,
+            j: &mut JobState,
+        ) -> PlacementOutcome {
+            let outcome = apply_placement(p, c, j, self.clock);
+            assert!(outcome.is_clean(), "stub placements are valid");
+            outcome
         }
 
         fn advance_round(&mut self, round_duration: f64) {

@@ -1,5 +1,7 @@
 //! Run statistics: JCT, responsiveness, makespan, utilization, CDFs.
 
+use std::fmt;
+
 use crate::ids::JobId;
 use crate::job::Job;
 
@@ -58,8 +60,93 @@ impl JobRecord {
     }
 }
 
+/// The five stages of the round pipeline, in execution order. Indexes
+/// into [`StageTimes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Cluster churn + job-progress collection + completion pruning.
+    Collect = 0,
+    /// Wait-queue drain + admission control.
+    Admit = 1,
+    /// Delta delivery + scheduling policy + terminations + retuning.
+    Schedule = 2,
+    /// Placement policy (mapping grants to concrete GPUs).
+    Place = 3,
+    /// Plan execution via the backend mechanism + round accounting.
+    Actuate = 4,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Collect,
+        Stage::Admit,
+        Stage::Schedule,
+        Stage::Place,
+        Stage::Actuate,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Collect => "collect",
+            Stage::Admit => "admit",
+            Stage::Schedule => "schedule",
+            Stage::Place => "place",
+            Stage::Actuate => "actuate",
+        }
+    }
+}
+
+/// Cumulative wall-clock time spent in each round-pipeline stage — the
+/// paper's scheduler-overhead measurement (Fig. 14-style), collected for
+/// every executed round.
+///
+/// Wall time is inherently nondeterministic, so stage telemetry is kept
+/// out of everything byte-pinned: snapshots do not encode it and the
+/// sweep engine's JSON does not include it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    secs: [f64; 5],
+    /// Rounds that contributed samples (skipped rounds do not).
+    pub measured_rounds: u64,
+}
+
+impl StageTimes {
+    /// Add one round's per-stage wall-time samples (seconds).
+    pub fn record(&mut self, samples: [f64; 5]) {
+        for (acc, s) in self.secs.iter_mut().zip(samples) {
+            *acc += s;
+        }
+        self.measured_rounds += 1;
+    }
+
+    /// Cumulative seconds spent in `stage`.
+    pub fn total(&self, stage: Stage) -> f64 {
+        self.secs[stage as usize]
+    }
+
+    /// Mean seconds per measured round spent in `stage`.
+    pub fn mean(&self, stage: Stage) -> f64 {
+        if self.measured_rounds == 0 {
+            0.0
+        } else {
+            self.secs[stage as usize] / self.measured_rounds as f64
+        }
+    }
+
+    /// Mean seconds per measured round across the whole pipeline.
+    pub fn mean_round(&self) -> f64 {
+        if self.measured_rounds == 0 {
+            0.0
+        } else {
+            self.secs.iter().sum::<f64>() / self.measured_rounds as f64
+        }
+    }
+}
+
 /// Aggregate statistics for one scheduler run.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RunStats {
     /// Per-job records, in completion order.
     pub records: Vec<JobRecord>,
@@ -74,6 +161,26 @@ pub struct RunStats {
     utilization_sum: f64,
     /// Final simulated/wall time.
     pub end_time: f64,
+    /// Per-stage wall-time telemetry of the round pipeline. Not part of
+    /// any deterministic output (snapshots, sweep JSON, fixtures).
+    pub stage_times: StageTimes,
+}
+
+/// `Debug` covers the *deterministic* result fields only: equal-seed runs
+/// format identically, which the determinism suites rely on as a cheap
+/// byte-identity fingerprint. The wall-clock [`StageTimes`] telemetry is
+/// deliberately omitted (`..`): it differs between otherwise identical
+/// runs by construction.
+impl fmt::Debug for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunStats")
+            .field("records", &self.records)
+            .field("rounds", &self.rounds)
+            .field("skipped_rounds", &self.skipped_rounds)
+            .field("utilization_sum", &self.utilization_sum)
+            .field("end_time", &self.end_time)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RunStats {
@@ -158,6 +265,9 @@ impl RunStats {
             skipped_rounds,
             utilization_sum,
             end_time,
+            // Wall-time telemetry is not snapshot state; a restored run
+            // starts a fresh accumulation.
+            stage_times: StageTimes::default(),
         }
     }
 

@@ -4,9 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::cluster::{ClusterState, GpuState};
+use crate::cluster::ClusterState;
 use crate::ids::{GpuGlobalId, JobId, NodeId};
-use crate::job::JobStatus;
 use crate::policy::{Placement, SchedulingDecision};
 use crate::state::JobState;
 
@@ -18,13 +17,14 @@ pub struct FreePool<'a> {
 }
 
 impl<'a> FreePool<'a> {
-    /// Build the pool from the cluster's current free GPUs.
+    /// Build the pool by copying the cluster's maintained per-node
+    /// free-GPU index ([`ClusterState::free_map`]) — O(free GPUs), never a
+    /// scan of the full GPU table.
     pub fn new(cluster: &'a ClusterState) -> Self {
-        let mut per_node: BTreeMap<NodeId, Vec<GpuGlobalId>> = BTreeMap::new();
-        for gpu in cluster.gpus().filter(|g| g.state == GpuState::Free) {
-            per_node.entry(gpu.node).or_default().push(gpu.id);
+        FreePool {
+            cluster,
+            per_node: cluster.free_map().clone(),
         }
-        FreePool { cluster, per_node }
     }
 
     /// Add GPUs back to the pool (e.g. from a job being suspended this
@@ -301,10 +301,8 @@ where
 
     // Phase 2: keep running jobs whose grant matches their placement;
     // suspend the rest of the running set, releasing their GPUs.
-    for job in job_state
-        .active()
-        .filter(|j| j.status == JobStatus::Running)
-    {
+    // Index-driven: O(running jobs), not O(active jobs).
+    for job in job_state.running() {
         let keep = granted.get(&job.id).copied() == Some(job.placement.len() as u32);
         if keep {
             kept.insert(job.id, true);
@@ -337,7 +335,7 @@ where
 mod tests {
     use super::*;
     use crate::cluster::NodeSpec;
-    use crate::job::Job;
+    use crate::job::{Job, JobStatus};
     use crate::profile::JobProfile;
 
     fn cluster(nodes: u32) -> ClusterState {

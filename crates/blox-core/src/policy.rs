@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use crate::cluster::ClusterState;
+use crate::delta::StateDelta;
 use crate::ids::{GpuGlobalId, JobId};
 use crate::job::Job;
 use crate::state::JobState;
@@ -107,6 +108,23 @@ pub trait SchedulingPolicy: Send {
         cluster: &ClusterState,
         now: f64,
     ) -> SchedulingDecision;
+
+    /// Observe what changed in the shared state since the previous
+    /// round's `schedule` call. The round loop delivers this immediately
+    /// before `schedule`, so a policy can maintain its priority
+    /// structures incrementally (insert admitted jobs, drop completed
+    /// ones) instead of re-deriving them from a full scan each round.
+    ///
+    /// Purely an acceleration channel: the delta never carries
+    /// information absent from `job_state`, so a policy that ignores it
+    /// (the default) stays correct, and a policy that uses it must
+    /// produce the same decision it would from a full scan. Note the
+    /// loop's event-driven fast path may invoke `schedule` extra times
+    /// *without* an intervening delta — incremental state must tolerate
+    /// repeated calls.
+    fn observe_delta(&mut self, delta: &StateDelta, job_state: &JobState) {
+        let _ = (delta, job_state);
+    }
 
     /// True when the policy may have event-free rounds elided by the
     /// manager's fast path. Returning `true` promises both of:

@@ -52,7 +52,17 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Current snapshot format version; decoding requires an exact match.
-    pub const VERSION: u32 = 1;
+    ///
+    /// Version 2: snapshots encode the indexes' *source of truth* only
+    /// (node records, GPU rows, jobs, statistics scalars); the maintained
+    /// acceleration indexes of [`ClusterState`] and [`JobState`] are
+    /// rebuilt on decode. The byte layout is unchanged from v1 — the bump
+    /// is a deliberate application of the exact-version discipline: the
+    /// state layer behind the bytes changed (index maintenance, the
+    /// `set_status` contract), and a checkpoint is crash-recovery state,
+    /// where refusing a pre-upgrade file is cheaper than debugging a
+    /// subtle cross-version resurrection.
+    pub const VERSION: u32 = 2;
 
     /// Encode into a self-describing, byte-deterministic frame.
     pub fn encode(&self) -> Vec<u8> {

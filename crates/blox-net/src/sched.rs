@@ -29,7 +29,9 @@ use blox_core::cluster::{ClusterState, GpuType, NodeSpec};
 use blox_core::error::{BloxError, Result};
 use blox_core::ids::{JobId, NodeId};
 use blox_core::job::{Job, JobStatus};
-use blox_core::manager::{apply_placement, Backend, BloxManager, RunConfig, StopCondition};
+use blox_core::manager::{
+    apply_placement, Backend, BloxManager, PlacementOutcome, RunConfig, StopCondition,
+};
 use blox_core::metrics::RunStats;
 use blox_core::policy::{AdmissionPolicy, Placement, PlacementPolicy, SchedulingPolicy};
 use blox_core::profile::JobProfile;
@@ -329,18 +331,14 @@ impl NetBackend {
         let mut cluster = snap.cluster;
         let mut jobs = snap.jobs;
 
-        let running: Vec<JobId> = jobs
-            .active()
-            .filter(|j| j.status == JobStatus::Running)
-            .map(|j| j.id)
-            .collect();
+        let running: Vec<JobId> = jobs.running_ids().iter().copied().collect();
         for id in running {
             cluster.release(id);
             if let Some(job) = jobs.get_mut(id) {
                 job.placement.clear();
-                job.status = JobStatus::Suspended;
                 job.preemptions += 1;
             }
+            let _ = jobs.set_status(id, JobStatus::Suspended);
         }
 
         let nodes: Vec<NodeId> = cluster.all_nodes().map(|n| n.id).collect();
@@ -528,8 +526,8 @@ impl NetBackend {
         self.stall.remove(&id);
         if let Some(job) = jobs.get_mut(id) {
             job.placement.clear();
-            job.status = JobStatus::Suspended;
             job.preemptions += 1;
+            let _ = jobs.set_status(id, JobStatus::Suspended);
         }
     }
 
@@ -538,9 +536,11 @@ impl NetBackend {
     /// workers stop burning GPU time), then the job re-enters the
     /// schedulable set from its last reported checkpoint.
     fn requeue_failed(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
+        // Index-driven: the running set and the per-job allocation count,
+        // no job-table or GPU-table scans (and no Vec per running job).
         let mut lost = Vec::new();
-        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
-            if cluster.gpus_of_job(job.id).len() != job.placement.len() {
+        for job in jobs.running() {
+            if cluster.job_gpu_count(job.id) != job.placement.len() {
                 lost.push(job.id);
             }
         }
@@ -561,10 +561,11 @@ impl NetBackend {
     ///   `Launch` never arrived, or its worker's reports cannot reach us
     ///   — and is requeued just like a churn eviction.
     fn detect_lost_jobs(&mut self, cluster: &mut ClusterState, jobs: &mut JobState) {
-        // Completion fallback for lost JobDone messages.
+        // Completion fallback for lost JobDone messages (index-driven over
+        // the running set).
         let finished: Vec<JobId> = jobs
-            .active()
-            .filter(|j| j.status == JobStatus::Running && j.completed_iters >= j.total_iters)
+            .running()
+            .filter(|j| j.completed_iters >= j.total_iters)
             .map(|j| j.id)
             .collect();
         for id in finished {
@@ -572,8 +573,8 @@ impl NetBackend {
             self.stall.remove(&id);
             if let Some(job) = jobs.get_mut(id) {
                 job.placement.clear();
-                job.status = JobStatus::Completed;
                 job.completion_time = Some(self.round_now);
+                let _ = jobs.set_status(id, JobStatus::Completed);
             }
         }
 
@@ -583,7 +584,7 @@ impl NetBackend {
         }
         let mut stalled = Vec::new();
         let mut seen = BTreeSet::new();
-        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+        for job in jobs.running() {
             seen.insert(job.id);
             match self.stall.get_mut(&job.id) {
                 // First observation sets the baseline only; counting
@@ -732,7 +733,7 @@ impl Backend for NetBackend {
         placement: &Placement,
         cluster: &mut ClusterState,
         jobs: &mut JobState,
-    ) {
+    ) -> PlacementOutcome {
         // Preempt via optimistic lease revocation + two-phase exit, sent
         // to the worker hosting rank 0.
         for id in &placement.to_suspend {
@@ -766,8 +767,12 @@ impl Backend for NetBackend {
                 .cloned()
                 .collect(),
         };
-        let result = apply_placement(&filtered, cluster, jobs, self.round_now);
-        debug_assert!(result.is_ok(), "placement conflict: {result:?}");
+        let outcome = apply_placement(&filtered, cluster, jobs, self.round_now);
+        debug_assert!(
+            outcome.is_clean(),
+            "placement conflict: {:?}",
+            outcome.skipped
+        );
 
         // Launch RPCs, one per worker hosting a shard.
         for (id, gpus) in &filtered.to_launch {
@@ -795,6 +800,7 @@ impl Backend for NetBackend {
                 );
             }
         }
+        outcome
     }
 
     fn advance_round(&mut self, round_duration: f64) {

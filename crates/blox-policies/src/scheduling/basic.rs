@@ -1,9 +1,13 @@
 //! The three baseline ordering policies: FIFO, LAS, and SRTF.
 
 use blox_core::cluster::ClusterState;
+use blox_core::delta::StateDelta;
+use blox_core::ids::JobId;
 use blox_core::job::Job;
 use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
 use blox_core::state::JobState;
+
+use super::order_cache::OrderCache;
 
 /// Sort active jobs by a key and emit a requested-size decision.
 fn decision_sorted_by<K, F>(job_state: &JobState, mut key: F) -> SchedulingDecision
@@ -23,13 +27,25 @@ where
 
 /// First-in-first-out: jobs in arrival order (the Philly default and the
 /// baseline every other scheduler in the paper is measured against).
+///
+/// Maintains its priority order incrementally from the round loop's
+/// [`StateDelta`]s: arrival order is static, so when deltas are delivered
+/// each round costs an O(active) emit plus O(log n) per membership change
+/// — no per-round sort. Without deltas (standalone use) it falls back to
+/// the full sort, producing the identical order.
 #[derive(Debug, Default)]
-pub struct Fifo;
+pub struct Fifo {
+    cache: OrderCache,
+}
 
 impl Fifo {
     /// New FIFO policy.
     pub fn new() -> Self {
-        Fifo
+        Fifo::default()
+    }
+
+    fn key(job: &Job) -> (f64, JobId) {
+        (job.arrival_time, job.id)
     }
 }
 
@@ -40,7 +56,11 @@ impl SchedulingPolicy for Fifo {
         _cluster: &ClusterState,
         _now: f64,
     ) -> SchedulingDecision {
-        decision_sorted_by(job_state, |j| j.arrival_time)
+        self.cache.decision(job_state, Self::key)
+    }
+
+    fn observe_delta(&mut self, delta: &StateDelta, job_state: &JobState) {
+        self.cache.apply_delta(delta, job_state, Self::key);
     }
 
     /// Pure priority ordering: safe for the event-driven fast path.

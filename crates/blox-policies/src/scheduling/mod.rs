@@ -5,6 +5,7 @@ mod gavel;
 mod hyperband;
 mod loss_term;
 mod optimus;
+mod order_cache;
 mod pollux;
 mod synergy;
 mod themis;

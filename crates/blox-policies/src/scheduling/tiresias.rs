@@ -7,17 +7,29 @@
 //! still letting fresh jobs grab resources quickly.
 
 use blox_core::cluster::ClusterState;
+use blox_core::delta::StateDelta;
+use blox_core::ids::JobId;
 use blox_core::job::Job;
 use blox_core::policy::{SchedulingDecision, SchedulingPolicy};
 use blox_core::state::JobState;
 
+use super::order_cache::OrderCache;
+
 /// Discrete-LAS scheduling policy.
+///
+/// Maintains its priority queues incrementally from the round loop's
+/// [`StateDelta`]s: a job's `(queue, arrival)` key only moves when its
+/// attained service crosses a queue threshold (once per threshold over
+/// its whole life), so with deltas delivered, most rounds verify the
+/// cached order in O(n) instead of re-sorting the world — and membership
+/// changes cost O(log n) each.
 #[derive(Debug, Clone)]
 pub struct Tiresias {
     /// Queue boundaries in GPU-seconds of attained service; a job with
     /// service `s` lives in the first queue whose threshold exceeds `s`
     /// (jobs beyond the last threshold live in the final queue).
     pub thresholds: Vec<f64>,
+    cache: OrderCache,
 }
 
 impl Tiresias {
@@ -25,12 +37,26 @@ impl Tiresias {
     pub fn new() -> Self {
         Tiresias {
             thresholds: vec![3600.0],
+            cache: OrderCache::default(),
         }
     }
 
     /// Custom queue thresholds (must be increasing).
     pub fn with_thresholds(thresholds: Vec<f64>) -> Self {
-        Tiresias { thresholds }
+        Tiresias {
+            thresholds,
+            cache: OrderCache::default(),
+        }
+    }
+
+    /// The total priority key: queue index, then FIFO within the queue,
+    /// then the id as a unique tie-breaker.
+    fn key(&self, job: &Job) -> (usize, f64, JobId) {
+        (
+            self.queue_of(job.attained_service),
+            job.arrival_time,
+            job.id,
+        )
     }
 
     /// Queue index for a given attained service.
@@ -55,19 +81,18 @@ impl SchedulingPolicy for Tiresias {
         _cluster: &ClusterState,
         _now: f64,
     ) -> SchedulingDecision {
-        let mut jobs: Vec<&Job> = job_state.active().collect();
-        jobs.sort_by(|a, b| {
-            let qa = self.queue_of(a.attained_service);
-            let qb = self.queue_of(b.attained_service);
-            qa.cmp(&qb)
-                .then(
-                    a.arrival_time
-                        .partial_cmp(&b.arrival_time)
-                        .expect("arrival times are finite"),
-                )
-                .then(a.id.cmp(&b.id))
-        });
-        SchedulingDecision::from_priority_order(jobs)
+        // Split the borrow: the cache is `&mut self`, the key needs the
+        // thresholds.
+        let mut cache = std::mem::take(&mut self.cache);
+        let decision = cache.decision(job_state, |job| self.key(job));
+        self.cache = cache;
+        decision
+    }
+
+    fn observe_delta(&mut self, delta: &StateDelta, job_state: &JobState) {
+        let mut cache = std::mem::take(&mut self.cache);
+        cache.apply_delta(delta, job_state, |job| self.key(job));
+        self.cache = cache;
     }
 
     /// Pure priority ordering: safe for the event-driven fast path.

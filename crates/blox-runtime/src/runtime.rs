@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use blox_core::cluster::ClusterState;
 use blox_core::ids::{JobId, NodeId};
 use blox_core::job::{Job, JobStatus};
-use blox_core::manager::{apply_placement, Backend};
+use blox_core::manager::{apply_placement, Backend, PlacementOutcome};
 use blox_core::policy::Placement;
 use blox_core::state::JobState;
 
@@ -414,16 +414,18 @@ pub fn apply_status_message(msg: Message, cluster: &mut ClusterState, jobs: &mut
                 j.push_metric(&key, value);
             }
         }
-        Message::JobDone { job, sim_time } => {
-            if let Some(j) = jobs.get_mut(job) {
-                if j.status == JobStatus::Running {
-                    j.completed_iters = j.total_iters;
-                    j.completion_time = Some(sim_time);
-                    j.status = JobStatus::Completed;
-                    j.placement.clear();
-                    cluster.release(job);
-                }
-            }
+        Message::JobDone { job, sim_time }
+            if jobs
+                .get(job)
+                .is_some_and(|j| j.status == JobStatus::Running) =>
+        {
+            let j = jobs.get_mut(job).expect("job verified present above");
+            j.completed_iters = j.total_iters;
+            j.completion_time = Some(sim_time);
+            j.placement.clear();
+            jobs.set_status(job, JobStatus::Completed)
+                .expect("job verified present above");
+            cluster.release(job);
         }
         Message::JobSuspended { job, iters } => {
             if let Some(j) = jobs.get_mut(job) {
@@ -578,13 +580,14 @@ impl Backend for RuntimeBackend {
         let elapsed = (self.round_now - self.last_update).max(0.0);
         self.last_update = self.round_now;
         self.drain_bus(cluster, jobs);
-        // Attained service accrues at round granularity like the sim.
+        // Attained service accrues at round granularity like the sim;
+        // index-driven over the running set, not every active job.
         if elapsed > 0.0 {
-            for job in jobs.active_mut() {
-                if job.status == JobStatus::Running {
-                    job.attained_service += job.placement.len() as f64 * elapsed;
-                    job.running_time += elapsed;
-                }
+            let running: Vec<JobId> = jobs.running_ids().iter().copied().collect();
+            for id in running {
+                let job = jobs.get_mut(id).expect("running jobs are active");
+                job.attained_service += job.placement.len() as f64 * elapsed;
+                job.running_time += elapsed;
             }
         }
     }
@@ -594,7 +597,7 @@ impl Backend for RuntimeBackend {
         placement: &Placement,
         cluster: &mut ClusterState,
         jobs: &mut JobState,
-    ) {
+    ) -> PlacementOutcome {
         // Preempt via optimistic lease revocation + two-phase exit.
         for id in &placement.to_suspend {
             let Some(job) = jobs.get(*id) else { continue };
@@ -625,8 +628,12 @@ impl Backend for RuntimeBackend {
                 .cloned()
                 .collect(),
         };
-        let result = apply_placement(&filtered, cluster, jobs, self.round_now);
-        debug_assert!(result.is_ok(), "placement conflict: {result:?}");
+        let outcome = apply_placement(&filtered, cluster, jobs, self.round_now);
+        debug_assert!(
+            outcome.is_clean(),
+            "placement conflict: {:?}",
+            outcome.skipped
+        );
 
         // Send launch RPCs, one per worker hosting a shard.
         for (id, gpus) in &filtered.to_launch {
@@ -653,6 +660,7 @@ impl Backend for RuntimeBackend {
                 }
             }
         }
+        outcome
     }
 
     fn advance_round(&mut self, round_duration: f64) {

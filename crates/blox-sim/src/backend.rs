@@ -6,7 +6,7 @@ use blox_core::cluster::ClusterState;
 use blox_core::fault::{FaultPlan, FaultState, FaultVerdict};
 use blox_core::ids::JobId;
 use blox_core::job::{Job, JobStatus};
-use blox_core::manager::{apply_placement, Backend};
+use blox_core::manager::{apply_placement, Backend, PlacementOutcome};
 use blox_core::policy::Placement;
 use blox_core::state::JobState;
 
@@ -195,10 +195,11 @@ impl Backend for SimBackend {
 
         // Requeue jobs that lost GPUs to node failures: their recorded
         // placement no longer matches the cluster's allocation table.
+        // Index-driven on both sides: the running set and the per-job
+        // allocation count, no GPU-table or job-table scans.
         let mut failed = Vec::new();
-        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
-            let owned = cluster.gpus_of_job(job.id);
-            if owned.len() != job.placement.len() {
+        for job in jobs.running() {
+            if cluster.job_gpu_count(job.id) != job.placement.len() {
                 failed.push(job.id);
             }
         }
@@ -206,9 +207,10 @@ impl Backend for SimBackend {
             cluster.release(id);
             if let Some(job) = jobs.get_mut(id) {
                 job.placement.clear();
-                job.status = JobStatus::Suspended;
                 job.preemptions += 1;
             }
+            jobs.set_status(id, JobStatus::Suspended)
+                .expect("requeued job is active");
         }
 
         if elapsed <= 0.0 {
@@ -217,15 +219,17 @@ impl Backend for SimBackend {
 
         // Pass 1: progress rates from the (immutable) shared state.
         let rates: BTreeMap<JobId, f64> = jobs
-            .active()
-            .filter(|j| j.status == JobStatus::Running)
+            .running()
             .map(|j| (j.id, self.perf.progress_rate(j, jobs, cluster)))
             .collect();
 
-        // Pass 2: apply progress, detect completions sub-round.
+        // Pass 2: apply progress, detect completions sub-round. Walks the
+        // running index (id order, as before), not every active job.
         let mut completed = Vec::new();
         let mut reports: Vec<(JobId, &'static str, f64)> = Vec::new();
-        for job in jobs.active_mut() {
+        let running: Vec<JobId> = jobs.running_ids().iter().copied().collect();
+        for id in running {
+            let job = jobs.get_mut(id).expect("running jobs are active");
             let Some(&rate) = rates.get(&job.id) else {
                 continue;
             };
@@ -250,7 +254,6 @@ impl Backend for SimBackend {
                 let finish_offset = overhead + needed / rate;
                 job.completed_iters = job.total_iters;
                 job.completion_time = Some(round_start + finish_offset);
-                job.status = JobStatus::Completed;
                 completed.push(job.id);
             } else {
                 job.completed_iters += gained;
@@ -262,6 +265,10 @@ impl Backend for SimBackend {
             if job.profile.pollux.is_some() {
                 reports.push((job.id, "goodput", rate));
             }
+        }
+        for id in &completed {
+            jobs.set_status(*id, JobStatus::Completed)
+                .expect("completed job is active");
         }
         // Status reports cross the (possibly faulty) report path; without
         // a fault plan they land immediately, exactly as before.
@@ -288,11 +295,12 @@ impl Backend for SimBackend {
         placement: &Placement,
         cluster: &mut ClusterState,
         jobs: &mut JobState,
-    ) {
-        let result = apply_placement(placement, cluster, jobs, self.clock);
+    ) -> PlacementOutcome {
+        let outcome = apply_placement(placement, cluster, jobs, self.clock);
         debug_assert!(
-            result.is_ok(),
-            "placement policies must not double-book GPUs: {result:?}"
+            outcome.is_clean(),
+            "placement policies must not double-book GPUs: {:?}",
+            outcome.skipped
         );
         if !self.charge_overheads {
             for (id, _) in &placement.to_launch {
@@ -301,6 +309,7 @@ impl Backend for SimBackend {
                 }
             }
         }
+        outcome
     }
 
     fn advance_round(&mut self, round_duration: f64) {

@@ -6,6 +6,7 @@
 //! seed plus the test name, and the failure message echoes both.
 
 use blox::core::cluster::{ClusterState, NodeSpec};
+use blox::core::delta::StateDelta;
 use blox::core::fault::{FaultEvent, FaultPlan, LinkFaults};
 use blox::core::ids::{JobId, NodeId};
 use blox::core::job::JobStatus;
@@ -386,6 +387,174 @@ proptest! {
             bytes[idx] = val;
         }
         let _ = Snapshot::decode(&bytes);
+    }
+
+    /// The indexed `ClusterState` agrees with the naive scan-based
+    /// reference model on every observable query, after every operation
+    /// of a random `add_node` / `allocate` / `release` / `fail_node` /
+    /// `revive_node` sequence — and its maintained indexes verify against
+    /// a from-scratch derivation (`check_invariants`) at every step. This
+    /// is the model-based proof that the indexes are pure acceleration.
+    #[test]
+    fn indexed_cluster_matches_naive_reference(
+        ops in proptest::collection::vec((0u8..5, 0u64..12, 1u32..6, 0u32..6), 1..80),
+    ) {
+        use blox_bench::naive::NaiveCluster;
+        let spec = NodeSpec::v100_p3_8xlarge();
+        let mut indexed = ClusterState::new();
+        let mut naive = NaiveCluster::new();
+        for _ in 0..3 {
+            indexed.add_node(spec.clone());
+            naive.add_node(&spec);
+        }
+        for (op, job, want, node_pick) in ops {
+            let job = JobId(job);
+            match op {
+                0 => {
+                    indexed.add_node(spec.clone());
+                    naive.add_node(&spec);
+                }
+                1 => {
+                    // Allocate onto the reference model's free list so both
+                    // sides attempt the identical GPU set.
+                    if indexed.gpus_of_job(job).is_empty() {
+                        let free = naive.free_gpus();
+                        if free.len() >= want as usize {
+                            let take = &free[..want as usize];
+                            indexed.allocate(job, take, 4.0).expect("free per model");
+                            naive.allocate(job, take).expect("free per model");
+                        }
+                    }
+                }
+                2 => {
+                    let a = indexed.release(job);
+                    let b = naive.release(job);
+                    prop_assert_eq!(a, b);
+                }
+                3 => {
+                    let node = NodeId(node_pick % 4);
+                    let a = indexed.fail_node(node);
+                    let b = naive.fail_node(node);
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        prop_assert_eq!(a, b, "evicted job sets must agree");
+                    }
+                }
+                _ => {
+                    let node = NodeId(node_pick % 4);
+                    let a = indexed.revive_node(node);
+                    let b = naive.revive_node(node);
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                }
+            }
+            // Every observable query agrees after every operation.
+            prop_assert_eq!(indexed.total_gpus(), naive.total_gpus());
+            prop_assert_eq!(indexed.free_gpu_count(), naive.free_gpu_count());
+            prop_assert_eq!(indexed.free_gpus(), naive.free_gpus());
+            for n in 0..6u32 {
+                let node = NodeId(n);
+                prop_assert_eq!(indexed.free_gpus_on(node).to_vec(), naive.free_gpus_on(node));
+            }
+            for j in 0..12u64 {
+                let j = JobId(j);
+                prop_assert_eq!(indexed.gpus_of_job(j).to_vec(), naive.gpus_of_job(j));
+                prop_assert_eq!(indexed.job_gpu_count(j), naive.gpus_of_job(j).len());
+            }
+            indexed.check_invariants().expect("indexes stay in sync");
+        }
+    }
+
+    /// `JobState`'s status index sets stay consistent with a full scan
+    /// under random `set_status` transitions, and index-driven iteration
+    /// matches the scan-filter order exactly.
+    #[test]
+    fn job_state_indexes_match_scans(
+        transitions in proptest::collection::vec((0u64..20, 0u8..6), 1..100),
+    ) {
+        let mut s = JobState::new();
+        s.add_new_jobs((0..20).map(|i| {
+            Job::new(JobId(i), i as f64, 1, 1e5, JobProfile::synthetic("p", 0.5))
+        }).collect());
+        for (id, status) in transitions {
+            let status = match status {
+                0 => JobStatus::Queued,
+                1 => JobStatus::Running,
+                2 => JobStatus::Suspended,
+                3 => JobStatus::Completed,
+                4 => JobStatus::TerminatedEarly,
+                _ => JobStatus::Failed,
+            };
+            if s.get(JobId(id)).is_some() {
+                s.set_status(JobId(id), status).expect("active job");
+            }
+            s.check_invariants().expect("index sets match scans");
+            let running_scan: Vec<JobId> = s.active()
+                .filter(|j| j.status == JobStatus::Running).map(|j| j.id).collect();
+            let running_idx: Vec<JobId> = s.running().map(|j| j.id).collect();
+            prop_assert_eq!(running_idx, running_scan);
+            let waiting_scan: Vec<JobId> = s.active()
+                .filter(|j| matches!(j.status, JobStatus::Queued | JobStatus::Suspended))
+                .map(|j| j.id).collect();
+            let waiting_idx: Vec<JobId> = s.waiting().map(|j| j.id).collect();
+            prop_assert_eq!(waiting_idx, waiting_scan);
+            prop_assert_eq!(s.running_count(), s.running().count());
+        }
+        // Pruning drains exactly the done set, in id order.
+        let done_scan: Vec<JobId> = s.active()
+            .filter(|j| j.status.is_done()).map(|j| j.id).collect();
+        prop_assert_eq!(s.prune_completed(), done_scan);
+        s.check_invariants().expect("index sets after prune");
+    }
+
+    /// A delta-fed Tiresias (incremental order cache) emits byte-identical
+    /// decisions to a fresh instance that re-sorts the world each round,
+    /// across random admission/completion/progress interleavings.
+    #[test]
+    fn cached_tiresias_matches_full_sort(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u64..500, 0.0f64..1e5), 0..4),
+             proptest::collection::vec(0u64..64, 0..3),
+             proptest::collection::vec((0u64..64, 0.0f64..8000.0), 0..6)),
+            1..30),
+    ) {
+        use blox::core::policy::SchedulingPolicy;
+        use blox::policies::scheduling::Tiresias;
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 2);
+        let mut js = JobState::new();
+        let mut cached = Tiresias::new();
+        let mut next_id = 0u64;
+        for (admit, complete, progress) in rounds {
+            let mut delta = StateDelta::new();
+            // Completions first (the pipeline prunes before admitting).
+            for pick in complete {
+                let ids: Vec<JobId> = js.active().map(|j| j.id).collect();
+                if ids.is_empty() { continue; }
+                let id = ids[pick as usize % ids.len()];
+                js.set_status(id, JobStatus::Completed).expect("active");
+            }
+            delta.completed = js.prune_completed();
+            // Admissions.
+            let mut batch = Vec::new();
+            for (_, arrival) in admit {
+                let id = JobId(next_id);
+                next_id += 1;
+                batch.push(Job::new(id, arrival, 1, 1e6, JobProfile::synthetic("p", 0.5)));
+                delta.admitted.push(id);
+            }
+            js.add_new_jobs(batch);
+            // Service accrual (may cross Tiresias queue thresholds).
+            for (pick, add) in progress {
+                let ids: Vec<JobId> = js.active().map(|j| j.id).collect();
+                if ids.is_empty() { continue; }
+                let id = ids[pick as usize % ids.len()];
+                js.get_mut(id).expect("active").attained_service += add;
+            }
+            cached.observe_delta(&delta, &js);
+            let fast = cached.schedule(&js, &c, 0.0);
+            let slow = Tiresias::new().schedule(&js, &c, 0.0);
+            prop_assert_eq!(fast, slow, "cached order diverged from full sort");
+        }
     }
 
     /// Fault plans are pure functions of `(seed, link)`: equal pairs give
