@@ -19,7 +19,8 @@
 //!
 //! Output: human-readable rows plus JSON lines appended to the file named
 //! by `BLOX_BENCH_JSON` (or `BENCH_scale.json` with `--json`). `--quick`
-//! shrinks everything for CI smoke.
+//! shrinks everything for CI smoke; `--huge` raises the grid to 32k GPUs
+//! / 100k jobs (the nightly configuration).
 
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -292,12 +293,25 @@ fn run_pipeline(setup: &Setup) -> (f64, [f64; 5]) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let huge = args.iter().any(|a| a == "--huge");
     let setup = if quick {
+        // Large enough that stage shares are real measurements rather
+        // than timer noise (the quick smoke asserts the Collect share),
+        // small enough to finish in seconds.
         Setup {
-            nodes: 16,
-            jobs: 200,
+            nodes: 64,
+            jobs: 2000,
             rounds: 20,
-            pipeline_rounds: 5,
+            pipeline_rounds: 10,
+        }
+    } else if huge {
+        // The nightly 32k-GPU / 100k-job grid: fewer rounds, since one
+        // synthetic naive round alone is hundreds of milliseconds here.
+        Setup {
+            nodes: 8000,
+            jobs: 100_000,
+            rounds: 10,
+            pipeline_rounds: 10,
         }
     } else {
         Setup {
@@ -307,6 +321,13 @@ fn main() {
             pipeline_rounds: 20,
         }
     };
+    let mode = if quick {
+        "quick"
+    } else if huge {
+        "huge"
+    } else {
+        "full"
+    };
 
     blox_bench::banner(
         "BENCH scale",
@@ -314,11 +335,10 @@ fn main() {
          production scale (>=5x over the scan-based state layer at 4k GPUs / 10k jobs)",
     );
     println!(
-        "cluster: {} nodes / {} GPUs, jobs: {}, mode: {}",
+        "cluster: {} nodes / {} GPUs, jobs: {}, mode: {mode}",
         setup.nodes,
         setup.nodes * 4,
         setup.jobs,
-        if quick { "quick" } else { "full" }
     );
 
     let (indexed_us, naive_us) = run_synthetic(&setup);
@@ -331,20 +351,26 @@ fn main() {
     ]);
 
     let (mean_round_ms, stages_ms) = run_pipeline(&setup);
+    let collect_share = stages_ms[0] / mean_round_ms.max(1e-9);
     let mut cols = vec![
         "pipeline_round".into(),
         format!("mean_ms={mean_round_ms:.3}"),
+        format!("collect_share={collect_share:.3}"),
     ];
     for (stage, ms) in Stage::ALL.iter().zip(stages_ms) {
         cols.push(format!("{}_ms={ms:.3}", stage.name()));
     }
     blox_bench::row(&cols);
 
-    // Shape check: the acceptance bar only applies at full scale — quick
-    // mode exists to prove the binary runs and emits JSON.
+    // Shape checks. The speedup bar only applies at full scale — quick
+    // mode exists to prove the binary runs and emits JSON — but the
+    // Collect stage must stay a minority of the round at *every* scale
+    // now that the rate cache is delta-driven (it was ~99% of the round
+    // before the fix).
     if !quick {
         blox_bench::shape_check("scale_speedup_5x", speedup >= 5.0);
     }
+    blox_bench::shape_check("scale_collect_share_lt_50pct", collect_share < 0.5);
 
     let json_path = std::env::var("BLOX_BENCH_JSON").ok().or_else(|| {
         args.iter()
@@ -363,7 +389,7 @@ fn main() {
         ));
         lines.push_str(&format!(
             "{{\"name\":\"scale/pipeline_round\",\"gpus\":{},\"jobs\":{},\"rounds\":{},\
-             \"mean_ms\":{mean_round_ms:.3}",
+             \"mean_ms\":{mean_round_ms:.3},\"collect_share\":{collect_share:.3}",
             setup.nodes * 4,
             setup.jobs,
             setup.pipeline_rounds,

@@ -54,6 +54,12 @@ pub struct StateDelta {
     pub suspended: Vec<JobId>,
     /// Jobs the scheduling policy terminated early this round.
     pub terminated: Vec<JobId>,
+    /// Jobs whose Pollux batch size the policy actually changed this
+    /// round (no entry when the requested batch equals the current one).
+    /// A batch move changes the job's modeled progress rate without
+    /// touching its placement, so rate caches must treat it as an
+    /// invalidation.
+    pub retuned: Vec<JobId>,
     /// Nodes that joined the cluster.
     pub added_nodes: Vec<NodeId>,
     /// Nodes that failed (GPUs left the schedulable pool).
@@ -75,6 +81,7 @@ impl StateDelta {
             && self.launched.is_empty()
             && self.suspended.is_empty()
             && self.terminated.is_empty()
+            && self.retuned.is_empty()
             && self.added_nodes.is_empty()
             && self.failed_nodes.is_empty()
             && self.revived_nodes.is_empty()
@@ -105,5 +112,12 @@ mod tests {
         d.record_node_event(NodeEvent::Revived(NodeId(3)));
         assert_eq!(d.added_nodes, vec![NodeId(4)]);
         assert_eq!(d.revived_nodes, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn retunes_count_as_changes() {
+        let mut d = StateDelta::new();
+        d.retuned.push(JobId(7));
+        assert!(!d.is_empty());
     }
 }

@@ -47,7 +47,27 @@ pub trait Backend: Send {
     /// iterations, update attained service, push application metrics, and
     /// mark (with exact sub-round completion times) jobs that finished.
     /// Completed jobs must have their GPUs released in `cluster`.
+    ///
+    /// **Elapsed contract:** `elapsed` is the time span actually covered
+    /// since the previous `update_metrics` call, as measured by the
+    /// manager from [`Backend::now`] — *not* necessarily one round
+    /// duration (the event-driven fast path jumps several rounds at
+    /// once, and the first call of a run covers zero time). Backends
+    /// without their own notion of progress time must integrate exactly
+    /// `elapsed` seconds; backends with an authoritative clock (the
+    /// simulator) may re-derive the span themselves but must agree with
+    /// the parameter (the simulator debug-asserts this), so the two
+    /// families cannot drift apart.
     fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64);
+
+    /// Observe the round's assembled [`StateDelta`] at the end of the
+    /// Actuate stage, after the plan has executed. Backends that maintain
+    /// derived caches over the shared state (e.g. the simulator's
+    /// progress-rate cache) use this to invalidate exactly what the round
+    /// changed. The default does nothing.
+    fn observe_delta(&mut self, delta: &StateDelta) {
+        let _ = delta;
+    }
 
     /// Execute this round's placement: suspend, then launch. Returns what
     /// actually happened (the backend's contribution to the round's
@@ -192,6 +212,10 @@ pub struct BloxManager<B: Backend> {
     /// executes *after* its schedule call, so — like completions — plan
     /// effects reach the policy at the next round's delta.
     pending_plan: StateDelta,
+    /// Time of the last `update_metrics` call, for reporting the span a
+    /// Collect stage actually covers (see the [`Backend::update_metrics`]
+    /// elapsed contract). `None` before the first round.
+    last_metrics_now: Option<f64>,
 }
 
 impl<B: Backend> BloxManager<B> {
@@ -205,6 +229,7 @@ impl<B: Backend> BloxManager<B> {
             config,
             injected: Vec::new(),
             pending_plan: StateDelta::new(),
+            last_metrics_now: None,
         }
     }
 
@@ -228,6 +253,7 @@ impl<B: Backend> BloxManager<B> {
             config,
             injected: Vec::new(),
             pending_plan: StateDelta::new(),
+            last_metrics_now: None,
         }
     }
 
@@ -285,6 +311,7 @@ impl<B: Backend> BloxManager<B> {
             config: self.config.clone(),
             injected: self.injected.clone(),
             pending_plan: self.pending_plan.clone(),
+            last_metrics_now: self.last_metrics_now,
         }
     }
 
@@ -305,12 +332,15 @@ impl<B: Backend> BloxManager<B> {
         // Cluster churn, job progress from the previous round (with exact
         // sub-round completion timestamps), and completion pruning.
         let stage = Instant::now();
+        let now = self.backend.now();
         self.backend.update_cluster(&mut self.cluster);
-        self.backend.update_metrics(
-            &mut self.cluster,
-            &mut self.jobs,
-            self.config.round_duration,
-        );
+        // Report the span this Collect actually covers (see the
+        // `Backend::update_metrics` elapsed contract): zero on the first
+        // round, several rounds' worth after an event-driven skip.
+        let elapsed = self.last_metrics_now.map_or(0.0, |t| (now - t).max(0.0));
+        self.backend
+            .update_metrics(&mut self.cluster, &mut self.jobs, elapsed);
+        self.last_metrics_now = Some(now);
         for event in self.cluster.take_churn() {
             delta.record_node_event(event);
         }
@@ -324,8 +354,6 @@ impl<B: Backend> BloxManager<B> {
         }
         delta.completed = self.jobs.prune_completed();
         let t_collect = stage.elapsed().as_secs_f64();
-
-        let now = self.backend.now();
 
         // --- Stage 2: Admit --------------------------------------------
         let stage = Instant::now();
@@ -383,10 +411,16 @@ impl<B: Backend> BloxManager<B> {
                 .unwrap_or(false)
         });
 
-        // Apply batch-size retuning (Pollux).
+        // Apply batch-size retuning (Pollux). Only actual moves are
+        // recorded in the delta: a batch change invalidates the job's
+        // cached progress rate, so re-asserting an unchanged batch must
+        // not look like a change.
         for (id, batch) in &decision.batch_sizes {
             if let Some(job) = self.jobs.get_mut(*id) {
-                job.batch_size = *batch;
+                if job.batch_size != *batch {
+                    job.batch_size = *batch;
+                    delta.retuned.push(*id);
+                }
             }
         }
         let t_schedule = stage.elapsed().as_secs_f64();
@@ -414,6 +448,10 @@ impl<B: Backend> BloxManager<B> {
         self.pending_plan.terminated = delta.terminated.clone();
         self.pending_plan.launched = delta.launched.clone();
         self.pending_plan.suspended = delta.suspended.clone();
+        self.pending_plan.retuned = delta.retuned.clone();
+        // Backends with derived caches invalidate from the same delta the
+        // policies will observe.
+        self.backend.observe_delta(&delta);
         let busy = self.cluster.total_gpus() - self.cluster.free_gpu_count();
         self.stats
             .record_round(busy, self.cluster.total_gpus(), now);

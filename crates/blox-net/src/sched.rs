@@ -709,7 +709,16 @@ impl Backend for NetBackend {
         }
     }
 
-    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64) {
+        // `round_now` is what this backend reports as `Backend::now`, so
+        // the manager-measured span and the local derivation are the same
+        // quantity — assert agreement per the `update_metrics` elapsed
+        // contract.
+        debug_assert!(
+            elapsed <= 0.0 || (elapsed - (self.round_now - self.last_update)).abs() < 1e-6,
+            "caller-reported elapsed {elapsed} disagrees with backend clock span {}",
+            self.round_now - self.last_update
+        );
         let elapsed = (self.round_now - self.last_update).max(0.0);
         self.last_update = self.round_now;
         self.poll(cluster);

@@ -576,7 +576,16 @@ impl Backend for RuntimeBackend {
         self.arrivals.front().map(|j| (j.id, j.arrival_time))
     }
 
-    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64) {
+        // This backend's clock is authoritative (the `Backend::now` the
+        // manager measures *is* `round_now`), so re-deriving the span is
+        // the same computation the manager performs — assert agreement
+        // per the `update_metrics` elapsed contract.
+        debug_assert!(
+            elapsed <= 0.0 || (elapsed - (self.round_now - self.last_update)).abs() < 1e-6,
+            "caller-reported elapsed {elapsed} disagrees with backend clock span {}",
+            self.round_now - self.last_update
+        );
         let elapsed = (self.round_now - self.last_update).max(0.0);
         self.last_update = self.round_now;
         self.drain_bus(cluster, jobs);

@@ -1,8 +1,9 @@
 //! The simulator execution backend.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use blox_core::cluster::ClusterState;
+use blox_core::delta::StateDelta;
 use blox_core::fault::{FaultPlan, FaultState, FaultVerdict};
 use blox_core::ids::JobId;
 use blox_core::job::{Job, JobStatus};
@@ -12,6 +13,7 @@ use blox_core::state::JobState;
 
 use crate::churn::{ChurnEvent, ChurnScript};
 use crate::perf::PerfModel;
+use crate::rate_cache::RateCache;
 
 /// Fault-injection layer over the simulator's job status reports.
 ///
@@ -77,6 +79,10 @@ pub struct SimBackend {
     last_metrics_update: f64,
     arrivals: VecDeque<Job>,
     perf: PerfModel,
+    /// Incremental progress-rate cache: delta-invalidated, memoized base
+    /// throughput, bit-identical to the from-scratch model (the fix for
+    /// the O(jobs²) Collect stage).
+    rates: RateCache,
     churn: ChurnScript,
     faults: Option<SimFaults>,
     /// Charge checkpoint/restore overheads on preemption and launch. The
@@ -98,15 +104,18 @@ impl SimBackend {
             last_metrics_update: 0.0,
             arrivals: jobs.into(),
             perf: PerfModel::default(),
+            rates: RateCache::new(),
             churn: ChurnScript::default(),
             faults: None,
             charge_overheads: true,
         }
     }
 
-    /// Replace the performance model.
+    /// Replace the performance model (and drop any cached rates derived
+    /// from the old one).
     pub fn with_perf(mut self, perf: PerfModel) -> Self {
         self.perf = perf;
+        self.rates.clear();
         self
     }
 
@@ -163,12 +172,34 @@ impl Backend for SimBackend {
                         // Eviction handling happens in update_metrics via
                         // placement scanning: jobs whose GPUs vanished are
                         // requeued there. Here we only flip node state.
+                        self.rates.invalidate_node(node);
                     }
                 }
                 ChurnEvent::Revive { node, .. } => {
-                    let _ = cluster.revive_node(node);
+                    if cluster.revive_node(node).is_ok() {
+                        self.rates.invalidate_node(node);
+                    }
                 }
             }
+        }
+    }
+
+    /// Invalidate the rate cache from the round's delta: every job whose
+    /// placement, status, or batch size the round changed, and every node
+    /// whose liveness flipped. Unchanged jobs keep last round's rate.
+    fn observe_delta(&mut self, delta: &StateDelta) {
+        for id in delta
+            .launched
+            .iter()
+            .chain(&delta.suspended)
+            .chain(&delta.terminated)
+            .chain(&delta.completed)
+            .chain(&delta.retuned)
+        {
+            self.rates.invalidate_job(*id);
+        }
+        for node in delta.failed_nodes.iter().chain(&delta.revived_nodes) {
+            self.rates.invalidate_node(*node);
         }
     }
 
@@ -188,7 +219,21 @@ impl Backend for SimBackend {
         self.arrivals.front().map(|j| (j.id, j.arrival_time))
     }
 
-    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _elapsed: f64) {
+    fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, elapsed: f64) {
+        // The simulator's own clock is authoritative for elapsed time:
+        // `advance_round` may have jumped several rounds on the
+        // event-driven fast path, and metric integration must cover the
+        // whole span since the last checkpoint regardless of what cadence
+        // the caller believes it is running at. The manager now reports
+        // its own measured elapsed span; assert the two views agree so
+        // the net/runtime backends (which *must* trust the parameter —
+        // they have no simulation clock) can't silently drift from the
+        // sim semantics.
+        debug_assert!(
+            elapsed <= 0.0 || (elapsed - (self.clock - self.last_metrics_update)).abs() < 1e-6,
+            "caller-reported elapsed {elapsed} disagrees with sim clock span {}",
+            self.clock - self.last_metrics_update
+        );
         let elapsed = (self.clock - self.last_metrics_update).max(0.0);
         self.last_metrics_update = self.clock;
         let round_start = self.clock - elapsed;
@@ -211,17 +256,18 @@ impl Backend for SimBackend {
             }
             jobs.set_status(id, JobStatus::Suspended)
                 .expect("requeued job is active");
+            self.rates.invalidate_job(id);
         }
 
         if elapsed <= 0.0 {
             return;
         }
 
-        // Pass 1: progress rates from the (immutable) shared state.
-        let rates: BTreeMap<JobId, f64> = jobs
-            .running()
-            .map(|j| (j.id, self.perf.progress_rate(j, jobs, cluster)))
-            .collect();
+        // Pass 1: progress rates, incrementally maintained. Only jobs
+        // invalidated by this round's delta (and any the validation sweep
+        // flags) are recomputed; everything else reuses last round's rate
+        // bit-for-bit. This was the O(jobs²) Collect-stage hot spot.
+        let rates = self.rates.update(&self.perf, jobs, cluster);
 
         // Pass 2: apply progress, detect completions sub-round. Walks the
         // running index (id order, as before), not every active job.
@@ -338,9 +384,11 @@ impl Backend for SimBackend {
         }
         // Progress since `last_metrics_update` has not been applied yet,
         // so completions are predicted from that checkpoint — the same
-        // base `update_metrics` will integrate from.
+        // base `update_metrics` will integrate from. One batch query: the
+        // pressure map is computed once, not once per job.
+        let rates = self.perf.progress_rates(jobs, cluster);
         for job in jobs.running() {
-            let rate = self.perf.progress_rate(job, jobs, cluster);
+            let rate = rates.get(&job.id).copied().unwrap_or(0.0);
             if rate <= 0.0 {
                 continue;
             }

@@ -20,11 +20,13 @@
 pub mod backend;
 pub mod churn;
 pub mod perf;
+pub mod rate_cache;
 pub mod sweep;
 
 pub use backend::SimBackend;
 pub use churn::ChurnEvent;
 pub use perf::PerfModel;
+pub use rate_cache::RateCache;
 pub use sweep::{PolicySet, SweepGrid, SweepReport, TrialResult};
 
 use blox_core::cluster::{ClusterState, NodeSpec};

@@ -19,8 +19,9 @@
 use std::collections::BTreeMap;
 
 use blox_core::cluster::{ClusterState, GpuType};
-use blox_core::ids::NodeId;
-use blox_core::job::{Job, JobStatus};
+use blox_core::ids::{GpuGlobalId, JobId, NodeId};
+use blox_core::job::Job;
+use blox_core::profile::IterTimeModel;
 use blox_core::state::JobState;
 
 /// Performance-model configuration.
@@ -45,10 +46,18 @@ impl Default for PerfModel {
 impl PerfModel {
     /// Per-node CPU oversubscription ratio: ideal cores wanted by all jobs
     /// on the node divided by available cores, clamped to >= 1.
-    fn cpu_pressure(&self, jobs: &JobState, cluster: &ClusterState) -> BTreeMap<NodeId, f64> {
+    ///
+    /// Nodes that are missing from the cluster or currently failed are
+    /// skipped entirely: a dead node's CPUs left the pool with its GPUs,
+    /// so it must not contribute contention to the jobs that (transiently,
+    /// until the requeue sweep runs) still list placements there.
+    pub fn cpu_pressure(&self, jobs: &JobState, cluster: &ClusterState) -> BTreeMap<NodeId, f64> {
         let mut wanted: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for job in jobs.active().filter(|j| j.status == JobStatus::Running) {
+        for job in jobs.running() {
             for node in cluster.nodes_of(&job.placement) {
+                if !cluster.node(node).is_some_and(|n| n.alive) {
+                    continue;
+                }
                 let gpus_here = job
                     .placement
                     .iter()
@@ -62,31 +71,54 @@ impl PerfModel {
             .map(|(node, want)| {
                 let cores = cluster
                     .node(node)
-                    .map(|n| n.spec.cpu_cores as f64)
-                    .unwrap_or(1.0);
+                    .expect("pressure entries only accumulate on live nodes")
+                    .spec
+                    .cpu_cores as f64;
                 (node, (want / cores).max(1.0))
             })
             .collect()
     }
 
-    /// Progress rate of `job` in iterations/second under its current
-    /// placement, including all contention effects. Returns 0 for jobs
-    /// without GPUs.
-    pub fn progress_rate(&self, job: &Job, jobs: &JobState, cluster: &ClusterState) -> f64 {
-        if job.placement.is_empty() {
-            return 0.0;
+    /// The GPU type the iteration-time model should price for a placement:
+    /// the *slowest* type present. A data-parallel group synchronizes every
+    /// iteration, so it advances at the pace of its slowest member — a
+    /// V100+P100 placement runs at P100 speed, not V100.
+    ///
+    /// Debug builds assert that every placement GPU resolves to a cluster
+    /// record; in release a missing record is skipped (and an all-missing
+    /// placement falls back to the V100 reference).
+    pub fn placement_gpu_type(cluster: &ClusterState, placement: &[GpuGlobalId]) -> GpuType {
+        let mut worst: Option<GpuType> = None;
+        for g in placement {
+            let Some(row) = cluster.gpu(*g) else {
+                debug_assert!(false, "placement references unknown GPU {g:?}");
+                continue;
+            };
+            worst = Some(match worst {
+                Some(w)
+                    if IterTimeModel::gpu_speed(w) <= IterTimeModel::gpu_speed(row.gpu_type) =>
+                {
+                    w
+                }
+                _ => row.gpu_type,
+            });
         }
-        let n = job.placement.len() as u32;
-        let consolidated = cluster.is_consolidated(&job.placement);
-        let inter_bw = cluster.alloc_inter_bw(&job.placement);
-        let gpu_type = job
-            .placement
-            .first()
-            .and_then(|g| cluster.gpu(*g))
-            .map(|r| r.gpu_type)
-            .unwrap_or(GpuType::V100);
+        worst.unwrap_or(GpuType::V100)
+    }
 
-        let base_rate = match &job.profile.pollux {
+    /// Base (contention-free) progress rate of `job` given its placement
+    /// facts. Pure in its arguments — this is the function
+    /// [`crate::rate_cache::RateCache`] memoizes by
+    /// (profile, GPU type, n, consolidated, inter-bandwidth, batch size).
+    pub fn base_rate(
+        &self,
+        job: &Job,
+        n: u32,
+        gpu_type: GpuType,
+        consolidated: bool,
+        inter_bw: f64,
+    ) -> f64 {
+        match &job.profile.pollux {
             Some(p) => {
                 // Effective iterations: goodput normalized by the initial
                 // batch so `total_iters` keeps its trace meaning.
@@ -106,16 +138,25 @@ impl PerfModel {
                 .profile
                 .iter_model
                 .throughput(n, gpu_type, consolidated, inter_bw),
-        };
+        }
+    }
 
+    /// Apply the CPU-contention slowdown to a base rate, given the nodes
+    /// the job spans and a per-node pressure map (from
+    /// [`PerfModel::cpu_pressure`] or the cache's incremental equivalent).
+    pub fn contended_rate(
+        &self,
+        base_rate: f64,
+        job: &Job,
+        nodes: &[NodeId],
+        pressure: &BTreeMap<NodeId, f64>,
+    ) -> f64 {
         if !self.model_cpu_contention {
             return base_rate;
         }
-        let pressure = self.cpu_pressure(jobs, cluster);
-        let worst = cluster
-            .nodes_of(&job.placement)
-            .into_iter()
-            .filter_map(|node| pressure.get(&node))
+        let worst = nodes
+            .iter()
+            .filter_map(|node| pressure.get(node))
             .fold(1.0f64, |acc, p| acc.max(*p));
         if worst <= 1.0 {
             base_rate
@@ -125,13 +166,68 @@ impl PerfModel {
             base_rate / (1.0 + job.profile.cpu_sensitivity * deficit)
         }
     }
+
+    /// Progress rate of one job against an already-computed pressure map.
+    pub fn rate_with_pressure(
+        &self,
+        job: &Job,
+        cluster: &ClusterState,
+        pressure: &BTreeMap<NodeId, f64>,
+    ) -> f64 {
+        if job.placement.is_empty() {
+            return 0.0;
+        }
+        let n = job.placement.len() as u32;
+        let consolidated = cluster.is_consolidated(&job.placement);
+        let inter_bw = cluster.alloc_inter_bw(&job.placement);
+        let gpu_type = Self::placement_gpu_type(cluster, &job.placement);
+        let base_rate = self.base_rate(job, n, gpu_type, consolidated, inter_bw);
+        self.contended_rate(base_rate, job, &cluster.nodes_of(&job.placement), pressure)
+    }
+
+    /// Progress rate of `job` in iterations/second under its current
+    /// placement, including all contention effects. Returns 0 for jobs
+    /// without GPUs.
+    ///
+    /// This recomputes the whole-cluster pressure map on every call; when
+    /// rating more than one job, use [`PerfModel::progress_rates`], which
+    /// computes it once.
+    pub fn progress_rate(&self, job: &Job, jobs: &JobState, cluster: &ClusterState) -> f64 {
+        if job.placement.is_empty() {
+            return 0.0;
+        }
+        let pressure = if self.model_cpu_contention {
+            self.cpu_pressure(jobs, cluster)
+        } else {
+            BTreeMap::new()
+        };
+        self.rate_with_pressure(job, cluster, &pressure)
+    }
+
+    /// Progress rates of every running job, with the per-node CPU-pressure
+    /// map computed **once** for the batch (not once per job — querying
+    /// per job is what made the Collect stage O(jobs²)).
+    ///
+    /// This is the from-scratch reference the incremental
+    /// [`crate::rate_cache::RateCache`] is checked against: its results
+    /// are bit-identical to calling [`PerfModel::progress_rate`] per job.
+    pub fn progress_rates(&self, jobs: &JobState, cluster: &ClusterState) -> BTreeMap<JobId, f64> {
+        let pressure = if self.model_cpu_contention {
+            self.cpu_pressure(jobs, cluster)
+        } else {
+            BTreeMap::new()
+        };
+        jobs.running()
+            .map(|j| (j.id, self.rate_with_pressure(j, cluster, &pressure)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use blox_core::cluster::NodeSpec;
-    use blox_core::ids::JobId;
+    use blox_core::job::JobStatus;
     use blox_core::profile::JobProfile;
 
     fn cluster(nodes: u32) -> ClusterState {
@@ -281,5 +377,118 @@ mod tests {
         // must not scale with raw throughput.
         let r_big = model.progress_rate(&big, &js, &c);
         assert!(r_big < r_small * 4.0);
+    }
+
+    #[test]
+    fn mixed_gpu_placement_runs_at_the_slowest_type() {
+        // One V100 node + one P100 node; a job straddling both must be
+        // priced at P100 speed (the data-parallel group synchronizes every
+        // iteration), regardless of which type the placement lists first.
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c.add_nodes(&NodeSpec::p100_tiresias(), 1);
+        let free = c.free_gpus();
+        let (v100, p100) = (free[0], free[4]);
+        assert_eq!(c.gpu(v100).unwrap().gpu_type, GpuType::V100);
+        assert_eq!(c.gpu(p100).unwrap().gpu_type, GpuType::P100);
+
+        let model = PerfModel {
+            model_cpu_contention: false,
+            ..Default::default()
+        };
+        let rate = |placement: Vec<_>| {
+            let mut j = running_job(1, 2, JobProfile::synthetic("t", 0.2));
+            j.placement = placement;
+            let mut c2 = c.clone();
+            c2.allocate(JobId(1), &j.placement, 4.0).unwrap();
+            let mut js = JobState::new();
+            js.add_new_jobs(vec![j.clone()]);
+            model.progress_rate(&j, &js, &c2)
+        };
+        let v_first = rate(vec![v100, p100]);
+        let p_first = rate(vec![p100, v100]);
+        assert_eq!(v_first, p_first, "GPU-type choice must not depend on order");
+
+        // And the chosen type is the bottleneck: the mixed rate matches an
+        // all-P100 spread placement of the same shape, not an all-V100 one.
+        assert_eq!(
+            PerfModel::placement_gpu_type(&c, &[v100, p100]),
+            GpuType::P100
+        );
+        let profile = JobProfile::synthetic("t", 0.2);
+        let expected = model.base_rate(
+            &running_job(1, 2, profile),
+            2,
+            GpuType::P100,
+            false,
+            c.alloc_inter_bw(&[v100, p100]),
+        );
+        assert_eq!(v_first, expected);
+    }
+
+    #[test]
+    fn failed_node_stops_contributing_cpu_pressure() {
+        // Two CPU-hungry jobs oversubscribe node 0; node 1 holds a third
+        // job. Failing node 0 must drop its pressure entry entirely —
+        // before the requeue sweep runs, the jobs still listing placements
+        // there must not keep a phantom contention penalty (the old code
+        // also priced missing nodes at 1.0 cores, inflating pressure).
+        let mut c = cluster(2);
+        let mut profile = JobProfile::synthetic("cpu-hungry", 0.2);
+        profile.cpus_per_gpu = 16.0;
+        profile.cpu_sensitivity = 0.5;
+        let free = c.free_gpus();
+
+        let mut a = running_job(1, 2, profile.clone());
+        a.placement = free[..2].to_vec();
+        c.allocate(JobId(1), &a.placement, 4.0).unwrap();
+        let mut b = running_job(2, 2, profile.clone());
+        b.placement = free[2..4].to_vec();
+        c.allocate(JobId(2), &b.placement, 4.0).unwrap();
+        let mut d = running_job(3, 2, profile.clone());
+        d.placement = free[4..6].to_vec();
+        c.allocate(JobId(3), &d.placement, 4.0).unwrap();
+
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![a.clone(), b, d.clone()]);
+        let model = PerfModel::default();
+        let contended = model.progress_rate(&a, &js, &c);
+        let alone = model.base_rate(&a, 2, GpuType::V100, true, f64::INFINITY);
+        assert!(contended < alone, "{contended} vs {alone}");
+
+        c.fail_node(NodeId(0)).unwrap();
+        // The dead node carries no pressure entry at all...
+        assert!(!model.cpu_pressure(&js, &c).contains_key(&NodeId(0)));
+        // ...so job 1's churn-round rate (placement still set, requeue
+        // pending) reverts to its uncontended value, and the survivor on
+        // node 1 keeps its own (uncontended) rate.
+        assert_eq!(model.progress_rate(&a, &js, &c), alone);
+        assert_eq!(model.progress_rate(&d, &js, &c), alone);
+    }
+
+    #[test]
+    fn batch_rates_match_per_job_rates_bitwise() {
+        let mut c = cluster(2);
+        let mut profile = JobProfile::synthetic("t", 0.3);
+        profile.cpus_per_gpu = 12.0;
+        let free = c.free_gpus();
+        let mut a = running_job(1, 4, profile.clone());
+        a.placement = free[..4].to_vec();
+        c.allocate(JobId(1), &a.placement, 4.0).unwrap();
+        let mut b = running_job(2, 2, profile);
+        b.placement = vec![free[4], free[5]];
+        c.allocate(JobId(2), &b.placement, 4.0).unwrap();
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![a.clone(), b.clone()]);
+
+        let model = PerfModel::default();
+        let batch = model.progress_rates(&js, &c);
+        assert_eq!(batch.len(), 2);
+        for job in [&a, &b] {
+            assert_eq!(
+                batch[&job.id].to_bits(),
+                model.progress_rate(job, &js, &c).to_bits()
+            );
+        }
     }
 }

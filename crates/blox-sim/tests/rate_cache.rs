@@ -1,0 +1,237 @@
+//! Exactness tests for the incremental rate cache: scripted delta
+//! sequences against the from-scratch perf model, and byte-identity of
+//! the parallel residual-recompute path against the serial one.
+
+use blox_core::cluster::{ClusterState, NodeSpec};
+use blox_core::ids::{GpuGlobalId, JobId, NodeId};
+use blox_core::job::{Job, JobStatus};
+use blox_core::profile::{JobProfile, PolluxProfile};
+use blox_core::state::JobState;
+use blox_sim::{PerfModel, RateCache};
+
+/// Deterministic xorshift generator (no RNG dependency needed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn mixed_cluster() -> ClusterState {
+    let mut c = ClusterState::new();
+    c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 6);
+    c.add_nodes(&NodeSpec::p100_tiresias(), 2);
+    c
+}
+
+fn profile_for(i: u64) -> JobProfile {
+    match i % 3 {
+        0 => {
+            // CPU-hungry: exercises the contention fold.
+            let mut p = JobProfile::synthetic("hungry", 0.2);
+            p.cpus_per_gpu = 16.0;
+            p.cpu_sensitivity = 0.6;
+            p
+        }
+        1 => {
+            // Pollux: exercises batch-size keys and retunes.
+            let mut p = JobProfile::synthetic("pollux", 0.2);
+            p.pollux = Some(PolluxProfile {
+                t_grad_per_sample: 0.002,
+                t_sync: 0.02,
+                init_batch: 64,
+                max_batch: 2048,
+                gns: 400.0,
+            });
+            p
+        }
+        _ => JobProfile::synthetic("plain", 0.3),
+    }
+}
+
+fn launch(c: &mut ClusterState, js: &mut JobState, id: u64, gpus: &[GpuGlobalId]) -> Option<JobId> {
+    if gpus.is_empty() {
+        return None;
+    }
+    let mut j = Job::new(JobId(id), 0.0, gpus.len() as u32, 1e9, profile_for(id));
+    j.placement = gpus.to_vec();
+    j.status = JobStatus::Running;
+    c.allocate(JobId(id), gpus, 4.0).ok()?;
+    js.add_new_jobs(vec![j]);
+    Some(JobId(id))
+}
+
+fn suspend(c: &mut ClusterState, js: &mut JobState, id: JobId) {
+    c.release(id);
+    if let Some(j) = js.get_mut(id) {
+        j.placement.clear();
+    }
+    js.set_status(id, JobStatus::Suspended).unwrap();
+}
+
+/// Assert a cache agrees bitwise with the from-scratch model.
+fn assert_exact(cache: &mut RateCache, perf: &PerfModel, js: &JobState, c: &ClusterState) {
+    let cached = cache.update(perf, js, c).clone();
+    let scratch = perf.progress_rates(js, c);
+    assert_eq!(
+        cached.keys().collect::<Vec<_>>(),
+        scratch.keys().collect::<Vec<_>>(),
+        "cache must rate exactly the running set"
+    );
+    for (id, rate) in &scratch {
+        assert_eq!(
+            cached[id].to_bits(),
+            rate.to_bits(),
+            "job {id:?}: cached {} vs scratch {rate}",
+            cached[id]
+        );
+    }
+}
+
+#[test]
+fn scripted_delta_sequence_matches_scratch_bitwise() {
+    let mut c = mixed_cluster();
+    let mut js = JobState::new();
+    let perf = PerfModel::default();
+    let mut cache = RateCache::new().with_threads(1);
+
+    // Fill the cluster with mixed 1/2/4-GPU jobs.
+    let mut next_id = 0u64;
+    loop {
+        let free = c.free_gpus();
+        let want = (1 << (next_id % 3)).min(free.len());
+        if want == 0 {
+            break;
+        }
+        launch(&mut c, &mut js, next_id, &free[..want]);
+        next_id += 1;
+    }
+    assert_exact(&mut cache, &perf, &js, &c);
+
+    // Pollux retune (a rate change with no placement change).
+    let pollux_id = JobId(1);
+    assert!(js.get(pollux_id).unwrap().profile.pollux.is_some());
+    js.get_mut(pollux_id).unwrap().batch_size = 512;
+    cache.invalidate_job(pollux_id);
+    assert_exact(&mut cache, &perf, &js, &c);
+
+    // Suspend a CPU-hungry job: its node-mates' contention relaxes.
+    suspend(&mut c, &mut js, JobId(0));
+    cache.invalidate_job(JobId(0));
+    assert_exact(&mut cache, &perf, &js, &c);
+
+    // Node failure mid-round (placements not yet requeued), then the
+    // requeue, then revival.
+    c.fail_node(NodeId(2)).unwrap();
+    cache.invalidate_node(NodeId(2));
+    assert_exact(&mut cache, &perf, &js, &c);
+    let victims: Vec<JobId> = js
+        .running()
+        .filter(|j| c.job_gpu_count(j.id) != j.placement.len())
+        .map(|j| j.id)
+        .collect();
+    for id in victims {
+        suspend(&mut c, &mut js, id);
+        cache.invalidate_job(id);
+    }
+    assert_exact(&mut cache, &perf, &js, &c);
+    c.revive_node(NodeId(2)).unwrap();
+    cache.invalidate_node(NodeId(2));
+    assert_exact(&mut cache, &perf, &js, &c);
+
+    // Completion.
+    let done = JobId(3);
+    c.release(done);
+    js.get_mut(done).unwrap().placement.clear();
+    js.set_status(done, JobStatus::Completed).unwrap();
+    cache.invalidate_job(done);
+    assert_exact(&mut cache, &perf, &js, &c);
+
+    // A quiet round is a no-op that still agrees.
+    assert_exact(&mut cache, &perf, &js, &c);
+}
+
+#[test]
+fn parallel_recompute_is_byte_identical_to_serial() {
+    let mut c = mixed_cluster();
+    let mut js = JobState::new();
+    let perf = PerfModel::default();
+    // Threshold 1 forces the scoped-thread path for every recompute.
+    let mut serial = RateCache::new().with_threads(1);
+    let mut parallel = RateCache::new().with_threads(8).with_parallel_threshold(1);
+
+    let mut rng = Lcg(0xB10C_CAFE);
+    let mut next_id = 0u64;
+    for round in 0..30 {
+        // Random churny mutation each round, applied identically to the
+        // state both caches observe.
+        match rng.below(4) {
+            0 => {
+                let free = c.free_gpus();
+                let want = (1 + rng.below(4) as usize).min(free.len());
+                if let Some(id) = launch(&mut c, &mut js, next_id, &free[..want]) {
+                    serial.invalidate_job(id);
+                    parallel.invalidate_job(id);
+                    next_id += 1;
+                }
+            }
+            1 => {
+                if let Some(id) = js.running_ids().iter().next().copied() {
+                    suspend(&mut c, &mut js, id);
+                    serial.invalidate_job(id);
+                    parallel.invalidate_job(id);
+                }
+            }
+            2 => {
+                let node = NodeId(rng.below(8) as u32);
+                if c.node(node).is_some_and(|n| n.alive) {
+                    c.fail_node(node).unwrap();
+                } else {
+                    c.revive_node(node).unwrap();
+                }
+                serial.invalidate_node(node);
+                parallel.invalidate_node(node);
+            }
+            _ => {
+                let pollux: Vec<JobId> = js
+                    .running()
+                    .filter(|j| j.profile.pollux.is_some())
+                    .map(|j| j.id)
+                    .collect();
+                if !pollux.is_empty() {
+                    let id = pollux[rng.below(pollux.len() as u64) as usize];
+                    js.get_mut(id).unwrap().batch_size = 64 << rng.below(5);
+                    serial.invalidate_job(id);
+                    parallel.invalidate_job(id);
+                }
+            }
+        }
+        let a = serial.update(&perf, &js, &c).clone();
+        let b = parallel.update(&perf, &js, &c).clone();
+        let scratch = perf.progress_rates(&js, &c);
+        assert_eq!(a.len(), b.len(), "round {round}");
+        assert_eq!(a.len(), scratch.len(), "round {round}");
+        for (id, rate) in &a {
+            assert_eq!(
+                rate.to_bits(),
+                b[id].to_bits(),
+                "round {round}, job {id:?}: serial vs parallel"
+            );
+            assert_eq!(
+                rate.to_bits(),
+                scratch[id].to_bits(),
+                "round {round}, job {id:?}: cache vs scratch"
+            );
+        }
+    }
+}

@@ -12,13 +12,14 @@ use blox::core::ids::{JobId, NodeId};
 use blox::core::job::JobStatus;
 use blox::core::metrics::{cdf, percentile, RunStats};
 use blox::core::policy::SchedulingPolicy;
-use blox::core::profile::JobProfile;
+use blox::core::profile::{JobProfile, PolluxProfile};
 use blox::core::snapshot::Snapshot;
 use blox::core::state::JobState;
 use blox::core::Job;
 use blox::policies::admission::ThresholdAdmission;
 use blox::policies::scheduling::{Las, Srtf};
 use blox::runtime::Message;
+use blox::sim::{PerfModel, RateCache};
 use proptest::prelude::*;
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -554,6 +555,134 @@ proptest! {
             let fast = cached.schedule(&js, &c, 0.0);
             let slow = Tiresias::new().schedule(&js, &c, 0.0);
             prop_assert_eq!(fast, slow, "cached order diverged from full sort");
+        }
+    }
+
+    /// The incremental rate cache stays *bitwise* equal to a from-scratch
+    /// `PerfModel::progress_rates` recompute across random op sequences:
+    /// launches, suspensions, completions, Pollux retunes, and node
+    /// churn hitting mid-round (placements not yet requeued) — the same
+    /// model as the indexed-vs-naive cluster check above.
+    #[test]
+    fn cached_rates_match_scratch_recompute(
+        ops in proptest::collection::vec((0u8..6, any::<u64>(), 1u8..5), 1..40),
+    ) {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 3);
+        c.add_nodes(&NodeSpec::p100_tiresias(), 1);
+        let mut js = JobState::new();
+        let perf = PerfModel::default();
+        let mut cache = RateCache::new().with_threads(1);
+        let mut next_id = 0u64;
+        for (op, pick, size) in ops {
+            match op {
+                // Launch a new job; profile class varies with the id so
+                // Pollux keys, CPU contention, and plain iteration models
+                // all appear in one run.
+                0 => {
+                    let free = c.free_gpus();
+                    let want = (size as usize).min(free.len());
+                    if want > 0 {
+                        let id = JobId(next_id);
+                        next_id += 1;
+                        let mut p = match id.0 % 3 {
+                            0 => {
+                                let mut p = JobProfile::synthetic("hungry", 0.2);
+                                p.cpus_per_gpu = 16.0;
+                                p.cpu_sensitivity = 0.6;
+                                p
+                            }
+                            1 => JobProfile::synthetic("plain", 0.3),
+                            _ => JobProfile::synthetic("pollux", 0.2),
+                        };
+                        if id.0 % 3 == 2 {
+                            p.pollux = Some(PolluxProfile {
+                                t_grad_per_sample: 0.002,
+                                t_sync: 0.02,
+                                init_batch: 64,
+                                max_batch: 2048,
+                                gns: 400.0,
+                            });
+                        }
+                        let mut j = Job::new(id, 0.0, want as u32, 1e9, p);
+                        j.placement = free[..want].to_vec();
+                        j.status = JobStatus::Running;
+                        c.allocate(id, &free[..want], 4.0).expect("free GPUs allocate");
+                        js.add_new_jobs(vec![j]);
+                        cache.invalidate_job(id);
+                    }
+                }
+                // Suspend a running job.
+                1 => {
+                    let ids: Vec<JobId> = js.running_ids().iter().copied().collect();
+                    if !ids.is_empty() {
+                        let id = ids[pick as usize % ids.len()];
+                        c.release(id);
+                        js.get_mut(id).expect("running").placement.clear();
+                        js.set_status(id, JobStatus::Suspended).expect("running");
+                        cache.invalidate_job(id);
+                    }
+                }
+                // Complete (and prune) a running job.
+                2 => {
+                    let ids: Vec<JobId> = js.running_ids().iter().copied().collect();
+                    if !ids.is_empty() {
+                        let id = ids[pick as usize % ids.len()];
+                        c.release(id);
+                        js.get_mut(id).expect("running").placement.clear();
+                        js.set_status(id, JobStatus::Completed).expect("running");
+                        js.prune_completed();
+                        cache.invalidate_job(id);
+                    }
+                }
+                // Retune a Pollux job's batch size (rate change, no
+                // placement change).
+                3 => {
+                    let pollux: Vec<JobId> = js.running()
+                        .filter(|j| j.profile.pollux.is_some())
+                        .map(|j| j.id)
+                        .collect();
+                    if !pollux.is_empty() {
+                        let id = pollux[pick as usize % pollux.len()];
+                        js.get_mut(id).expect("running").batch_size = 64u64 << (size % 5);
+                        cache.invalidate_job(id);
+                    }
+                }
+                // Fail an alive node *without* requeueing its jobs — the
+                // mid-churn window the liveness fix covers.
+                4 => {
+                    let alive: Vec<NodeId> = c.all_nodes()
+                        .filter(|n| n.alive)
+                        .map(|n| n.id)
+                        .collect();
+                    if !alive.is_empty() {
+                        let node = alive[pick as usize % alive.len()];
+                        c.fail_node(node).expect("alive node fails");
+                        cache.invalidate_node(node);
+                    }
+                }
+                // Revive a dead node (exercises the degraded-entry path).
+                _ => {
+                    let dead: Vec<NodeId> = c.all_nodes()
+                        .filter(|n| !n.alive)
+                        .map(|n| n.id)
+                        .collect();
+                    if !dead.is_empty() {
+                        let node = dead[pick as usize % dead.len()];
+                        c.revive_node(node).expect("dead node revives");
+                        cache.invalidate_node(node);
+                    }
+                }
+            }
+            let cached = cache.update(&perf, &js, &c).clone();
+            let scratch = perf.progress_rates(&js, &c);
+            prop_assert_eq!(cached.len(), scratch.len());
+            for (id, rate) in &scratch {
+                prop_assert_eq!(
+                    cached[id].to_bits(), rate.to_bits(),
+                    "job {:?}: cached {} vs scratch {}", id, cached[id], rate
+                );
+            }
         }
     }
 
