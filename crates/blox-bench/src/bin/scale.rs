@@ -25,7 +25,7 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use blox_bench::naive::NaiveCluster;
+use blox_bench::naive::{NaiveCluster, NaiveFreePool};
 use blox_core::cluster::{ClusterState, NodeSpec};
 use blox_core::ids::{GpuGlobalId, JobId};
 use blox_core::job::{Job, JobStatus};
@@ -259,6 +259,81 @@ fn run_synthetic(setup: &Setup) -> (f64, f64) {
     (indexed_us, naive_us)
 }
 
+/// One placement round through the **bucketed** pick engine: seed a pool
+/// from the cluster and run the waiting set's worth of mixed-strategy
+/// picks. Most attempts fail once the pool drains — exactly the Place
+/// wall shape, where every waiting job paid a full node scan to learn
+/// there was nothing left.
+fn place_round_bucketed(cluster: &ClusterState, attempts: usize) -> (u64, Vec<Vec<GpuGlobalId>>) {
+    let mut pool = FreePool::new(cluster);
+    let mut acc = 0u64;
+    let mut picks = Vec::new();
+    for i in 0..attempts {
+        let n = 1 + (i % 4) as u32;
+        let got = match i % 4 {
+            0 => pool.take_consolidated(n),
+            1 => pool.take_consolidated_or_spread(n),
+            2 => pool.take_defragmenting(n),
+            _ => pool.take_first_free(n),
+        };
+        if let Some(g) = got {
+            acc += g.len() as u64;
+            picks.push(g);
+        }
+    }
+    (acc, picks)
+}
+
+/// The identical placement round through the scan-based reference engine
+/// (`min_by_key` / full-sort / flatten-sort per pick).
+fn place_round_naive(cluster: &ClusterState, attempts: usize) -> (u64, Vec<Vec<GpuGlobalId>>) {
+    let mut pool = NaiveFreePool::new(cluster);
+    let mut acc = 0u64;
+    let mut picks = Vec::new();
+    for i in 0..attempts {
+        let n = 1 + (i % 4) as u32;
+        let got = match i % 4 {
+            0 => pool.take_consolidated(n),
+            1 => pool.take_consolidated_or_spread(n),
+            2 => pool.take_defragmenting(n),
+            _ => pool.take_first_free(n),
+        };
+        if let Some(g) = got {
+            acc += g.len() as u64;
+            picks.push(g);
+        }
+    }
+    (acc, picks)
+}
+
+/// Time the placement round through both engines; returns mean
+/// microseconds per round for (bucketed, naive). The warm-up round
+/// cross-checks every pick bitwise.
+fn run_place(setup: &Setup) -> (f64, f64) {
+    let (iw, _) = build_worlds(setup);
+    let attempts = setup.jobs - (setup.nodes as usize * 95) / 100;
+
+    let (a, picks_b) = place_round_bucketed(&iw.cluster, attempts);
+    let (b, picks_n) = place_round_naive(&iw.cluster, attempts);
+    assert_eq!(a, b, "bucketed and naive place rounds must agree");
+    assert_eq!(picks_b, picks_n, "picks must be bitwise identical");
+
+    let mut sink = 0u64;
+    let t = Instant::now();
+    for _ in 0..setup.rounds {
+        sink = sink.wrapping_add(place_round_naive(&iw.cluster, attempts).0);
+    }
+    let naive_us = t.elapsed().as_secs_f64() * 1e6 / setup.rounds as f64;
+
+    let t = Instant::now();
+    for _ in 0..setup.rounds {
+        sink = sink.wrapping_add(place_round_bucketed(&iw.cluster, attempts).0);
+    }
+    let bucketed_us = t.elapsed().as_secs_f64() * 1e6 / setup.rounds as f64;
+    assert_eq!(sink, 2 * setup.rounds as u64 * a, "engines diverged");
+    (bucketed_us, naive_us)
+}
+
 /// Real pipeline at scale: `BloxManager` + Tiresias + consolidated
 /// placement over a synthetic burst trace; returns mean round ms and
 /// per-stage mean ms.
@@ -350,12 +425,23 @@ fn main() {
         format!("speedup={speedup:.1}x"),
     ]);
 
+    let (place_us, place_naive_us) = run_place(&setup);
+    let place_speedup = place_naive_us / place_us.max(1e-9);
+    blox_bench::row(&[
+        "place_round".into(),
+        format!("bucketed_us={place_us:.1}"),
+        format!("naive_us={place_naive_us:.1}"),
+        format!("speedup={place_speedup:.1}x"),
+    ]);
+
     let (mean_round_ms, stages_ms) = run_pipeline(&setup);
     let collect_share = stages_ms[0] / mean_round_ms.max(1e-9);
+    let place_share = stages_ms[3] / mean_round_ms.max(1e-9);
     let mut cols = vec![
         "pipeline_round".into(),
         format!("mean_ms={mean_round_ms:.3}"),
         format!("collect_share={collect_share:.3}"),
+        format!("place_share={place_share:.3}"),
     ];
     for (stage, ms) in Stage::ALL.iter().zip(stages_ms) {
         cols.push(format!("{}_ms={ms:.3}", stage.name()));
@@ -369,8 +455,10 @@ fn main() {
     // before the fix).
     if !quick {
         blox_bench::shape_check("scale_speedup_5x", speedup >= 5.0);
+        blox_bench::shape_check("scale_place_speedup_5x", place_speedup >= 5.0);
     }
     blox_bench::shape_check("scale_collect_share_lt_50pct", collect_share < 0.5);
+    blox_bench::shape_check("scale_place_share_lt_50pct", place_share < 0.5);
 
     let json_path = std::env::var("BLOX_BENCH_JSON").ok().or_else(|| {
         args.iter()
@@ -388,8 +476,17 @@ fn main() {
             setup.rounds,
         ));
         lines.push_str(&format!(
+            "{{\"name\":\"scale/place_round\",\"gpus\":{},\"jobs\":{},\"rounds\":{},\
+             \"bucketed_us\":{place_us:.3},\"naive_us\":{place_naive_us:.3},\
+             \"speedup\":{place_speedup:.3}}}\n",
+            setup.nodes * 4,
+            setup.jobs,
+            setup.rounds,
+        ));
+        lines.push_str(&format!(
             "{{\"name\":\"scale/pipeline_round\",\"gpus\":{},\"jobs\":{},\"rounds\":{},\
-             \"mean_ms\":{mean_round_ms:.3},\"collect_share\":{collect_share:.3}",
+             \"mean_ms\":{mean_round_ms:.3},\"collect_share\":{collect_share:.3},\
+             \"place_share\":{place_share:.3}",
             setup.nodes * 4,
             setup.jobs,
             setup.pipeline_rounds,
@@ -404,6 +501,6 @@ fn main() {
             .open(&path)
             .expect("open BLOX_BENCH_JSON file");
         f.write_all(lines.as_bytes()).expect("write bench JSON");
-        println!("json: appended 2 lines to {path}");
+        println!("json: appended 3 lines to {path}");
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use blox_core::cluster::{GpuState, NodeSpec};
+use blox_core::cluster::{ClusterState, GpuState, NodeSpec};
 use blox_core::error::{BloxError, Result};
 use blox_core::ids::{GpuGlobalId, JobId, NodeId};
 
@@ -193,6 +193,163 @@ impl NaiveCluster {
         let node = self.nodes.get_mut(&id).ok_or(BloxError::UnknownNode(id))?;
         node.alive = true;
         Ok(())
+    }
+}
+
+/// Scan-based reference of the **pre-bucket** `FreePool` pick engine.
+///
+/// Preserves the pick algorithms the bucketed
+/// [`blox_core::place_index::PlacementIndex`] replaced, verbatim:
+/// best-fit consolidation as a `min_by_key` over every node, spread and
+/// defragment as full sorts of the node list, first-free as a flatten +
+/// global sort. Two consumers:
+///
+/// 1. **Model-based testing**: `tests/properties.rs` runs random op
+///    sequences through this pool and the bucketed `FreePool` side by
+///    side and asserts bitwise-identical GPU picks.
+/// 2. **The scale benchmark**: `blox-bench --bin scale` prices a
+///    placement round through both engines; this one *is* the old Place
+///    wall.
+///
+/// Seeding and `add`/`remove` semantics match the current `FreePool`
+/// (live nodes only, duplicate adds ignored) so that any differential
+/// test divergence isolates the *pick* engines.
+pub struct NaiveFreePool<'a> {
+    cluster: &'a ClusterState,
+    per_node: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+}
+
+impl<'a> NaiveFreePool<'a> {
+    /// Seed from the cluster's free map, exactly like `FreePool::new`.
+    pub fn new(cluster: &'a ClusterState) -> Self {
+        NaiveFreePool {
+            cluster,
+            per_node: cluster.free_map().clone(),
+        }
+    }
+
+    /// Add GPUs back to the pool (old implementation shape: membership
+    /// test + re-sort), skipping dead nodes like the current pool.
+    pub fn add(&mut self, gpus: &[GpuGlobalId]) {
+        for g in gpus {
+            if let Some(row) = self.cluster.gpu(*g) {
+                if !self.cluster.node(row.node).is_some_and(|n| n.alive) {
+                    continue;
+                }
+                let list = self.per_node.entry(row.node).or_default();
+                if !list.contains(g) {
+                    list.push(*g);
+                    list.sort_unstable();
+                }
+            }
+        }
+    }
+
+    /// Remove specific GPUs from the pool (linear `retain` per GPU).
+    pub fn remove(&mut self, gpus: &[GpuGlobalId]) {
+        for g in gpus {
+            if let Some(row) = self.cluster.gpu(*g) {
+                if let Some(list) = self.per_node.get_mut(&row.node) {
+                    list.retain(|x| x != g);
+                }
+            }
+        }
+    }
+
+    /// Total free GPUs remaining (full walk of the node map).
+    pub fn total(&self) -> u32 {
+        self.per_node.values().map(|v| v.len() as u32).sum()
+    }
+
+    /// Free GPUs on one node.
+    pub fn on_node(&self, node: NodeId) -> &[GpuGlobalId] {
+        self.per_node
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn take_from_node(&mut self, node: NodeId, n: usize) -> Vec<GpuGlobalId> {
+        let list = self.per_node.entry(node).or_default();
+        list.drain(..n.min(list.len())).collect()
+    }
+
+    /// Best-fit consolidation as a scan over every node.
+    pub fn take_consolidated(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        let n = n as usize;
+        let node = self
+            .per_node
+            .iter()
+            .filter(|(_, v)| v.len() >= n)
+            .min_by_key(|(id, v)| (v.len(), **id))
+            .map(|(id, _)| *id)?;
+        Some(self.take_from_node(node, n))
+    }
+
+    /// Consolidated if possible, else a full sort of the node list
+    /// (largest free counts first) drained in order.
+    pub fn take_consolidated_or_spread(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if let Some(got) = self.take_consolidated(n) {
+            return Some(got);
+        }
+        if self.total() < n {
+            return None;
+        }
+        let mut order: Vec<(usize, NodeId)> =
+            self.per_node.iter().map(|(id, v)| (v.len(), *id)).collect();
+        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut out = Vec::new();
+        let mut need = n as usize;
+        for (_, node) in order {
+            if need == 0 {
+                break;
+            }
+            let got = self.take_from_node(node, need);
+            need -= got.len();
+            out.extend(got);
+        }
+        Some(out)
+    }
+
+    /// Anti-fragmentation picking as a full sort (fewest free first).
+    pub fn take_defragmenting(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if self.total() < n {
+            return None;
+        }
+        let mut order: Vec<(usize, NodeId)> = self
+            .per_node
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(id, v)| (v.len(), *id))
+            .collect();
+        order.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut out = Vec::new();
+        let mut need = n as usize;
+        for (_, node) in order {
+            if need == 0 {
+                break;
+            }
+            let got = self.take_from_node(node, need);
+            need -= got.len();
+            out.extend(got);
+        }
+        Some(out)
+    }
+
+    /// First-free as a flatten of every free list plus a global sort.
+    pub fn take_first_free(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
+        if self.total() < n {
+            return None;
+        }
+        let mut all: Vec<GpuGlobalId> = self
+            .per_node
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let chosen: Vec<GpuGlobalId> = all.into_iter().take(n as usize).collect();
+        self.remove(&chosen);
+        Some(chosen)
     }
 }
 

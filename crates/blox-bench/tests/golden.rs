@@ -15,9 +15,17 @@
 
 use std::path::PathBuf;
 
-use blox_bench::{las_under, philly_grid, policy_set, PhillySetup};
+use blox_bench::{
+    las_under, philly_grid, philly_trace, policy_set, run_to_completion, PhillySetup,
+    RecordingPlacement,
+};
 use blox_policies::admission::{AcceptAll, ThresholdAdmission};
+use blox_policies::placement::{
+    BandwidthAwarePlacement, ConsolidatedPlacement, ProfileGuidedPlacement, TiresiasPlacement,
+};
 use blox_policies::scheduling::{Fifo, Optimus, Tiresias};
+use blox_sim::{PolicySet, SweepGrid};
+use blox_workloads::{ModelZoo, PhillyTraceGen};
 
 /// A fixed miniature of the standard Philly methodology: explicit sizes
 /// (never scaled by `BLOX_SCALE`) so the fixture bytes are environment
@@ -74,6 +82,98 @@ fn fig06_style_grid_reproduces_golden_fixture() {
         .build()
         .run();
     check_golden("golden_fig06.json", &report.to_json());
+}
+
+/// Figure 10 shape: placement-policy axis (Tiresias skew heuristic vs
+/// consolidate-all) at a low and a high load point. Placement-sensitive:
+/// every pick the engine makes feeds the JCT numbers, so an index rewrite
+/// that drifts a single GPU choice fails here.
+#[test]
+fn fig10_style_grid_reproduces_golden_fixture() {
+    let report = philly_grid(&golden_setup())
+        .policy(PolicySet::new(
+            "tiresias_placement",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(TiresiasPlacement::new()),
+        ))
+        .policy(PolicySet::new(
+            "consolidated_placement",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(ConsolidatedPlacement::preferred()),
+        ))
+        .loads(&[2.0, 8.0])
+        .build()
+        .run();
+    check_golden("golden_fig10.json", &report.to_json());
+}
+
+/// Figure 11 shape: consolidation-sensitive model count axis (the grid's
+/// load axis carries the sensitive count), heuristic vs profile-guided
+/// placement. Exercises the `Defragment` and profile-gated strategies.
+#[test]
+fn fig11_style_grid_reproduces_golden_fixture() {
+    let setup = golden_setup();
+    let n_jobs = setup.n_jobs;
+    let report = SweepGrid::builder()
+        .trace(move |sensitive, seed| {
+            let zoo = ModelZoo::standard().with_sensitive_count(sensitive as usize);
+            PhillyTraceGen::new(&zoo, 8.0).generate(n_jobs, seed)
+        })
+        .cluster_v100(setup.nodes)
+        .seeds(&[setup.seed])
+        .tracked_window(setup.track_lo, setup.track_hi)
+        .policy(PolicySet::new(
+            "tiresias",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(TiresiasPlacement::new()),
+        ))
+        .policy(PolicySet::new(
+            "tiresias_plus",
+            || Box::new(AcceptAll::new()),
+            || Box::new(Tiresias::new()),
+            || Box::new(ProfileGuidedPlacement::new()),
+        ))
+        .loads(&[5.0, 8.0])
+        .build()
+        .run();
+    check_golden("golden_fig11.json", &report.to_json());
+}
+
+/// Table 4 shape: mean observed intra-node bandwidth under naive
+/// consolidated vs bandwidth-aware placement. Not sweep-based, so the
+/// fixture is a hand-assembled deterministic JSON (shortest-round-trip
+/// float formatting, like the sweep `to_json`). Pins the exhaustive
+/// per-node subset search byte-for-byte.
+#[test]
+fn table4_style_run_reproduces_golden_fixture() {
+    let setup = golden_setup();
+    let mut naive = RecordingPlacement::new(ConsolidatedPlacement::preferred());
+    run_to_completion(
+        philly_trace(&setup, 8.0),
+        setup.nodes,
+        300.0,
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut naive,
+    );
+    let mut aware = RecordingPlacement::new(BandwidthAwarePlacement::new());
+    run_to_completion(
+        philly_trace(&setup, 8.0),
+        setup.nodes,
+        300.0,
+        &mut AcceptAll::new(),
+        &mut Fifo::new(),
+        &mut aware,
+    );
+    let json = format!(
+        "{{\"table\":\"table4\",\"naive_consolidated_bw\":{:?},\"bandwidth_aware_bw\":{:?}}}",
+        naive.mean_bw(),
+        aware.mean_bw()
+    );
+    check_golden("golden_table4.json", &json);
 }
 
 /// Figure 12 shape: admission-composition axis (accept-all plus three

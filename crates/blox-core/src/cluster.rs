@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 
 use crate::error::{BloxError, Result};
 use crate::ids::{GpuGlobalId, JobId, NodeId};
+use crate::place_index::PlacementIndex;
 
 /// One node-liveness transition recorded by the cluster's churn log.
 ///
@@ -242,6 +243,11 @@ pub struct ClusterState {
     job_gpus: BTreeMap<JobId, Vec<GpuGlobalId>>,
     /// Index: all GPUs of each node (live or not), ascending global id.
     node_gpus: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+    /// Index: live nodes bucketed by free-GPU count (and GPU type), the
+    /// engine under every placement pick strategy. Maintained by the same
+    /// mutations that keep `free_by_node` fresh; persists across rounds so
+    /// Place starts from buckets instead of re-scanning nodes.
+    place_index: PlacementIndex,
     /// Liveness transitions since the last [`ClusterState::take_churn`].
     churn_log: Vec<NodeEvent>,
 }
@@ -296,6 +302,7 @@ impl ClusterState {
         self.live_gpus += spec.gpus;
         self.free_by_node.insert(id, gpu_ids.clone());
         self.node_gpus.insert(id, gpu_ids);
+        self.place_index.set_count(id, spec.gpu_type, spec.gpus);
         let node = Node {
             id,
             free_cpu_cores: spec.cpu_cores as f64,
@@ -319,6 +326,7 @@ impl ClusterState {
             let free_here = self.free_by_node.remove(&id).map_or(0, |v| v.len() as u32);
             self.free_count -= free_here;
             self.live_gpus -= node_total;
+            self.place_index.remove_node(id);
             self.churn_log.push(NodeEvent::Failed(id));
         }
         let mut evicted = Vec::new();
@@ -349,6 +357,7 @@ impl ClusterState {
         if !node.alive {
             node.alive = true;
             self.live_gpus += node.spec.gpus;
+            let ty = node.spec.gpu_type;
             let free: Vec<GpuGlobalId> = self
                 .node_gpus
                 .get(&id)
@@ -360,6 +369,7 @@ impl ClusterState {
                 })
                 .unwrap_or_default();
             self.free_count += free.len() as u32;
+            self.place_index.set_count(id, ty, free.len() as u32);
             self.free_by_node.insert(id, free);
             self.churn_log.push(NodeEvent::Revived(id));
         }
@@ -454,6 +464,14 @@ impl ClusterState {
         &self.free_by_node
     }
 
+    /// The bucketed placement index (live nodes grouped by free-GPU
+    /// count); [`crate::place_util::FreePool`] clones it per round so
+    /// every pick strategy answers its node queries in O(log buckets)
+    /// instead of scanning the free map.
+    pub fn place_index(&self) -> &PlacementIndex {
+        &self.place_index
+    }
+
     /// All GPUs currently assigned to `job`, in global-id order.
     /// O(log jobs), no allocation.
     pub fn gpus_of_job(&self, job: JobId) -> &[GpuGlobalId] {
@@ -540,10 +558,12 @@ impl ClusterState {
             row.free_mem_gb = (row.gpu_type.mem_gb() - mem_gb).max(0.0);
             // Free list / count track live nodes only; a dead node has no
             // free-list entry and its GPUs were never counted.
-            if let Some(free) = self.free_by_node.get_mut(&row.node) {
+            let (node, ty) = (row.node, row.gpu_type);
+            if let Some(free) = self.free_by_node.get_mut(&node) {
                 if let Ok(pos) = free.binary_search(g) {
                     free.remove(pos);
                     self.free_count -= 1;
+                    self.place_index.set_count(node, ty, free.len() as u32);
                 }
             }
         }
@@ -565,10 +585,12 @@ impl ClusterState {
             row.job = None;
             row.state = GpuState::Free;
             row.free_mem_gb = row.gpu_type.mem_gb();
-            if let Some(free) = self.free_by_node.get_mut(&row.node) {
+            let (node, ty) = (row.node, row.gpu_type);
+            if let Some(free) = self.free_by_node.get_mut(&node) {
                 if let Err(pos) = free.binary_search(g) {
                     free.insert(pos, *g);
                     self.free_count += 1;
+                    self.place_index.set_count(node, ty, free.len() as u32);
                 }
             }
         }
@@ -632,6 +654,7 @@ impl ClusterState {
     /// derivation to audit the incremental maintenance.
     fn rebuild_indexes(&mut self) {
         let (free_by_node, free_count, live_gpus, job_gpus, node_gpus) = self.derive_indexes();
+        self.place_index = PlacementIndex::derive(&free_by_node, |n| self.nodes[&n].spec.gpu_type);
         self.free_by_node = free_by_node;
         self.free_count = free_count;
         self.live_gpus = live_gpus;
@@ -707,6 +730,12 @@ impl ClusterState {
         let (free_by_node, free_count, live_gpus, job_gpus, node_gpus) = self.derive_indexes();
         if free_by_node != self.free_by_node {
             return Err(BloxError::Config("free-list index out of sync".into()));
+        }
+        let place_index = PlacementIndex::derive(&free_by_node, |n| self.nodes[&n].spec.gpu_type);
+        if place_index != self.place_index {
+            return Err(BloxError::Config(
+                "placement bucket index out of sync".into(),
+            ));
         }
         if free_count != self.free_count {
             return Err(BloxError::Config(format!(

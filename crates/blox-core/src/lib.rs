@@ -36,6 +36,7 @@ pub mod ids;
 pub mod job;
 pub mod manager;
 pub mod metrics;
+pub mod place_index;
 pub mod place_util;
 pub mod policy;
 pub mod profile;
@@ -53,6 +54,7 @@ pub use manager::{
     StopCondition,
 };
 pub use metrics::{JobRecord, RunStats, Stage, StageTimes, Summary};
+pub use place_index::PlacementIndex;
 pub use policy::{
     AdmissionPolicy, Placement, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
 };

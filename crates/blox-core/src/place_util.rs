@@ -6,37 +6,80 @@ use std::collections::BTreeMap;
 
 use crate::cluster::ClusterState;
 use crate::ids::{GpuGlobalId, JobId, NodeId};
+use crate::place_index::PlacementIndex;
 use crate::policy::{Placement, SchedulingDecision};
 use crate::state::JobState;
 
 /// A scratch view of currently free GPUs that placement strategies consume
 /// as they assign jobs within a round.
+///
+/// Node-level queries (best fit, largest/smallest-first orders) are
+/// answered by a clone of the cluster's persistent
+/// [`PlacementIndex`] — O(log buckets) per pick instead of a scan of the
+/// free map — and kept in sync with every in-round mutation. The
+/// `per_node` lists hold the concrete GPU ids the chosen node hands out.
 pub struct FreePool<'a> {
     cluster: &'a ClusterState,
     per_node: BTreeMap<NodeId, Vec<GpuGlobalId>>,
+    index: PlacementIndex,
 }
 
 impl<'a> FreePool<'a> {
-    /// Build the pool by copying the cluster's maintained per-node
-    /// free-GPU index ([`ClusterState::free_map`]) — O(free GPUs), never a
-    /// scan of the full GPU table.
+    /// Build the pool by cloning the cluster's maintained per-node
+    /// free-GPU index ([`ClusterState::free_map`]) and bucketed placement
+    /// index ([`ClusterState::place_index`]) — O(nodes), never a scan of
+    /// the full GPU table.
     pub fn new(cluster: &'a ClusterState) -> Self {
         FreePool {
             cluster,
             per_node: cluster.free_map().clone(),
+            index: cluster.place_index().clone(),
         }
+    }
+
+    /// Re-bucket one node after its free list changed.
+    fn reindex(&mut self, node: NodeId, len: usize) {
+        let ty = match self.index.type_of(node) {
+            Some(ty) => ty,
+            // A node entering the pool for the first time this round
+            // (e.g. `add` on a fully busy node): resolve its type once.
+            None => {
+                self.cluster
+                    .node(node)
+                    .expect("pool nodes exist")
+                    .spec
+                    .gpu_type
+            }
+        };
+        self.index.set_count(node, ty, len as u32);
     }
 
     /// Add GPUs back to the pool (e.g. from a job being suspended this
     /// round whose GPUs are not yet reflected as free in the cluster).
+    ///
+    /// Duplicates are ignored; GPUs on dead (or unknown) nodes are
+    /// skipped, mirroring [`ClusterState::free_map`], which tracks live
+    /// nodes only. Each insert is a binary search into the node's sorted
+    /// list, O(log f + f) — not the old `contains` + full re-sort.
     pub fn add(&mut self, gpus: &[GpuGlobalId]) {
         for g in gpus {
-            if let Some(row) = self.cluster.gpu(*g) {
-                let list = self.per_node.entry(row.node).or_default();
-                if !list.contains(g) {
-                    list.push(*g);
-                    list.sort_unstable();
+            let Some(row) = self.cluster.gpu(*g) else {
+                continue;
+            };
+            if !self.cluster.node(row.node).is_some_and(|n| n.alive) {
+                continue;
+            }
+            let node = row.node;
+            let list = self.per_node.entry(node).or_default();
+            let new_len = match list.binary_search(g) {
+                Ok(_) => None,
+                Err(pos) => {
+                    list.insert(pos, *g);
+                    Some(list.len())
                 }
+            };
+            if let Some(len) = new_len {
+                self.reindex(node, len);
             }
         }
     }
@@ -44,17 +87,24 @@ impl<'a> FreePool<'a> {
     /// Remove specific GPUs from the pool (a job keeps running on them).
     pub fn remove(&mut self, gpus: &[GpuGlobalId]) {
         for g in gpus {
-            if let Some(row) = self.cluster.gpu(*g) {
-                if let Some(list) = self.per_node.get_mut(&row.node) {
-                    list.retain(|x| x != g);
-                }
+            let Some(row) = self.cluster.gpu(*g) else {
+                continue;
+            };
+            let node = row.node;
+            let Some(list) = self.per_node.get_mut(&node) else {
+                continue;
+            };
+            if let Ok(pos) = list.binary_search(g) {
+                list.remove(pos);
+                let len = list.len();
+                self.reindex(node, len);
             }
         }
     }
 
-    /// Total free GPUs remaining.
+    /// Total free GPUs remaining. O(1) from the bucketed index.
     pub fn total(&self) -> u32 {
-        self.per_node.values().map(|v| v.len() as u32).sum()
+        self.index.total_free()
     }
 
     /// Free GPUs on one node.
@@ -65,28 +115,61 @@ impl<'a> FreePool<'a> {
             .unwrap_or(&[])
     }
 
+    /// Nodes currently holding at least `n ≥ 1` free GPUs as
+    /// `(free count, node id)`, in `(count, id)` ascending order. Lets
+    /// policies with custom scoring (e.g. Synergy's CPU-aware best fit)
+    /// enumerate only viable candidates instead of every cluster node.
+    pub fn nodes_with_at_least(&self, n: u32) -> impl Iterator<Item = (u32, NodeId)> + '_ {
+        self.index.nodes_with_at_least(n)
+    }
+
     fn take_from_node(&mut self, node: NodeId, n: usize) -> Vec<GpuGlobalId> {
         let list = self.per_node.entry(node).or_default();
         let taken: Vec<GpuGlobalId> = list.drain(..n.min(list.len())).collect();
+        let len = list.len();
+        self.reindex(node, len);
         taken
     }
 
     /// Pick `n` GPUs all on one node, best-fit (node with the fewest free
     /// GPUs that still fits, to reduce fragmentation). Returns `None` when
-    /// no single node fits.
+    /// no single node fits. O(log buckets) via the placement index.
     pub fn take_consolidated(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
-        let n = n as usize;
-        let node = self
-            .per_node
-            .iter()
-            .filter(|(_, v)| v.len() >= n)
-            .min_by_key(|(id, v)| (v.len(), **id))
-            .map(|(id, _)| *id)?;
-        Some(self.take_from_node(node, n))
+        if n == 0 {
+            // Degenerate request: every node "fits"; preserved from the
+            // scan-based picker, which returned an empty grant whenever
+            // any node (even fully busy) existed.
+            return if self.per_node.is_empty() {
+                None
+            } else {
+                Some(Vec::new())
+            };
+        }
+        let node = self.index.best_fit(n)?;
+        Some(self.take_from_node(node, n as usize))
+    }
+
+    /// Pick `n` GPUs all on one node of the given GPU type, best-fit among
+    /// that type's buckets — for type-constrained placements on
+    /// heterogeneous clusters. O(log buckets).
+    pub fn take_consolidated_typed(
+        &mut self,
+        ty: crate::cluster::GpuType,
+        n: u32,
+    ) -> Option<Vec<GpuGlobalId>> {
+        if n == 0 {
+            return if self.per_node.is_empty() {
+                None
+            } else {
+                Some(Vec::new())
+            };
+        }
+        let node = self.index.best_fit_typed(ty, n)?;
+        Some(self.take_from_node(node, n as usize))
     }
 
     /// Pick `n` GPUs consolidated if possible, otherwise spanning the
-    /// fewest nodes (largest free counts first).
+    /// fewest nodes (largest free counts first, ties by node id).
     pub fn take_consolidated_or_spread(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
         if let Some(got) = self.take_consolidated(n) {
             return Some(got);
@@ -94,67 +177,81 @@ impl<'a> FreePool<'a> {
         if self.total() < n {
             return None;
         }
-        let mut order: Vec<(usize, NodeId)> =
-            self.per_node.iter().map(|(id, v)| (v.len(), *id)).collect();
-        // Largest nodes first so the allocation touches as few nodes as
-        // possible; ties broken by node id for determinism.
-        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut out = Vec::new();
+        // Snapshot the (count desc, id asc) prefix that satisfies the
+        // request before draining — draining re-buckets nodes mid-walk.
+        let mut picks: Vec<(NodeId, usize)> = Vec::new();
         let mut need = n as usize;
-        for (_, node) in order {
+        for (count, node) in self.index.descending() {
             if need == 0 {
                 break;
             }
-            let got = self.take_from_node(node, need);
-            need -= got.len();
-            out.extend(got);
+            let take = need.min(count as usize);
+            picks.push((node, take));
+            need -= take;
         }
         debug_assert_eq!(need, 0);
+        let mut out = Vec::new();
+        for (node, take) in picks {
+            out.extend(self.take_from_node(node, take));
+        }
         Some(out)
     }
 
     /// Pick `n` GPUs packing the most-fragmented nodes first (fewest free
-    /// GPUs first). This is the anti-fragmentation placement Tiresias uses
-    /// for skew-insensitive jobs.
+    /// GPUs first, ties by node id). This is the anti-fragmentation
+    /// placement Tiresias uses for skew-insensitive jobs.
     pub fn take_defragmenting(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
         if self.total() < n {
             return None;
         }
-        let mut order: Vec<(usize, NodeId)> = self
-            .per_node
-            .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(id, v)| (v.len(), *id))
-            .collect();
-        order.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        let mut out = Vec::new();
+        let mut picks: Vec<(NodeId, usize)> = Vec::new();
         let mut need = n as usize;
-        for (_, node) in order {
+        for (count, node) in self.index.ascending() {
             if need == 0 {
                 break;
             }
-            let got = self.take_from_node(node, need);
-            need -= got.len();
-            out.extend(got);
+            let take = need.min(count as usize);
+            picks.push((node, take));
+            need -= take;
+        }
+        let mut out = Vec::new();
+        for (node, take) in picks {
+            out.extend(self.take_from_node(node, take));
         }
         Some(out)
     }
 
     /// Pick the first `n` free GPUs in global-id order (the paper's
     /// First-Free policy used in the fidelity experiment).
+    ///
+    /// Global GPU ids are handed out monotonically as nodes join
+    /// ([`ClusterState::add_node`]), so walking nodes in id order and
+    /// draining each sorted free list *is* global-id order — no flatten +
+    /// full sort.
     pub fn take_first_free(&mut self, n: u32) -> Option<Vec<GpuGlobalId>> {
         if self.total() < n {
             return None;
         }
-        let mut all: Vec<GpuGlobalId> = self
-            .per_node
-            .values()
-            .flat_map(|v| v.iter().copied())
-            .collect();
-        all.sort_unstable();
-        let chosen: Vec<GpuGlobalId> = all.into_iter().take(n as usize).collect();
-        self.remove(&chosen);
-        Some(chosen)
+        let mut picks: Vec<(NodeId, usize)> = Vec::new();
+        let mut need = n as usize;
+        for (node, list) in &self.per_node {
+            if need == 0 {
+                break;
+            }
+            if list.is_empty() {
+                continue;
+            }
+            let take = need.min(list.len());
+            picks.push((*node, take));
+            need -= take;
+        }
+        debug_assert_eq!(need, 0);
+        let mut out = Vec::new();
+        for (node, take) in picks {
+            out.extend(self.take_from_node(node, take));
+        }
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "global-id order");
+        Some(out)
     }
 
     /// Pick `n` GPUs on a single node maximizing mean pairwise intra-node
@@ -408,6 +505,65 @@ mod tests {
         locals.sort_unstable();
         // Must be one of the 100 Gbps pairs: (0,3) or (1,2).
         assert!(locals == vec![0, 3] || locals == vec![1, 2], "{locals:?}");
+    }
+
+    #[test]
+    fn add_ignores_duplicates_and_keeps_totals_exact() {
+        let mut c = cluster(1);
+        let free = c.free_gpus();
+        c.allocate(JobId(7), &free[..2], 4.0).unwrap();
+        let mut pool = FreePool::new(&c);
+        assert_eq!(pool.total(), 2);
+        // Suspending the job hands its GPUs back — once. A second add of
+        // the same GPUs (and of GPUs already free) must be a no-op.
+        pool.add(&free[..2]);
+        assert_eq!(pool.total(), 4);
+        pool.add(&free[..2]);
+        pool.add(&free[2..]);
+        assert_eq!(pool.total(), 4);
+        assert_eq!(pool.on_node(NodeId(0)), &free[..]);
+        // The re-added GPUs are pickable exactly once.
+        let got = pool.take_consolidated(4).unwrap();
+        assert_eq!(got, free);
+        assert_eq!(pool.total(), 0);
+    }
+
+    #[test]
+    fn add_skips_gpus_on_dead_nodes() {
+        let mut c = cluster(2);
+        let free = c.free_gpus();
+        let dead_gpus: Vec<GpuGlobalId> = free[..4].to_vec();
+        c.fail_node(NodeId(0)).unwrap();
+        let mut pool = FreePool::new(&c);
+        assert_eq!(pool.total(), 4);
+        // A stale placement naming GPUs on the failed node must not leak
+        // unschedulable GPUs into the pool (the free map tracks live
+        // nodes only; the old `add` resurrected them).
+        pool.add(&dead_gpus);
+        assert_eq!(pool.total(), 4);
+        assert!(pool.on_node(NodeId(0)).is_empty());
+        let got = pool.take_consolidated_or_spread(4).unwrap();
+        assert!(got.iter().all(|g| c.gpu(*g).unwrap().node == NodeId(1)));
+        assert!(pool.take_first_free(1).is_none());
+    }
+
+    #[test]
+    fn typed_consolidated_pick_respects_gpu_type() {
+        use crate::cluster::GpuType;
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c.add_nodes(&NodeSpec::p100_tiresias(), 1);
+        let mut pool = FreePool::new(&c);
+        let got = pool.take_consolidated_typed(GpuType::P100, 2).unwrap();
+        assert!(got
+            .iter()
+            .all(|g| c.gpu(*g).unwrap().gpu_type == GpuType::P100));
+        assert!(pool.take_consolidated_typed(GpuType::A100, 1).is_none());
+        // Untyped best fit now prefers the partially drained P100 node.
+        let untyped = pool.take_consolidated(2).unwrap();
+        assert!(untyped
+            .iter()
+            .all(|g| c.gpu(*g).unwrap().gpu_type == GpuType::P100));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Exactness tests for the bucketed placement index: scripted churn
+//! sequences against the from-scratch derivation, exact pick orders on
+//! handcrafted fragmentation patterns, and the mid-round node-failure
+//! regression (a `Fail` landing in the same round delta as a launch on
+//! the failed node must leave the index consistent with a rebuild).
+
+use blox_core::cluster::{ClusterState, GpuType, NodeSpec};
+use blox_core::delta::StateDelta;
+use blox_core::ids::{GpuGlobalId, JobId, NodeId};
+use blox_core::place_index::PlacementIndex;
+use blox_core::place_util::FreePool;
+
+/// Deterministic xorshift generator (no RNG dependency needed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn mixed_cluster() -> ClusterState {
+    let mut c = ClusterState::new();
+    c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 6);
+    c.add_nodes(&NodeSpec::p100_tiresias(), 2);
+    c
+}
+
+/// Assert the maintained index agrees with a from-scratch derivation —
+/// both through `check_invariants` (the audit the round loop runs in
+/// debug builds) and through an explicit `derive` compare, so a failure
+/// here names the bucket structure rather than a generic invariant.
+fn assert_index_exact(c: &ClusterState) {
+    c.check_invariants().expect("cluster invariants hold");
+    let derived = PlacementIndex::derive(c.free_map(), |n| {
+        c.node(n).expect("indexed nodes exist").spec.gpu_type
+    });
+    assert_eq!(
+        c.place_index(),
+        &derived,
+        "maintained bucket index diverged from rebuild"
+    );
+}
+
+#[test]
+fn scripted_churn_keeps_index_equal_to_rebuild() {
+    let mut c = mixed_cluster();
+    let mut rng = Lcg(0xB10C_9A5E ^ 0x5EED);
+    let mut next_id = 0u64;
+    let mut live_jobs: Vec<JobId> = Vec::new();
+    for _ in 0..300 {
+        match rng.below(4) {
+            // Launch onto a consolidated pick, like the planner does.
+            0 => {
+                let want = 1 + rng.below(4) as u32;
+                let mut pool = FreePool::new(&c);
+                if let Some(gpus) = pool.take_consolidated_or_spread(want) {
+                    let id = JobId(next_id);
+                    next_id += 1;
+                    c.allocate(id, &gpus, 4.0).expect("picked GPUs are free");
+                    live_jobs.push(id);
+                }
+            }
+            // Suspend (release) a running job.
+            1 => {
+                if !live_jobs.is_empty() {
+                    let idx = rng.below(live_jobs.len() as u64) as usize;
+                    let id = live_jobs.swap_remove(idx);
+                    c.release(id);
+                }
+            }
+            // Fail an alive node; its jobs keep their (now stale)
+            // entries in `live_jobs` — releasing an evicted job later is
+            // a no-op, which the index must also survive.
+            2 => {
+                let node = NodeId(rng.below(8) as u32);
+                if c.node(node).is_some_and(|n| n.alive) {
+                    c.fail_node(node).expect("alive node fails");
+                }
+            }
+            // Revive a dead node.
+            _ => {
+                let node = NodeId(rng.below(8) as u32);
+                if c.node(node).is_some_and(|n| !n.alive) {
+                    c.revive_node(node).expect("dead node revives");
+                }
+            }
+        }
+        assert_index_exact(&c);
+    }
+}
+
+#[test]
+fn index_survives_node_failing_in_same_round_as_a_launch_on_it() {
+    // The satellite-6 regression: round r's plan launches a job onto
+    // node 0, and node 0 fails before the round closes — both ops land
+    // in the same `StateDelta`. The persistent index saw the allocate
+    // (buckets shrink) and then the failure (node leaves the index
+    // entirely); a rebuild from the free map must agree, and the freed
+    // GPUs must not resurface until the node revives.
+    let mut c = mixed_cluster();
+    let node0_gpus: Vec<GpuGlobalId> = c.free_gpus_on(NodeId(0)).to_vec();
+    assert_eq!(node0_gpus.len(), 4);
+
+    let mut delta = StateDelta::new();
+    let job = JobId(7);
+    c.allocate(job, &node0_gpus[..2], 4.0)
+        .expect("node 0 is free");
+    delta.launched.push(job);
+    assert_index_exact(&c);
+    assert_eq!(c.place_index().count_of(NodeId(0)), Some(2));
+
+    let evicted = c.fail_node(NodeId(0)).expect("node 0 is alive");
+    assert_eq!(evicted, vec![job]);
+    for event in c.take_churn() {
+        delta.record_node_event(event);
+    }
+    assert!(delta.launched.contains(&job) && delta.failed_nodes.contains(&NodeId(0)));
+    assert_index_exact(&c);
+
+    // The failed node is gone from every bucket view: picks can no
+    // longer land on it, and its GPUs are not counted free.
+    assert_eq!(c.place_index().count_of(NodeId(0)), None);
+    assert_eq!(c.place_index().total_free(), c.free_gpu_count());
+    let mut pool = FreePool::new(&c);
+    let got = pool.take_consolidated(4).expect("other nodes fit");
+    assert!(got.iter().all(|g| c.gpu(*g).unwrap().node != NodeId(0)));
+
+    // The job's stale placement handed back mid-round (the suspend the
+    // next Collect performs) must not leak the dead node's GPUs.
+    pool.add(&node0_gpus[..2]);
+    assert!(pool.on_node(NodeId(0)).is_empty());
+
+    // Revival restores the full node, busy leases having been cleared
+    // by the failure.
+    c.revive_node(NodeId(0)).expect("dead node revives");
+    assert_index_exact(&c);
+    assert_eq!(c.place_index().count_of(NodeId(0)), Some(4));
+}
+
+#[test]
+fn handcrafted_fragmentation_yields_exact_pick_orders() {
+    // Node free counts after setup: n0=1, n1=2, n2=3, n3=4, n4..5=4
+    // (V100), n6..7=4 (P100); exact expected GPU ids for each strategy.
+    let mut c = mixed_cluster();
+    for (node, busy) in [(0u32, 3usize), (1, 2), (2, 1)] {
+        let gpus: Vec<GpuGlobalId> = c.free_gpus_on(NodeId(node))[..busy].to_vec();
+        c.allocate(JobId(100 + node as u64), &gpus, 4.0).unwrap();
+    }
+    assert_index_exact(&c);
+
+    // Best fit for 2 GPUs: node 1 (exactly 2 free) beats all 4-free
+    // nodes and the 3-free node 2.
+    let mut pool = FreePool::new(&c);
+    let got = pool.take_consolidated(2).unwrap();
+    assert!(got.iter().all(|g| c.gpu(*g).unwrap().node == NodeId(1)));
+
+    // Defragment 4: most-fragmented first — n0's 1 free, then n1's
+    // remaining 0 (already drained), then n2's 3 free.
+    let got = pool.take_defragmenting(4).unwrap();
+    let homes: Vec<NodeId> = got.iter().map(|g| c.gpu(*g).unwrap().node).collect();
+    assert_eq!(homes, vec![NodeId(0), NodeId(2), NodeId(2), NodeId(2)]);
+
+    // Spread 6 from a fresh pool: consolidated fails (max free is 4),
+    // so largest-first — a 4-free node then 2 from the next.
+    let mut pool = FreePool::new(&c);
+    let got = pool.take_consolidated_or_spread(6).unwrap();
+    let homes: Vec<NodeId> = got.iter().map(|g| c.gpu(*g).unwrap().node).collect();
+    assert_eq!(
+        homes,
+        vec![
+            NodeId(3),
+            NodeId(3),
+            NodeId(3),
+            NodeId(3),
+            NodeId(4),
+            NodeId(4)
+        ]
+    );
+
+    // Typed pick: only P100 nodes qualify, best fit among them.
+    let got = pool.take_consolidated_typed(GpuType::P100, 3).unwrap();
+    assert!(got
+        .iter()
+        .all(|g| c.gpu(*g).unwrap().gpu_type == GpuType::P100));
+
+    // First-free from a fresh pool is global-id order, skipping busy
+    // GPUs: node 0 contributes exactly its one free GPU.
+    let mut pool = FreePool::new(&c);
+    let got = pool.take_first_free(3).unwrap();
+    assert_eq!(got[0], c.free_gpus_on(NodeId(0))[0]);
+    assert!(got.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn pool_picks_drain_to_empty_and_index_totals_track() {
+    // Drain the whole cluster through alternating strategies; the pool's
+    // O(1) total must track exactly, and the persistent cluster index is
+    // untouched (the pool is per-round scratch).
+    let c = mixed_cluster();
+    let before = c.place_index().clone();
+    let mut pool = FreePool::new(&c);
+    let mut rng = Lcg(0xF1E1D);
+    let mut drained = 0u32;
+    while pool.total() > 0 {
+        let n = 1 + rng.below(4) as u32;
+        let got = match rng.below(4) {
+            0 => pool
+                .take_consolidated(n)
+                .or_else(|| pool.take_consolidated_or_spread(n)),
+            1 => pool.take_consolidated_or_spread(n),
+            2 => pool.take_defragmenting(n),
+            _ => pool.take_first_free(n),
+        };
+        match got {
+            Some(g) => {
+                assert!(!g.is_empty());
+                drained += g.len() as u32;
+            }
+            // Fewer than n remain; finish with a defragmenting sweep.
+            None => {
+                let rest = pool.total();
+                let g = pool.take_defragmenting(rest).unwrap();
+                drained += g.len() as u32;
+            }
+        }
+        assert_eq!(pool.total(), c.free_gpu_count() - drained);
+    }
+    assert_eq!(drained, c.total_gpus());
+    assert_eq!(
+        c.place_index(),
+        &before,
+        "scratch pool must not mutate the cluster index"
+    );
+
+    // Every strategy agrees the pool is dry.
+    assert!(pool.take_consolidated(1).is_none());
+    assert!(pool.take_consolidated_or_spread(1).is_none());
+    assert!(pool.take_defragmenting(1).is_none());
+    assert!(pool.take_first_free(1).is_none());
+}

@@ -355,22 +355,23 @@ impl PlacementPolicy for SynergyPlacement {
             // Synergy's placement constraint: never oversubscribe a node's
             // CPUs when any non-oversubscribed node fits; within that,
             // best-fit packing keeps fragmentation (and therefore spread
-            // penalties for later multi-GPU jobs) low.
+            // penalties for later multi-GPU jobs) low. Candidates come
+            // from the pool's bucketed index — only nodes with >= n free
+            // GPUs are scored, not the whole cluster.
             let mut best: Option<((i64, usize), NodeId)> = None;
-            for node in cluster.nodes() {
-                let free = pool.on_node(node.id).len();
-                if (free as u32) < n {
+            for (free, node_id) in pool.nodes_with_at_least(n) {
+                let Some(node) = cluster.node(node_id) else {
                     continue;
-                }
+                };
                 let cores = node.spec.cpu_cores as f64;
-                let after = (cpu_load.get(&node.id).copied().unwrap_or(0.0) + demand) / cores;
-                let key = (i64::from(after > 1.0), free);
+                let after = (cpu_load.get(&node_id).copied().unwrap_or(0.0) + demand) / cores;
+                let key = (i64::from(after > 1.0), free as usize);
                 let better = match &best {
                     None => true,
-                    Some((b, bn)) => key < *b || (key == *b && node.id < *bn),
+                    Some((b, bn)) => key < *b || (key == *b && node_id < *bn),
                 };
                 if better {
-                    best = Some((key, node.id));
+                    best = Some((key, node_id));
                 }
             }
             let gpus: Option<Vec<GpuGlobalId>> = match best {

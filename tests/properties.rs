@@ -8,7 +8,7 @@
 use blox::core::cluster::{ClusterState, NodeSpec};
 use blox::core::delta::StateDelta;
 use blox::core::fault::{FaultEvent, FaultPlan, LinkFaults};
-use blox::core::ids::{JobId, NodeId};
+use blox::core::ids::{GpuGlobalId, JobId, NodeId};
 use blox::core::job::JobStatus;
 use blox::core::metrics::{cdf, percentile, RunStats};
 use blox::core::policy::SchedulingPolicy;
@@ -462,6 +462,144 @@ proptest! {
                 prop_assert_eq!(indexed.job_gpu_count(j), naive.gpus_of_job(j).len());
             }
             indexed.check_invariants().expect("indexes stay in sync");
+        }
+    }
+
+    /// The bucketed placement engine ([`FreePool`] over the maintained
+    /// `PlacementIndex`) emits *bitwise-identical* GPU picks to the
+    /// scan-based pre-bucket engine (`NaiveFreePool`) for every
+    /// `PickStrategy` variant, across random cluster churn
+    /// (allocate/release/fail/revive between rounds, invariant-checked)
+    /// and random in-round pool op sequences (picks interleaved with
+    /// `add`/`remove`) over pools rebuilt each round — the model-based
+    /// proof that the bucketed index is pure acceleration of Place.
+    #[test]
+    fn bucketed_picks_match_scratch_freepool(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u8..4, 0u64..16, 1u32..5, 0u32..6), 0..6),
+             proptest::collection::vec((0u8..7, 1u32..7, any::<u64>()), 1..12)),
+            1..8),
+    ) {
+        use blox::core::place_util::FreePool;
+        use blox_bench::naive::NaiveFreePool;
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 4);
+        c.add_nodes(&NodeSpec::p100_tiresias(), 2);
+        let mut next_job = 0u64;
+        for (churn, pool_ops) in rounds {
+            // Between-round churn drives the cluster's persistent index
+            // through the same mutators the round pipeline's delta ops
+            // use; `check_invariants` re-derives the bucket index from
+            // scratch and compares after every mutation.
+            for (op, job, want, node_pick) in churn {
+                match op {
+                    0 => {
+                        let id = JobId(next_job);
+                        next_job += 1;
+                        let free = c.free_gpus();
+                        if free.len() >= want as usize {
+                            c.allocate(id, &free[..want as usize], 4.0)
+                                .expect("free GPUs allocate");
+                        }
+                    }
+                    1 => {
+                        c.release(JobId(job % next_job.max(1)));
+                    }
+                    2 => {
+                        let _ = c.fail_node(NodeId(node_pick));
+                    }
+                    _ => {
+                        let _ = c.revive_node(NodeId(node_pick));
+                    }
+                }
+                c.check_invariants().expect("bucket index matches rebuild after churn");
+            }
+            // In-round: both engines see the identical pool and op
+            // sequence; every pick must agree bitwise.
+            let mut fast = FreePool::new(&c);
+            let mut slow = NaiveFreePool::new(&c);
+            let mut drained: Vec<GpuGlobalId> = Vec::new();
+            for (op, n, pick) in pool_ops {
+                match op {
+                    // PickStrategy::ConsolidatedStrict
+                    0 => {
+                        let a = fast.take_consolidated(n);
+                        let b = slow.take_consolidated(n);
+                        prop_assert_eq!(&a, &b, "consolidated({}) diverged", n);
+                        drained.extend(a.into_iter().flatten());
+                    }
+                    // PickStrategy::ConsolidatedPreferred
+                    1 => {
+                        let a = fast.take_consolidated_or_spread(n);
+                        let b = slow.take_consolidated_or_spread(n);
+                        prop_assert_eq!(&a, &b, "spread({}) diverged", n);
+                        drained.extend(a.into_iter().flatten());
+                    }
+                    // PickStrategy::Defragment
+                    2 => {
+                        let a = fast.take_defragmenting(n);
+                        let b = slow.take_defragmenting(n);
+                        prop_assert_eq!(&a, &b, "defragment({}) diverged", n);
+                        drained.extend(a.into_iter().flatten());
+                    }
+                    // PickStrategy::FirstFree
+                    3 => {
+                        let a = fast.take_first_free(n);
+                        let b = slow.take_first_free(n);
+                        prop_assert_eq!(&a, &b, "first_free({}) diverged", n);
+                        drained.extend(a.into_iter().flatten());
+                    }
+                    // PickStrategy::BandwidthAware: the subset-scoring
+                    // engine is unchanged (per-node map walk in both
+                    // pools), so mirror its effect on the reference and
+                    // check the fallback path on failure — exactly the
+                    // strategy's `.or_else(spread)` composition.
+                    4 => {
+                        match fast.take_bandwidth_aware(n) {
+                            Some(got) => {
+                                slow.remove(&got);
+                                drained.extend(got);
+                            }
+                            None => {
+                                prop_assert!(
+                                    (0..6).all(|i| (slow.on_node(NodeId(i)).len() as u32) < n),
+                                    "bandwidth_aware({}) gave up with a fitting node", n
+                                );
+                                let a = fast.take_consolidated_or_spread(n);
+                                let b = slow.take_consolidated_or_spread(n);
+                                prop_assert_eq!(&a, &b, "bandwidth fallback({}) diverged", n);
+                                drained.extend(a.into_iter().flatten());
+                            }
+                        }
+                    }
+                    // Suspension hands GPUs back mid-round (duplicates
+                    // and repeats included — both pools must ignore them
+                    // identically).
+                    5 => {
+                        if !drained.is_empty() {
+                            let start = pick as usize % drained.len();
+                            let end = (start + n as usize).min(drained.len());
+                            let back: Vec<GpuGlobalId> = drained[start..end].to_vec();
+                            fast.add(&back);
+                            slow.add(&back);
+                        }
+                    }
+                    // A kept job pins specific GPUs mid-round.
+                    _ => {
+                        let node = NodeId(pick as u32 % 6);
+                        let take = (n as usize).min(slow.on_node(node).len());
+                        let victims: Vec<GpuGlobalId> = slow.on_node(node)[..take].to_vec();
+                        fast.remove(&victims);
+                        slow.remove(&victims);
+                        drained.extend(victims);
+                    }
+                }
+                prop_assert_eq!(fast.total(), slow.total());
+                for i in 0..6u32 {
+                    let node = NodeId(i);
+                    prop_assert_eq!(fast.on_node(node), slow.on_node(node));
+                }
+            }
         }
     }
 
