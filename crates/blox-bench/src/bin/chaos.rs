@@ -30,6 +30,7 @@ use blox_core::metrics::RunStats;
 use blox_net::client::{submit, JobRequest};
 use blox_net::node::{spawn_node, NodeConfig};
 use blox_net::sched::{NetBackend, SchedulerConfig};
+use blox_net::TransportKind;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::{Fifo, LossTermination};
@@ -103,6 +104,7 @@ fn net_recovery(drop_p: f64, jobs: usize, iters: f64) -> RecoveryTrial {
         heartbeat_sim_s: 60.0,
         heartbeat_misses: 3,
         stall_rounds: 4,
+        ..SchedulerConfig::default()
     })
     .expect("bind ephemeral");
     let addr = backend.addr();
@@ -117,6 +119,7 @@ fn net_recovery(drop_p: f64, jobs: usize, iters: f64) -> RecoveryTrial {
                 gpus: 4,
                 reconnect: false,
                 faults: (!plan.is_quiet()).then(|| plan.clone()),
+                transport: TransportKind::Threads,
             })
         })
         .collect();

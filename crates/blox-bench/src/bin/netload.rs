@@ -1,0 +1,163 @@
+//! `netload` — sustained submission throughput of the event-loop
+//! scheduler transport.
+//!
+//! Boots a real `NetBackend` on the readiness event loop, one in-process
+//! node-manager daemon (timer-wheel heartbeats), and drives open-loop
+//! `SubmitJob` traffic at a configured aggregate rate across many
+//! concurrent client connections — the tens-of-thousands-of-live-clients
+//! regime the event loop exists for. Reports sustained accepted
+//! submissions/sec, submit→accepted latency percentiles, and the round
+//! pipeline's mean wall time under load.
+//!
+//! `--quick` shrinks to a CI smoke (50 connections, 500/s for 2 s);
+//! the full run offers 15,000/s over 1,000 connections for 5 s, which
+//! demonstrates the ≥10k/s acceptance floor with headroom. JSON rows go
+//! to `BLOX_BENCH_JSON` (or `BENCH_net.json` with `--json`).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use blox_bench::{banner, row, shape_check};
+use blox_core::manager::{ExecMode, RunConfig, StopCondition};
+use blox_net::loadgen::{run as loadgen_run, LoadgenConfig};
+use blox_net::node::{spawn_node, NodeConfig};
+use blox_net::sched::{serve, NetBackend, SchedulerConfig};
+use blox_net::TransportKind;
+use blox_policies::admission::AcceptAll;
+use blox_policies::placement::ConsolidatedPlacement;
+use blox_policies::scheduling::Fifo;
+use blox_runtime::runtime::RuntimeConfig;
+
+const TIME_SCALE: f64 = 1e-4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (conns, rate, window_s) = if quick {
+        (50usize, 500.0f64, 2.0f64)
+    } else {
+        (1000, 15_000.0, 5.0)
+    };
+
+    banner(
+        "netload",
+        "one poll loop sustains >=10k submissions/s across >=1k live client connections",
+    );
+
+    let backend = NetBackend::bind(SchedulerConfig {
+        runtime: RuntimeConfig {
+            time_scale: TIME_SCALE,
+            emu_iter_sim_s: 30.0,
+        },
+        transport: TransportKind::EvLoop,
+        ..SchedulerConfig::default()
+    })
+    .expect("bind evloop scheduler");
+    let addr = backend.addr();
+    let node = spawn_node(NodeConfig {
+        sched: addr,
+        gpus: 4,
+        reconnect: false,
+        faults: None,
+        transport: TransportKind::EvLoop,
+    });
+
+    // The serve loop must outlive the send window plus the drain grace;
+    // the limit is simulated seconds (wall / time_scale).
+    let serve_wall_s = window_s * 2.0 + 4.0;
+    let server = std::thread::spawn(move || {
+        serve(
+            backend,
+            RunConfig {
+                round_duration: 300.0,
+                max_rounds: 1_000_000,
+                stop: StopCondition::TimeLimit(serve_wall_s / TIME_SCALE),
+                mode: ExecMode::FixedRounds,
+            },
+            1,
+            Duration::from_secs(30),
+            &mut AcceptAll::new(),
+            &mut Fifo::new(),
+            &mut ConsolidatedPlacement::preferred(),
+        )
+        .expect("netload serve")
+    });
+
+    let report = loadgen_run(&LoadgenConfig {
+        sched: addr,
+        conns,
+        rate,
+        duration: Duration::from_secs_f64(window_s),
+        drain: Duration::from_secs_f64(window_s),
+        gpus: 1,
+        total_iters: 1e9,
+        model: "synthetic-load".into(),
+    })
+    .expect("load generation");
+    let net = server.join().expect("serve thread");
+    let _ = node.join();
+
+    let mean_round_ms = net.stats.stage_times.mean_round() * 1e3;
+    row(&[
+        "conns".into(),
+        "offered/s".into(),
+        "sustained/s".into(),
+        "p50_us".into(),
+        "p99_us".into(),
+        "p999_us".into(),
+        "mean_round_ms".into(),
+    ]);
+    row(&[
+        report.conns.to_string(),
+        format!("{:.0}", report.target_rate),
+        format!("{:.1}", report.sustained_rate),
+        report.p50_us.to_string(),
+        report.p99_us.to_string(),
+        report.p999_us.to_string(),
+        format!("{mean_round_ms:.2}"),
+    ]);
+    println!(
+        "accepted {}/{} submissions over {} connections ({} lost)",
+        report.accepted, report.submitted, report.conns, report.conns_lost
+    );
+
+    if quick {
+        shape_check(
+            "netload_accepts",
+            report.accepted > 0 && report.conns_lost == 0,
+        );
+    } else {
+        shape_check(
+            "netload_sustained_10k",
+            report.sustained_rate >= 10_000.0 && report.conns >= 1000 && report.conns_lost == 0,
+        );
+    }
+
+    let json_path = std::env::var("BLOX_BENCH_JSON").ok().or_else(|| {
+        args.iter()
+            .any(|a| a == "--json")
+            .then(|| "BENCH_net.json".to_string())
+    });
+    if let Some(path) = json_path {
+        let mode = if quick { "quick" } else { "full" };
+        let mut lines = report.json_row(&format!("net/loadgen_{mode}"), "evloop");
+        lines.push('\n');
+        lines.push_str(&format!(
+            "{{\"bench\":\"net/round_under_load_{mode}\",\"transport\":\"evloop\",\
+             \"mean_round_ms\":{mean_round_ms:.3},\"rounds\":{}}}",
+            net.stats.rounds
+        ));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open BLOX_BENCH_JSON file");
+        writeln!(file, "{lines}").expect("append JSON rows");
+        println!("json: appended 2 lines to {path}");
+    }
+
+    if report.accepted == 0 {
+        eprintln!("netload: no submissions were accepted");
+        std::process::exit(1);
+    }
+}

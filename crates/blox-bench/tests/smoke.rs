@@ -239,6 +239,50 @@ fn bloxschedd_restore_flag() {
     );
 }
 
+/// The netload benchmark's quick mode is the per-PR event-loop loadgen
+/// smoke: a real evloop scheduler plus open-loop SubmitJob traffic, with
+/// the JSON row shape and a non-zero accepted count asserted.
+#[test]
+fn netload_quick() {
+    let bin = env!("CARGO_BIN_EXE_netload");
+    let tmp = std::env::temp_dir().join(format!("blox-netload-smoke-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&tmp);
+    let output = Command::new(bin)
+        .arg("--quick")
+        .env("BLOX_BENCH_JSON", &tmp)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "netload --quick exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        stdout.contains("shape[netload_accepts]: HOLDS"),
+        "netload shape check failed:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&tmp).expect("netload must write BLOX_BENCH_JSON");
+    let _ = std::fs::remove_file(&tmp);
+    assert!(
+        json.contains("\"bench\":\"net/loadgen_quick\"")
+            && json.contains("\"transport\":\"evloop\"")
+            && json.contains("\"p99_us\":")
+            && json.contains("\"sustained_rate\":"),
+        "netload JSON missing expected fields: {json}"
+    );
+    assert!(
+        json.contains("\"accepted\":") && !json.contains("\"accepted\":0,"),
+        "netload must accept at least one submission: {json}"
+    );
+    assert!(
+        json.contains("\"bench\":\"net/round_under_load_quick\"")
+            && json.contains("\"mean_round_ms\":"),
+        "netload JSON missing round telemetry: {json}"
+    );
+}
+
 /// The sequential `run_all --smoke` sweep duplicates every per-binary
 /// test above, so it is ignored by default; run it explicitly with
 /// `cargo test -p blox-bench --test smoke -- --ignored`.

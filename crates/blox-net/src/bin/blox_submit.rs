@@ -3,17 +3,22 @@
 //! ```text
 //! blox-submit --sched 127.0.0.1:PORT [--model resnet18] [--gpus 1]
 //!             [--iters 3000] [--count 1] [--gap-sim-s 0] [--time-scale 1e-4]
+//!             [--rate JOBS_PER_WALL_S]
 //! ```
 //!
 //! Submits `count` identical jobs, spaced `gap-sim-s` simulated seconds
-//! apart (open-loop), and prints each accepted job id.
+//! apart (open-loop), and prints each accepted job id. With `--rate R`
+//! the batch is instead paced at `R` jobs per *wall* second using the
+//! load generator's open-loop pacer (acknowledgements drained
+//! concurrently, never awaited between sends), which is the handy
+//! small-scale version of `blox-loadgen`.
 //!
 //! Exit status: 0 only when every submission was acknowledged with a
 //! `JobAccepted`. A scheduler that is unreachable, rejects the request,
 //! or never acknowledges within the timeout yields a diagnostic on
 //! stderr and a non-zero exit, so scripts can gate on submission success.
 
-use blox_net::client::{submit_timed, JobRequest};
+use blox_net::client::{submit_paced, submit_timed, JobRequest};
 
 fn main() {
     let mut sched: Option<String> = None;
@@ -23,6 +28,7 @@ fn main() {
     let mut count = 1usize;
     let mut gap = 0.0f64;
     let mut time_scale = 1e-4f64;
+    let mut rate = 0.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -37,6 +43,7 @@ fn main() {
             "--count" => count = val("--count").parse().expect("--count usize"),
             "--gap-sim-s" => gap = val("--gap-sim-s").parse().expect("--gap-sim-s f64"),
             "--time-scale" => time_scale = val("--time-scale").parse().expect("--time-scale f64"),
+            "--rate" => rate = val("--rate").parse().expect("--rate f64"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -52,19 +59,33 @@ fn main() {
         }
     };
 
-    let timeline: Vec<(f64, JobRequest)> = (0..count)
-        .map(|i| {
-            (
-                gap * i as f64,
-                JobRequest {
-                    gpus,
-                    total_iters: iters,
-                    model: model.clone(),
-                },
-            )
-        })
-        .collect();
-    match submit_timed(sched, &timeline, time_scale) {
+    let result = if rate > 0.0 {
+        submit_paced(
+            sched,
+            &JobRequest {
+                gpus,
+                total_iters: iters,
+                model: model.clone(),
+            },
+            count as u64,
+            rate,
+        )
+    } else {
+        let timeline: Vec<(f64, JobRequest)> = (0..count)
+            .map(|i| {
+                (
+                    gap * i as f64,
+                    JobRequest {
+                        gpus,
+                        total_iters: iters,
+                        model: model.clone(),
+                    },
+                )
+            })
+            .collect();
+        submit_timed(sched, &timeline, time_scale)
+    };
+    match result {
         Ok(ids) => {
             for id in ids {
                 println!("accepted {id:?}");

@@ -5,14 +5,17 @@
 //!
 //! ```text
 //! bloxnoded --sched 127.0.0.1:PORT [--gpus 4] [--no-reconnect]
+//!           [--transport threads|evloop]
 //! ```
 
 use blox_net::node::{run_node, NodeConfig};
+use blox_net::TransportKind;
 
 fn main() {
     let mut sched: Option<String> = None;
     let mut gpus = 4u32;
     let mut reconnect = true;
+    let mut transport = TransportKind::Threads;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -25,6 +28,13 @@ fn main() {
                     .expect("--gpus u32")
             }
             "--no-reconnect" => reconnect = false,
+            "--transport" => {
+                transport = it
+                    .next()
+                    .expect("missing value for --transport")
+                    .parse()
+                    .expect("--transport threads|evloop")
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -32,12 +42,13 @@ fn main() {
         .expect("--sched ADDR is required")
         .parse()
         .expect("--sched must be a socket address");
-    println!("bloxnoded: serving {gpus} GPUs for scheduler {sched}");
+    println!("bloxnoded: serving {gpus} GPUs for scheduler {sched} over {transport}");
     run_node(&NodeConfig {
         sched,
         gpus,
         reconnect,
         faults: None,
+        transport,
     })
     .expect("node daemon");
     println!("bloxnoded: shut down");

@@ -1,0 +1,194 @@
+//! The one u32 length-prefix framing implementation both TCP engines use.
+//!
+//! TCP is a byte stream; every [`Message`] crosses it as
+//! `[len: u32 LE][payload: len bytes]`. The thread-per-connection
+//! transport ([`crate::tcp`]) and the readiness-driven event loop
+//! ([`crate::event_loop`]) both encode with [`encode_frame`] /
+//! [`encode_frame_into`] and both reassemble with [`FrameBuf`], so a
+//! framing bug cannot exist in one engine and not the other.
+//!
+//! A length prefix above [`MAX_FRAME_BYTES`] is rejected *before* any
+//! allocation happens: a corrupt or hostile prefix must cost an error,
+//! not 4 GiB of memory.
+
+use std::io::Read;
+
+use blox_core::error::{BloxError, Result};
+use blox_runtime::wire::Message;
+
+/// Upper bound on a single frame payload; anything larger is a protocol
+/// error (protects receivers from a corrupt or hostile length prefix).
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Size of the length prefix in bytes.
+pub const PREFIX_BYTES: usize = 4;
+
+/// Append one length-prefixed frame for `msg` to `out` (prefix + payload
+/// in a single buffer, no intermediate allocation).
+pub fn encode_frame_into(msg: &Message, out: &mut Vec<u8>) {
+    let prefix_at = out.len();
+    out.extend_from_slice(&[0u8; PREFIX_BYTES]);
+    msg.encode_into(out);
+    let payload_len = out.len() - prefix_at - PREFIX_BYTES;
+    debug_assert!(payload_len as u32 <= MAX_FRAME_BYTES);
+    out[prefix_at..prefix_at + PREFIX_BYTES].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Encode one message as a length-prefixed frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + PREFIX_BYTES);
+    encode_frame_into(msg, &mut out);
+    out
+}
+
+/// Streaming frame reassembly buffer: feed it raw socket bytes in any
+/// chunking, pull complete frame payloads out.
+///
+/// Consumed bytes are tracked by offset and reclaimed lazily, so a
+/// burst of small frames costs no per-frame memmove.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Reclaim threshold: once this many consumed bytes sit in front of the
+/// unread region, compact the buffer.
+const COMPACT_BYTES: usize = 256 * 1024;
+
+impl FrameBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Append raw bytes read from the peer.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Try to decode one complete frame payload.
+    ///
+    /// Returns `Ok(None)` when no complete frame is buffered yet, and
+    /// `Err` on a length prefix above [`MAX_FRAME_BYTES`] — rejected
+    /// before the payload is allocated.
+    pub fn try_decode(&mut self) -> Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < PREFIX_BYTES {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..PREFIX_BYTES].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES {
+            return Err(BloxError::Transport(format!(
+                "oversized frame: {len} bytes (max {MAX_FRAME_BYTES})"
+            )));
+        }
+        let len = len as usize;
+        if pending.len() < PREFIX_BYTES + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let payload = pending[PREFIX_BYTES..PREFIX_BYTES + len].to_vec();
+        self.start += PREFIX_BYTES + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.start >= COMPACT_BYTES {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Blocking read of one frame payload from a byte stream, buffering any
+/// over-read bytes in `buf` for the next call (a `Read` gives no
+/// message boundaries back).
+pub fn read_frame(stream: &mut impl Read, buf: &mut FrameBuf) -> std::io::Result<Vec<u8>> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match buf.try_decode() {
+            Ok(Some(payload)) => return Ok(payload),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::ids::JobId;
+
+    #[test]
+    fn frames_roundtrip_through_framebuf_in_any_chunking() {
+        let msgs: Vec<Message> = (0..20)
+            .map(|i| Message::Progress {
+                job: JobId(i),
+                iters: i as f64 * 1.5,
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_frame_into(m, &mut stream);
+        }
+        for chunk in [1usize, 3, 7, 64, stream.len()] {
+            let mut fb = FrameBuf::new();
+            let mut out = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend_from_slice(piece);
+                while let Some(payload) = fb.try_decode().unwrap() {
+                    out.push(Message::decode(&payload).unwrap());
+                }
+            }
+            assert_eq!(out, msgs, "chunk size {chunk}");
+            assert_eq!(fb.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocation() {
+        let mut fb = FrameBuf::new();
+        fb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(fb.try_decode().is_err());
+        // The 4 prefix bytes are all that was ever buffered.
+        assert_eq!(fb.pending(), 4);
+    }
+
+    #[test]
+    fn partial_frame_waits_for_more_bytes() {
+        let frame = encode_frame(&Message::Ack);
+        let mut fb = FrameBuf::new();
+        fb.extend_from_slice(&frame[..frame.len() - 1]);
+        assert_eq!(fb.try_decode().unwrap(), None);
+        fb.extend_from_slice(&frame[frame.len() - 1..]);
+        let payload = fb.try_decode().unwrap().expect("complete frame");
+        assert_eq!(Message::decode(&payload).unwrap(), Message::Ack);
+    }
+}

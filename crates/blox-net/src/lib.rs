@@ -7,9 +7,19 @@
 //! *same* `WorkerManager` code over framed loopback TCP between real OS
 //! processes:
 //!
+//! * [`frame`] — the one u32 length-prefix framing implementation
+//!   (encode + streaming reassembly with an oversize guard) both TCP
+//!   engines share;
 //! * [`tcp`] — a [`TcpTransport`] implementing the
 //!   runtime's `Transport` contract with length-prefixed frames over
-//!   `std::net` sockets (no new dependencies);
+//!   `std::net` sockets (no new dependencies), one reader thread per
+//!   connection;
+//! * [`event_loop`] — the readiness-driven engine: a sharded poll-based
+//!   loop owning all connections in a slab, with batched decode, write
+//!   backpressure, and timer-wheel heartbeats — the same wire protocol
+//!   with no per-connection threads, for tens of thousands of clients;
+//! * [`loadgen`] — open-loop SubmitJob traffic generation (the
+//!   `blox-loadgen` binary) with submit→accepted latency percentiles;
 //! * [`sched`] — the `bloxschedd` side: a [`NetBackend`]
 //!   implementing `blox_core::manager::Backend`, so every existing
 //!   scheduling / placement / admission policy drives a real multi-process
@@ -28,11 +38,20 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod event_loop;
+pub mod frame;
+pub mod loadgen;
 pub mod node;
 pub mod sched;
 pub mod tcp;
 
-pub use client::{submit, submit_timed, JobRequest};
+pub use client::{submit, submit_paced, submit_timed, JobRequest};
+pub use event_loop::{
+    global_pool, Delivery, EvLoopConfig, EvLoopPool, EvSender, EvTransport, LinkSender, LoopEvent,
+    Token, TransportKind,
+};
+pub use frame::{encode_frame, encode_frame_into, FrameBuf, MAX_FRAME_BYTES};
+pub use loadgen::{LoadReport, LoadgenConfig, Pacer};
 pub use node::{run_node, spawn_node, NodeConfig, NodeHandle};
 pub use sched::{
     read_checkpoint, serve, serve_with, write_checkpoint, NetBackend, NetReport, RecoveryOptions,

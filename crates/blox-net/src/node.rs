@@ -4,10 +4,16 @@
 //!
 //! Lifecycle of one session: connect → `RegisterWorker` → await
 //! `AssignNode` (identity, clock-sync point, runtime config, heartbeat
-//! interval) → serve commands while a background thread heartbeats. With
+//! interval) → serve commands while heartbeating. With
 //! [`NodeConfig::reconnect`] set, a lost scheduler link triggers
 //! re-registration — the scheduler sees the return as a fresh node joining
 //! (node re-add churn).
+//!
+//! The scheduler link runs on either TCP engine
+//! ([`NodeConfig::transport`]): under `Threads` a background thread
+//! sleeps between heartbeats; under `EvLoop` the beats are timer-wheel
+//! entries on the shared event loop and the daemon spawns no
+//! per-connection threads at all.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,7 +29,8 @@ use blox_runtime::runtime::{RuntimeConfig, ServeEnd, SimClock, WorkerManager};
 use blox_runtime::wire::{Message, Transport, WireSender};
 use parking_lot::Mutex;
 
-use crate::tcp::{TcpSender, TcpTransport};
+use crate::event_loop::{global_pool, EvTransport, LinkSender, TransportKind};
+use crate::tcp::TcpTransport;
 
 /// Node-manager daemon configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +49,8 @@ pub struct NodeConfig {
     /// Commands (scheduler → node) and status/heartbeat traffic
     /// (node → scheduler) draw from two decorrelated per-node streams.
     pub faults: Option<FaultPlan>,
+    /// Which TCP engine carries the scheduler link.
+    pub transport: TransportKind,
 }
 
 impl NodeConfig {
@@ -52,15 +61,27 @@ impl NodeConfig {
             gpus,
             reconnect,
             faults: None,
+            transport: TransportKind::Threads,
         }
     }
 }
 
 /// One registration session: register, get assigned, serve until the
 /// link drops or the scheduler orders a shutdown.
-fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<ServeEnd> {
-    let link = TcpTransport::connect(cfg.sched)?;
-    *live.lock() = Some(link.sender());
+fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<LinkSender>>) -> Result<ServeEnd> {
+    let (link, raw_sender): (Box<dyn Transport>, LinkSender) = match cfg.transport {
+        TransportKind::Threads => {
+            let t = TcpTransport::connect(cfg.sched)?;
+            let s = LinkSender::Thread(t.sender());
+            (Box::new(t), s)
+        }
+        TransportKind::EvLoop => {
+            let t = EvTransport::connect(cfg.sched, global_pool())?;
+            let s = LinkSender::Ev(t.sender());
+            (Box::new(t), s)
+        }
+    };
+    *live.lock() = Some(raw_sender.clone());
     link.send(&Message::RegisterWorker {
         node: NodeId(0), // Placeholder: identity is assigned by the scheduler.
         gpus: cfg.gpus,
@@ -92,11 +113,11 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<Se
         },
     );
 
-    // Keep a raw sender for the teardown shutdown; the serving path may be
-    // routed through the fault-injection decorators below.
-    let raw_sender = link.sender();
+    // The serving path may be routed through the fault-injection
+    // decorators below; `raw_sender` stays raw for the teardown shutdown.
+    let faulty = matches!(&cfg.faults, Some(plan) if !plan.is_quiet());
     let (cmd, up): (Box<dyn Transport>, Box<dyn WireSender>) = match &cfg.faults {
-        Some(plan) if !plan.is_quiet() => {
+        Some(plan) if faulty => {
             // Two decorrelated decision streams per node: even stream ids
             // for the command direction, odd for status/heartbeats.
             let link_id = 2 * u64::from(node.0);
@@ -113,34 +134,47 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<TcpSender>>) -> Result<Se
                 )),
             )
         }
-        _ => (Box::new(link), Box::new(raw_sender.clone())),
+        _ => (link, Box::new(raw_sender.clone())),
     };
 
-    // Liveness beacons on a side thread; the failure detector declares this
-    // node dead after a configurable number of missed intervals.
-    let hb_stop = Arc::new(AtomicBool::new(false));
-    let hb_stop2 = hb_stop.clone();
-    let hb_tx = up.clone_sender();
+    // Liveness beacons; the failure detector declares this node dead
+    // after a configurable number of missed intervals. On the event loop
+    // (fault-free case) the beats ride the loop's timer wheel — no
+    // thread. With faults active they must pass through the decorated
+    // sender, so a beater thread paces them instead.
     let hb_wall = Duration::from_secs_f64((heartbeat_sim_s * time_scale).max(1e-3));
-    let heartbeat = std::thread::spawn(move || {
-        let mut seq = 0u64;
-        while !hb_stop2.load(Ordering::Relaxed) {
-            if hb_tx.send(&Message::Heartbeat { node, seq }).is_err() {
-                return;
-            }
-            seq += 1;
-            std::thread::sleep(hb_wall);
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat: Option<JoinHandle<()>> = match &raw_sender {
+        LinkSender::Ev(s) if !faulty => {
+            s.start_heartbeat(node, hb_wall);
+            None
         }
-    });
+        _ => {
+            let hb_stop2 = hb_stop.clone();
+            let hb_tx = up.clone_sender();
+            Some(std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while !hb_stop2.load(Ordering::Relaxed) {
+                    if hb_tx.send(&Message::Heartbeat { node, seq }).is_err() {
+                        return;
+                    }
+                    seq += 1;
+                    std::thread::sleep(hb_wall);
+                }
+            }))
+        }
+    };
 
     let end = manager.serve(cmd.as_ref(), up.as_ref());
     hb_stop.store(true, Ordering::Relaxed);
     raw_sender.shutdown();
-    let _ = heartbeat.join();
+    if let Some(t) = heartbeat {
+        let _ = t.join();
+    }
     Ok(end)
 }
 
-fn run_with(cfg: &NodeConfig, stop: &AtomicBool, live: &Mutex<Option<TcpSender>>) -> Result<()> {
+fn run_with(cfg: &NodeConfig, stop: &AtomicBool, live: &Mutex<Option<LinkSender>>) -> Result<()> {
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -167,7 +201,7 @@ pub fn run_node(cfg: &NodeConfig) -> Result<()> {
 /// Handle onto an in-process node daemon thread (tests, examples).
 pub struct NodeHandle {
     stop: Arc<AtomicBool>,
-    live: Arc<Mutex<Option<TcpSender>>>,
+    live: Arc<Mutex<Option<LinkSender>>>,
     thread: JoinHandle<Result<()>>,
 }
 

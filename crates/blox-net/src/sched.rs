@@ -42,7 +42,11 @@ use blox_runtime::wire::Message;
 use blox_workloads::ModelZoo;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::tcp::{read_frame, TcpSender};
+use crate::event_loop::{
+    Delivery, EvLoopConfig, EvLoopPool, LinkSender, LoopEvent, Token, TransportKind,
+};
+use crate::frame::{read_frame, FrameBuf};
+use crate::tcp::TcpSender;
 
 /// Floor on the failure-detection deadline, in wall seconds: below this,
 /// OS scheduling jitter on a loopback deployment would yield spurious
@@ -67,6 +71,12 @@ pub struct SchedulerConfig {
     /// `Progress`, and `JobDone` messages on a lossy link. `0` disables
     /// stall detection.
     pub stall_rounds: u32,
+    /// Which TCP engine serves the listener: one reader thread per
+    /// connection, or the readiness-driven event loop (required past a
+    /// few hundred concurrent clients).
+    pub transport: TransportKind,
+    /// Event-loop shard count (ignored under `TransportKind::Threads`).
+    pub ev_shards: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -76,6 +86,8 @@ impl Default for SchedulerConfig {
             heartbeat_sim_s: 60.0,
             heartbeat_misses: 3,
             stall_rounds: 10,
+            transport: TransportKind::Threads,
+            ev_shards: 1,
         }
     }
 }
@@ -100,17 +112,6 @@ fn node_spec(gpus: u32) -> NodeSpec {
     }
 }
 
-type ConnId = u64;
-
-enum ConnEvent {
-    Connected(ConnId, TcpSender),
-    /// A decoded message plus its wall-clock arrival stamp (taken by the
-    /// reader thread, so heartbeat freshness is measured from when the
-    /// beat actually landed, not from when the round loop drained it).
-    Msg(ConnId, Message, Instant),
-    Closed(ConnId),
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
     /// No message seen yet: could become a worker or a client.
@@ -120,45 +121,76 @@ enum Role {
 }
 
 struct Conn {
-    sender: TcpSender,
+    sender: LinkSender,
     role: Role,
 }
 
-fn listen_loop(listener: TcpListener, events: Sender<ConnEvent>, stop: Arc<AtomicBool>) {
+/// Thread-engine accept loop: one blocking reader thread per accepted
+/// connection, all decoding into the shared event channel.
+fn listen_loop(listener: TcpListener, events: Sender<LoopEvent>, stop: Arc<AtomicBool>) {
     let _ = listener.set_nonblocking(true);
-    let mut next: ConnId = 0;
+    let mut next: u64 = 0;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let id = next;
+                let id = Token::from_raw(next);
                 next += 1;
                 let _ = stream.set_nodelay(true);
                 let Ok(mut reader) = stream.try_clone() else {
                     continue;
                 };
                 if events
-                    .send(ConnEvent::Connected(id, TcpSender::new(stream)))
+                    .send(LoopEvent::Connected(
+                        id,
+                        LinkSender::Thread(TcpSender::new(stream)),
+                    ))
                     .is_err()
                 {
                     return; // Backend gone.
                 }
                 let events = events.clone();
                 std::thread::spawn(move || {
-                    while let Ok(frame) = read_frame(&mut reader) {
+                    let mut buf = FrameBuf::new();
+                    while let Ok(frame) = read_frame(&mut reader, &mut buf) {
                         // A frame that fails to decode is a protocol
                         // violation: drop the connection.
                         let Ok(msg) = Message::decode(&frame) else {
                             break;
                         };
                         if events
-                            .send(ConnEvent::Msg(id, msg, Instant::now()))
+                            .send(LoopEvent::Msg(id, msg, Instant::now()))
                             .is_err()
                         {
                             return;
                         }
                     }
-                    let _ = events.send(ConnEvent::Closed(id));
+                    let _ = events.send(LoopEvent::Closed(id));
                 });
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Event-loop-engine accept loop: every accepted socket is registered
+/// with the shared pool, which decodes and stamps messages itself — no
+/// per-connection thread is ever spawned.
+fn accept_loop_ev(
+    listener: TcpListener,
+    pool: Arc<EvLoopPool>,
+    events: Sender<LoopEvent>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = listener.set_nonblocking(true);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if pool
+                    .register(stream, Delivery::Events(events.clone()))
+                    .is_err()
+                {
+                    return; // Pool gone: the backend is shutting down.
+                }
             }
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
@@ -170,10 +202,15 @@ fn listen_loop(listener: TcpListener, events: Sender<ConnEvent>, stop: Arc<Atomi
 /// sockets, registration, and failure detection.
 pub struct NetBackend {
     addr: SocketAddr,
-    events: Receiver<ConnEvent>,
+    events: Receiver<LoopEvent>,
     stop: Arc<AtomicBool>,
-    conns: BTreeMap<ConnId, Conn>,
-    node_conn: BTreeMap<NodeId, ConnId>,
+    /// Keeps the event-loop shards alive (None under the thread engine).
+    /// `Drop for NetBackend` broadcasts Shutdown frames before this Arc
+    /// falls; per-shard command queues are FIFO, so those frames flush
+    /// before the pool's Stop closes the loops.
+    _pool: Option<Arc<EvLoopPool>>,
+    conns: BTreeMap<Token, Conn>,
+    node_conn: BTreeMap<NodeId, Token>,
     /// Wall-clock arrival time of each live node's last heartbeat.
     last_hb: BTreeMap<NodeId, Instant>,
     clock: Arc<SimClock>,
@@ -222,12 +259,27 @@ impl NetBackend {
         let (tx, events) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        std::thread::spawn(move || listen_loop(listener, tx, stop2));
+        let pool = match cfg.transport {
+            TransportKind::Threads => {
+                std::thread::spawn(move || listen_loop(listener, tx, stop2));
+                None
+            }
+            TransportKind::EvLoop => {
+                let pool = Arc::new(EvLoopPool::new(EvLoopConfig {
+                    shards: cfg.ev_shards.max(1),
+                    ..EvLoopConfig::default()
+                })?);
+                let pool2 = pool.clone();
+                std::thread::spawn(move || accept_loop_ev(listener, pool2, tx, stop2));
+                Some(pool)
+            }
+        };
         let clock = Arc::new(SimClock::new(cfg.runtime.time_scale));
         Ok(NetBackend {
             addr,
             events,
             stop,
+            _pool: pool,
             conns: BTreeMap::new(),
             node_conn: BTreeMap::new(),
             last_hb: BTreeMap::new(),
@@ -380,9 +432,9 @@ impl NetBackend {
         }
     }
 
-    fn process_event(&mut self, ev: ConnEvent, cluster: &mut ClusterState) {
+    fn process_event(&mut self, ev: LoopEvent, cluster: &mut ClusterState) {
         match ev {
-            ConnEvent::Connected(id, sender) => {
+            LoopEvent::Connected(id, sender) => {
                 self.conns.insert(
                     id,
                     Conn {
@@ -391,8 +443,8 @@ impl NetBackend {
                     },
                 );
             }
-            ConnEvent::Msg(id, msg, at) => self.process_message(id, msg, at, cluster),
-            ConnEvent::Closed(id) => {
+            LoopEvent::Msg(id, msg, at) => self.process_message(id, msg, at, cluster),
+            LoopEvent::Closed(id) => {
                 if let Some(conn) = self.conns.remove(&id) {
                     if let Role::Worker(node) = conn.role {
                         self.node_conn.remove(&node);
@@ -405,7 +457,7 @@ impl NetBackend {
 
     fn process_message(
         &mut self,
-        id: ConnId,
+        id: Token,
         msg: Message,
         at: Instant,
         cluster: &mut ClusterState,
@@ -515,12 +567,16 @@ impl NetBackend {
     /// GPUs, and return the job to the schedulable set from its last
     /// reported checkpoint with a preemption charged.
     fn requeue_job(&mut self, id: JobId, cluster: &mut ClusterState, jobs: &mut JobState) {
-        if let Some(job) = jobs.get(id) {
-            for node in cluster.nodes_of(&job.placement) {
-                if cluster.node(node).map(|n| n.alive) == Some(true) {
-                    self.send_to(node, &Message::Revoke { job: id });
-                }
-            }
+        let targets: Vec<NodeId> = match jobs.get(id) {
+            Some(job) => cluster
+                .nodes_of(&job.placement)
+                .into_iter()
+                .filter(|n| cluster.node(*n).map(|n| n.alive) == Some(true))
+                .collect(),
+            None => Vec::new(),
+        };
+        for node in targets {
+            self.send_to(node, &Message::Revoke { job: id }, cluster);
         }
         cluster.release(id);
         self.stall.remove(&id);
@@ -614,10 +670,20 @@ impl NetBackend {
         }
     }
 
-    fn send_to(&self, node: NodeId, msg: &Message) {
-        if let Some(cid) = self.node_conn.get(&node) {
-            if let Some(conn) = self.conns.get(cid) {
-                let _ = conn.sender.send(msg);
+    /// Send one command to a worker. A failed send is a failure-detector
+    /// verdict in its own right: the link is poisoned (thread engine) or
+    /// closed (event loop), so the node is declared dead immediately —
+    /// its jobs requeue on the next `update_metrics` — instead of
+    /// waiting out the heartbeat deadline on a corpse.
+    fn send_to(&mut self, node: NodeId, msg: &Message, cluster: &mut ClusterState) {
+        let sender = self
+            .node_conn
+            .get(&node)
+            .and_then(|cid| self.conns.get(cid))
+            .map(|conn| conn.sender.clone());
+        if let Some(sender) = sender {
+            if sender.send(msg).is_err() {
+                self.declare_dead(node, cluster);
             }
         }
     }
@@ -638,10 +704,16 @@ impl NetBackend {
                     Message::ExitAt { job: j, exit_iter } => {
                         // Phase 2: propagate the exit decision to the peer
                         // shards' nodes (rank 0's node already has it).
-                        if let Some(jref) = jobs.get(j) {
-                            for node in cluster.nodes_of(&jref.placement).iter().skip(1) {
-                                self.send_to(*node, &Message::ExitAt { job: j, exit_iter });
-                            }
+                        let peers: Vec<NodeId> = match jobs.get(j) {
+                            Some(jref) => cluster
+                                .nodes_of(&jref.placement)
+                                .into_iter()
+                                .skip(1)
+                                .collect(),
+                            None => Vec::new(),
+                        };
+                        for node in peers {
+                            self.send_to(node, &Message::ExitAt { job: j, exit_iter }, cluster);
                         }
                     }
                     other => apply_status_message(other, cluster, jobs),
@@ -758,7 +830,7 @@ impl Backend for NetBackend {
             else {
                 continue;
             };
-            self.send_to(rank0, &Message::Revoke { job: *id });
+            self.send_to(rank0, &Message::Revoke { job: *id }, cluster);
             self.wait_for_suspension(*id, cluster, jobs);
         }
 
@@ -806,6 +878,7 @@ impl Backend for NetBackend {
                         warmup_s: job.profile.restore_s,
                         is_rank0: rank == 0,
                     },
+                    cluster,
                 );
             }
         }

@@ -1,13 +1,12 @@
-//! Framed loopback-TCP transport for the runtime wire protocol.
+//! Thread-per-connection TCP engine for the runtime wire protocol.
 //!
-//! TCP is a byte stream, so every [`Message`] frame is prefixed with its
-//! little-endian `u32` length — the same length-prefix discipline the
-//! in-process channel transport already encodes, now made explicit on the
-//! wire. A [`TcpTransport`] owns a background reader thread that reassembles
+//! TCP is a byte stream, so every [`Message`] crosses the wire as a
+//! little-endian `u32` length prefix plus payload — the framing lives in
+//! [`crate::frame`], shared bit-for-bit with the event-loop engine. A
+//! [`TcpTransport`] owns a background reader thread that reassembles
 //! frames into a channel, giving the exact blocking / non-blocking /
 //! timeout receive semantics of `blox_runtime::wire::Endpoint`.
 
-use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,60 +16,80 @@ use blox_runtime::wire::{Message, Transport, WireSender};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 use parking_lot::Mutex;
 
-/// Upper bound on a single frame; anything larger is a protocol error
-/// (protects the reader from a corrupt or hostile length prefix).
-pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+use crate::frame::{encode_frame, read_frame, FrameBuf};
 
-/// Write one length-prefixed frame to a stream.
-pub(crate) fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
-    let mut buf = Vec::with_capacity(4 + frame.len());
-    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
-    buf.extend_from_slice(frame);
-    stream.write_all(&buf)
-}
-
-/// Read one length-prefixed frame from a stream (blocking).
-pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME_BYTES {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("oversized frame: {len} bytes"),
-        ));
-    }
-    let mut buf = vec![0u8; len as usize];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
+struct SenderInner {
+    stream: TcpStream,
+    /// Once a write fails the stream position is unknowable — a partial
+    /// frame may be on the wire — so the connection is poisoned: every
+    /// later send fails fast with the original cause instead of
+    /// interleaving garbage after the truncated frame.
+    poisoned: Option<String>,
 }
 
 /// Clonable send half of a TCP link: many producer threads, one socket.
 ///
 /// Writes are serialized under a mutex so concurrent senders (worker
-/// manager, heartbeat thread, emulated jobs) never interleave frames.
+/// manager, heartbeat thread, emulated jobs) never interleave frames. A
+/// failed or partial write **poisons** the sender (see
+/// [`TcpSender::poison_reason`]): the socket is shut down and every
+/// subsequent send surfaces an explicit error, so callers get a
+/// failure-detector verdict at the send site instead of waiting for a
+/// later read to notice the corpse.
 #[derive(Clone)]
 pub struct TcpSender {
-    stream: Arc<Mutex<TcpStream>>,
+    inner: Arc<Mutex<SenderInner>>,
 }
 
 impl TcpSender {
     pub(crate) fn new(stream: TcpStream) -> Self {
         TcpSender {
-            stream: Arc::new(Mutex::new(stream)),
+            inner: Arc::new(Mutex::new(SenderInner {
+                stream,
+                poisoned: None,
+            })),
         }
     }
 
-    /// Encode and send one message.
+    /// Encode and send one message. Fails fast if a previous send
+    /// poisoned the connection.
     pub fn send(&self, msg: &Message) -> Result<()> {
-        write_frame(&mut self.stream.lock(), &msg.encode())
-            .map_err(|e| BloxError::Transport(format!("tcp send: {e}")))
+        use std::io::Write;
+        let mut inner = self.inner.lock();
+        if let Some(why) = &inner.poisoned {
+            return Err(BloxError::Transport(format!(
+                "tcp send on poisoned connection: {why}"
+            )));
+        }
+        let frame = encode_frame(msg);
+        if let Err(e) = inner.stream.write_all(&frame) {
+            // The peer may have received a torn frame; nothing sane can
+            // follow it on this socket.
+            let why = e.to_string();
+            inner.poisoned = Some(why.clone());
+            let _ = inner.stream.shutdown(Shutdown::Both);
+            return Err(BloxError::Transport(format!(
+                "tcp send failed, connection poisoned: {why}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Why this sender is poisoned, if it is (a failed write or a local
+    /// [`TcpSender::shutdown`]).
+    pub fn poison_reason(&self) -> Option<String> {
+        self.inner.lock().poisoned.clone()
     }
 
     /// Hard-close both directions of the socket with no goodbye message —
-    /// exactly what a crashed node looks like to its peer.
+    /// exactly what a crashed node looks like to its peer. The sender is
+    /// left poisoned so later sends fail explicitly.
     pub fn shutdown(&self) {
-        let _ = self.stream.lock().shutdown(Shutdown::Both);
+        let mut inner = self.inner.lock();
+        if inner.poisoned.is_none() {
+            inner.poisoned = Some("connection closed locally".into());
+        }
+        let _ = inner.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -111,7 +130,8 @@ impl TcpTransport {
             .map_err(|e| BloxError::Transport(format!("clone stream: {e}")))?;
         let (tx, frames) = unbounded();
         std::thread::spawn(move || {
-            while let Ok(frame) = read_frame(&mut reader) {
+            let mut buf = FrameBuf::new();
+            while let Ok(frame) = read_frame(&mut reader, &mut buf) {
                 if tx.send(frame).is_err() {
                     return; // Transport dropped.
                 }

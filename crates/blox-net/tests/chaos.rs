@@ -24,6 +24,7 @@ use blox_core::manager::{BloxManager, ExecMode, RunConfig, StopCondition};
 use blox_net::client::{submit, JobRequest};
 use blox_net::node::{spawn_node, NodeConfig};
 use blox_net::sched::{NetBackend, SchedulerConfig};
+use blox_net::TransportKind;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::Fifo;
@@ -60,6 +61,7 @@ fn run_chaos_cluster(plan: FaultPlan) {
         // Aggressive stall requeue: dropped Launch/Progress/JobDone
         // messages must be healed within a few rounds.
         stall_rounds: 4,
+        ..SchedulerConfig::default()
     })
     .expect("bind ephemeral");
     let addr = backend.addr();
@@ -71,6 +73,7 @@ fn run_chaos_cluster(plan: FaultPlan) {
                 // A partitioned (and declared-dead) worker must come back.
                 reconnect: true,
                 faults: Some(plan.clone()),
+                transport: TransportKind::Threads,
             })
         })
         .collect();

@@ -1,0 +1,91 @@
+//! Property tests for the shared u32 length-prefix framing layer
+//! (`blox_net::frame`) both TCP engines sit on: frames must reassemble
+//! byte-exactly from arbitrary chunkings of the stream, absurd length
+//! prefixes must be rejected *before* any allocation, and garbage input
+//! must never panic the decoder.
+
+use blox_net::frame::{encode_frame, FrameBuf, MAX_FRAME_BYTES, PREFIX_BYTES};
+use blox_runtime::wire::Message;
+use proptest::prelude::*;
+
+/// A payload-bearing message whose size the generator controls.
+fn arb_submit(max_model: usize) -> impl Strategy<Value = Message> {
+    (
+        any::<u32>(),
+        (0.0f64..1e9),
+        proptest::collection::vec(any::<char>(), 0..max_model),
+    )
+        .prop_map(|(g, t, m)| Message::SubmitJob {
+            gpus: g,
+            total_iters: t,
+            model: m.into_iter().collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // PROPTEST_CASES overrides (the nightly CI deep sweep).
+        cases: ProptestConfig::env_cases(256),
+        seed: 0xB10C_5EED_0000_0008,
+    })]
+
+    /// A batch of frames fed to the reassembler in arbitrary chunk sizes
+    /// decodes to exactly the original frame sequence.
+    #[test]
+    fn arbitrary_chunking_reassembles_exactly(
+        msgs in proptest::collection::vec(arb_submit(64), 1..8),
+        chunk in 1usize..512,
+    ) {
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            stream.extend_from_slice(&encode_frame(msg));
+        }
+        let mut buf = FrameBuf::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            buf.extend_from_slice(piece);
+            while let Some(frame) = buf.try_decode().expect("well-formed stream") {
+                decoded.push(Message::decode(&frame).expect("payload decodes"));
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Length prefixes beyond the cap are rejected as an error without
+    /// allocating a payload buffer, regardless of what follows.
+    #[test]
+    fn oversized_prefixes_are_rejected(
+        excess in 1u32..=1024,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let bad_len = MAX_FRAME_BYTES + excess;
+        let mut buf = FrameBuf::new();
+        buf.extend_from_slice(&bad_len.to_le_bytes());
+        buf.extend_from_slice(&tail);
+        prop_assert!(buf.try_decode().is_err(), "length {bad_len} must be rejected");
+    }
+
+    /// Arbitrary byte soup never panics the reassembler: every outcome is
+    /// a clean `Ok(None)` (wait for more), `Ok(Some(_))`, or `Err`.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = FrameBuf::new();
+        buf.extend_from_slice(&bytes);
+        while let Ok(Some(_)) = buf.try_decode() {}
+    }
+
+    /// A partial frame is never surfaced early: with any strict prefix of
+    /// the stream the reassembler reports "wait", and the byte count it
+    /// holds matches what it was fed.
+    #[test]
+    fn partial_frames_wait(msg in arb_submit(128), cut_frac in 0.0f64..1.0) {
+        let frame = encode_frame(&msg);
+        // Keep at least the prefix ambiguous: cut anywhere short of the end.
+        let cut = PREFIX_BYTES.min(frame.len() - 1)
+            + ((frame.len() - 1 - PREFIX_BYTES.min(frame.len() - 1)) as f64 * cut_frac) as usize;
+        let mut buf = FrameBuf::new();
+        buf.extend_from_slice(&frame[..cut]);
+        prop_assert!(buf.try_decode().expect("prefix is in-bounds").is_none());
+        prop_assert_eq!(buf.pending(), cut);
+    }
+}

@@ -23,6 +23,7 @@ use blox_net::node::{spawn_node, NodeConfig};
 use blox_net::sched::{
     read_checkpoint, serve_with, write_checkpoint, NetBackend, RecoveryOptions, SchedulerConfig,
 };
+use blox_net::TransportKind;
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::Fifo;
@@ -231,6 +232,7 @@ fn restored_scheduler_readopts_workers_instead_of_growing_the_cluster() {
                 gpus: 4,
                 reconnect: false,
                 faults: None,
+                transport: TransportKind::Threads,
             })
         })
         .collect();

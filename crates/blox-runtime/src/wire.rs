@@ -144,11 +144,19 @@ impl Message {
     /// Encode into a self-describing frame (1-byte tag + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the encoded frame to an existing buffer — the hot-path
+    /// variant transports use to build length-prefixed wire frames in a
+    /// single allocation (prefix + payload in one `Vec`).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Message::RegisterWorker { node, gpus } => {
-                put_u8(&mut buf, 0);
-                put_u32(&mut buf, node.0);
-                put_u32(&mut buf, *gpus);
+                put_u8(buf, 0);
+                put_u32(buf, node.0);
+                put_u32(buf, *gpus);
             }
             Message::Launch {
                 job,
@@ -159,60 +167,60 @@ impl Message {
                 warmup_s,
                 is_rank0,
             } => {
-                put_u8(&mut buf, 1);
-                put_u64(&mut buf, job.0);
-                put_u32(&mut buf, local_gpus.len() as u32);
+                put_u8(buf, 1);
+                put_u64(buf, job.0);
+                put_u32(buf, local_gpus.len() as u32);
                 buf.extend_from_slice(local_gpus);
-                put_f64(&mut buf, *iter_time_s);
-                put_f64(&mut buf, *start_iters);
-                put_f64(&mut buf, *total_iters);
-                put_f64(&mut buf, *warmup_s);
-                put_bool(&mut buf, *is_rank0);
+                put_f64(buf, *iter_time_s);
+                put_f64(buf, *start_iters);
+                put_f64(buf, *total_iters);
+                put_f64(buf, *warmup_s);
+                put_bool(buf, *is_rank0);
             }
             Message::Revoke { job } => {
-                put_u8(&mut buf, 2);
-                put_u64(&mut buf, job.0);
+                put_u8(buf, 2);
+                put_u64(buf, job.0);
             }
             Message::ExitAt { job, exit_iter } => {
-                put_u8(&mut buf, 3);
-                put_u64(&mut buf, job.0);
-                put_u64(&mut buf, *exit_iter);
+                put_u8(buf, 3);
+                put_u64(buf, job.0);
+                put_u64(buf, *exit_iter);
             }
             Message::LeaseCheck { job } => {
-                put_u8(&mut buf, 4);
-                put_u64(&mut buf, job.0);
+                put_u8(buf, 4);
+                put_u64(buf, job.0);
             }
             Message::LeaseStatus { job, valid } => {
-                put_u8(&mut buf, 5);
-                put_u64(&mut buf, job.0);
-                put_bool(&mut buf, *valid);
+                put_u8(buf, 5);
+                put_u64(buf, job.0);
+                put_bool(buf, *valid);
             }
             Message::PushMetric { job, key, value } => {
-                put_u8(&mut buf, 6);
-                put_u64(&mut buf, job.0);
-                put_str(&mut buf, key);
-                put_f64(&mut buf, *value);
+                put_u8(buf, 6);
+                put_u64(buf, job.0);
+                put_str(buf, key);
+                put_f64(buf, *value);
             }
             Message::Progress { job, iters } => {
-                put_u8(&mut buf, 7);
-                put_u64(&mut buf, job.0);
-                put_f64(&mut buf, *iters);
+                put_u8(buf, 7);
+                put_u64(buf, job.0);
+                put_f64(buf, *iters);
             }
             Message::JobDone { job, sim_time } => {
-                put_u8(&mut buf, 8);
-                put_u64(&mut buf, job.0);
-                put_f64(&mut buf, *sim_time);
+                put_u8(buf, 8);
+                put_u64(buf, job.0);
+                put_f64(buf, *sim_time);
             }
             Message::JobSuspended { job, iters } => {
-                put_u8(&mut buf, 9);
-                put_u64(&mut buf, job.0);
-                put_f64(&mut buf, *iters);
+                put_u8(buf, 9);
+                put_u64(buf, job.0);
+                put_f64(buf, *iters);
             }
-            Message::Ack => put_u8(&mut buf, 10),
+            Message::Ack => put_u8(buf, 10),
             Message::Heartbeat { node, seq } => {
-                put_u8(&mut buf, 11);
-                put_u32(&mut buf, node.0);
-                put_u64(&mut buf, *seq);
+                put_u8(buf, 11);
+                put_u32(buf, node.0);
+                put_u64(buf, *seq);
             }
             Message::AssignNode {
                 node,
@@ -221,30 +229,29 @@ impl Message {
                 emu_iter_sim_s,
                 heartbeat_sim_s,
             } => {
-                put_u8(&mut buf, 12);
-                put_u32(&mut buf, node.0);
-                put_f64(&mut buf, *now_sim);
-                put_f64(&mut buf, *time_scale);
-                put_f64(&mut buf, *emu_iter_sim_s);
-                put_f64(&mut buf, *heartbeat_sim_s);
+                put_u8(buf, 12);
+                put_u32(buf, node.0);
+                put_f64(buf, *now_sim);
+                put_f64(buf, *time_scale);
+                put_f64(buf, *emu_iter_sim_s);
+                put_f64(buf, *heartbeat_sim_s);
             }
             Message::SubmitJob {
                 gpus,
                 total_iters,
                 model,
             } => {
-                put_u8(&mut buf, 13);
-                put_u32(&mut buf, *gpus);
-                put_f64(&mut buf, *total_iters);
-                put_str(&mut buf, model);
+                put_u8(buf, 13);
+                put_u32(buf, *gpus);
+                put_f64(buf, *total_iters);
+                put_str(buf, model);
             }
             Message::JobAccepted { job } => {
-                put_u8(&mut buf, 14);
-                put_u64(&mut buf, job.0);
+                put_u8(buf, 14);
+                put_u64(buf, job.0);
             }
-            Message::Shutdown => put_u8(&mut buf, 15),
+            Message::Shutdown => put_u8(buf, 15),
         }
-        buf
     }
 
     /// Decode a frame produced by [`Message::encode`].
@@ -346,6 +353,27 @@ pub trait Transport: Send {
     fn try_recv(&self) -> Result<Option<Message>>;
     /// Blocking receive with a wall-clock timeout; `Ok(None)` on timeout.
     fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>>;
+}
+
+/// Boxed transports are transports, so engine-generic code (e.g. a node
+/// daemon selecting its TCP engine at runtime) can thread a
+/// `Box<dyn Transport>` through decorators that take `impl Transport`.
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&self, msg: &Message) -> Result<()> {
+        (**self).send(msg)
+    }
+
+    fn recv(&self) -> Result<Message> {
+        (**self).recv()
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        (**self).try_recv()
+    }
+
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Message>> {
+        (**self).recv_timeout(timeout)
+    }
 }
 
 /// A clonable send-only handle onto a transport's upstream direction.

@@ -86,6 +86,7 @@ fn main() {
                 gpus: 4,
                 reconnect: false,
                 faults: None,
+                transport: blox::net::TransportKind::Threads,
             })
         })
         .collect();
