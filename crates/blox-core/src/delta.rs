@@ -60,6 +60,11 @@ pub struct StateDelta {
     /// touching its placement, so rate caches must treat it as an
     /// invalidation.
     pub retuned: Vec<JobId>,
+    /// Jobs removed from this manager's active set by a cross-pod
+    /// migration (see [`crate::pods`]): the job left this shard without
+    /// completing. Policies and backends must forget any per-job state
+    /// they hold for these ids — the job now lives on another shard.
+    pub migrated_out: Vec<JobId>,
     /// Nodes that joined the cluster.
     pub added_nodes: Vec<NodeId>,
     /// Nodes that failed (GPUs left the schedulable pool).
@@ -82,6 +87,7 @@ impl StateDelta {
             && self.suspended.is_empty()
             && self.terminated.is_empty()
             && self.retuned.is_empty()
+            && self.migrated_out.is_empty()
             && self.added_nodes.is_empty()
             && self.failed_nodes.is_empty()
             && self.revived_nodes.is_empty()
@@ -118,6 +124,13 @@ mod tests {
     fn retunes_count_as_changes() {
         let mut d = StateDelta::new();
         d.retuned.push(JobId(7));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn migrations_count_as_changes() {
+        let mut d = StateDelta::new();
+        d.migrated_out.push(JobId(7));
         assert!(!d.is_empty());
     }
 }

@@ -38,6 +38,7 @@ pub mod manager;
 pub mod metrics;
 pub mod place_index;
 pub mod place_util;
+pub mod pods;
 pub mod policy;
 pub mod profile;
 pub mod snapshot;
@@ -55,6 +56,9 @@ pub use manager::{
 };
 pub use metrics::{JobRecord, RunStats, Stage, StageTimes, Summary};
 pub use place_index::PlacementIndex;
+pub use pods::{
+    AdmitAllGlobal, GlobalAdmission, PodBackend, PodConfig, PodLease, PodPolicies, PodScheduler,
+};
 pub use policy::{
     AdmissionPolicy, Placement, PlacementPolicy, SchedulingDecision, SchedulingPolicy,
 };

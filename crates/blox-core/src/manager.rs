@@ -216,6 +216,11 @@ pub struct BloxManager<B: Backend> {
     /// Collect stage actually covers (see the [`Backend::update_metrics`]
     /// elapsed contract). `None` before the first round.
     last_metrics_now: Option<f64>,
+    /// Jobs extracted by [`BloxManager::extract_waiting_job`] (cross-pod
+    /// migration) since the last step; folded into the next round's
+    /// [`StateDelta::migrated_out`] so delta-subscribed policies and the
+    /// backend forget the departed jobs.
+    migrated_pending: Vec<JobId>,
 }
 
 impl<B: Backend> BloxManager<B> {
@@ -230,6 +235,7 @@ impl<B: Backend> BloxManager<B> {
             injected: Vec::new(),
             pending_plan: StateDelta::new(),
             last_metrics_now: None,
+            migrated_pending: Vec::new(),
         }
     }
 
@@ -254,12 +260,21 @@ impl<B: Backend> BloxManager<B> {
             injected: Vec::new(),
             pending_plan: StateDelta::new(),
             last_metrics_now: None,
+            migrated_pending: Vec::new(),
         }
     }
 
     /// The execution backend (immutable).
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Mutable access to the execution backend. The pod meta-scheduler
+    /// uses this to route globally-admitted arrivals into a shard's wait
+    /// queue; embedders driving backend-specific state (checkpoint
+    /// cadence, expected-job pledges) use it the same way.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// The shared cluster state.
@@ -312,7 +327,36 @@ impl<B: Backend> BloxManager<B> {
             injected: self.injected.clone(),
             pending_plan: self.pending_plan.clone(),
             last_metrics_now: self.last_metrics_now,
+            migrated_pending: self.migrated_pending.clone(),
         }
+    }
+
+    /// Remove one *waiting* (queued or suspended) job from this manager's
+    /// shared state and hand its record to the caller — the donor half of
+    /// a cross-pod migration (see [`crate::pods`]). Returns `None` when
+    /// the job is unknown, running (live GPUs never migrate), or already
+    /// done.
+    ///
+    /// The departure is reported in the next round's
+    /// [`StateDelta::migrated_out`] so delta-subscribed policies and the
+    /// backend drop their per-job state — unless the job was injected via
+    /// [`BloxManager::add_jobs`] and never observed by any round, in which
+    /// case it vanishes without a delta entry (no policy ever saw it).
+    pub fn extract_waiting_job(&mut self, id: JobId) -> Option<Job> {
+        let status = self.jobs.get(id)?.status;
+        if !matches!(status, JobStatus::Queued | JobStatus::Suspended) {
+            return None;
+        }
+        let job = self.jobs.take_job(id)?;
+        match self.injected.iter().position(|j| *j == id) {
+            // Injected this round and gone before any delta mentioned it:
+            // report neither the admission nor the departure.
+            Some(pos) => {
+                self.injected.remove(pos);
+            }
+            None => self.migrated_pending.push(id),
+        }
+        Some(job)
     }
 
     /// Execute one scheduling round with the given policies: the explicit
@@ -353,6 +397,9 @@ impl<B: Backend> BloxManager<B> {
             }
         }
         delta.completed = self.jobs.prune_completed();
+        // Jobs that left this shard via cross-pod migration since the
+        // last step depart through the same delta channel.
+        delta.migrated_out = std::mem::take(&mut self.migrated_pending);
         let t_collect = stage.elapsed().as_secs_f64();
 
         // --- Stage 2: Admit --------------------------------------------
@@ -375,6 +422,7 @@ impl<B: Backend> BloxManager<B> {
         let mut observed = std::mem::take(&mut self.pending_plan);
         observed.admitted = delta.admitted.clone();
         observed.completed = delta.completed.clone();
+        observed.migrated_out = delta.migrated_out.clone();
         observed.added_nodes = delta.added_nodes.clone();
         observed.failed_nodes = delta.failed_nodes.clone();
         observed.revived_nodes = delta.revived_nodes.clone();
@@ -526,24 +574,51 @@ impl<B: Backend> BloxManager<B> {
         scheduling: &mut dyn SchedulingPolicy,
         placement: &mut dyn PlacementPolicy,
     ) {
+        let k = self.skippable_rounds(admission, scheduling, placement, None);
+        if k >= 1 {
+            self.apply_skip(k);
+        }
+    }
+
+    /// How many upcoming rounds provably observe nothing and may be
+    /// elided — the decision half of the event-driven fast path, split
+    /// out so the pod meta-scheduler ([`crate::pods`]) can take the
+    /// *minimum* across shards before committing a lockstep skip with
+    /// [`BloxManager::apply_skip`]. Returns `0` whenever any gate fails
+    /// (see [`BloxManager::run`]'s fast-forward description).
+    ///
+    /// `extra_event` is an externally-known next event time this
+    /// manager's backend cannot see — the meta-scheduler's global arrival
+    /// stream. It bounds the skip exactly as a backend hint would.
+    pub fn skippable_rounds(
+        &mut self,
+        admission: &mut dyn AdmissionPolicy,
+        scheduling: &mut dyn SchedulingPolicy,
+        placement: &mut dyn PlacementPolicy,
+        extra_event: Option<f64>,
+    ) -> u64 {
         if self.config.mode != ExecMode::EventDriven {
-            return;
+            return 0;
         }
         if admission.pending() > 0 {
-            return;
+            return 0;
         }
         let delta = self.config.round_duration;
         if delta.is_nan() || delta <= 0.0 {
-            return;
+            return 0;
         }
-        let Some(event) = self.backend.next_event_hint(&self.cluster, &self.jobs) else {
-            return;
+        let hint = self.backend.next_event_hint(&self.cluster, &self.jobs);
+        let event = match (hint, extra_event) {
+            (Some(h), Some(e)) => h.min(e),
+            (Some(h), None) => h,
+            (None, Some(e)) => e,
+            (None, None) => return 0,
         };
         let now = self.backend.now();
         if event.is_nan() || event <= now {
             // Event due in the round about to execute (or a NaN hint):
             // nothing to skip.
-            return;
+            return 0;
         }
         // Serial execution would step at boundaries `now, now+Δ, …` and
         // first observe the event at the earliest boundary >= `event`;
@@ -555,12 +630,12 @@ impl<B: Backend> BloxManager<B> {
         // executed (nor accounted) by the serial loop.
         if let StopCondition::TimeLimit(t) = self.config.stop {
             if t <= now {
-                return;
+                return 0;
             }
             k = k.min(((t - now) / delta).ceil());
         }
         if k < 1.0 {
-            return;
+            return 0;
         }
         let k = k as u64;
 
@@ -571,20 +646,32 @@ impl<B: Backend> BloxManager<B> {
                 || !scheduling.stable_between_events()
                 || !placement.stable_between_events()
             {
-                return;
+                return 0;
             }
             // Verify this round's decision is a no-op before eliding it
             // (and, by stability, every round up to the event).
             let decision = scheduling.schedule(&self.jobs, &self.cluster, now);
             if !decision.terminate.is_empty() || !decision.batch_sizes.is_empty() {
-                return;
+                return 0;
             }
             let plan = placement.place(&decision, &self.jobs, &self.cluster, now);
             if !plan.is_empty() {
-                return;
+                return 0;
             }
         }
+        k
+    }
 
+    /// Commit a `k`-round skip decided by [`BloxManager::skippable_rounds`]:
+    /// bulk-account the elided rounds and jump the backend clock. The pod
+    /// meta-scheduler applies the cross-shard minimum here; `k` must not
+    /// exceed what `skippable_rounds` returned for *this* manager.
+    pub fn apply_skip(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let delta = self.config.round_duration;
+        let now = self.backend.now();
         let total = self.cluster.total_gpus();
         let busy = total - self.cluster.free_gpu_count();
         self.stats

@@ -1,0 +1,990 @@
+//! Sharded pod scheduling: N independent round pipelines under one
+//! meta-scheduler.
+//!
+//! One [`crate::manager::BloxManager`] owning the whole cluster is the
+//! last single-threaded ceiling at production scale: after the Collect
+//! and Place walls fell, every stage still runs on one thread. This
+//! module partitions the cluster into **pods** — each pod owns its own
+//! [`crate::cluster::ClusterState`] shard, its own [`crate::state::JobState`],
+//! and its own Collect→Admit→Schedule→Place pipeline, stepped on its own
+//! thread — coordinated by a thin **meta-scheduler** that does three
+//! things and nothing else:
+//!
+//! 1. **Global admission + routing**: arrivals live in one global stream;
+//!    each round the due jobs pass an optional [`GlobalAdmission`] gate
+//!    and are routed to the least-loaded pod (waiting-GPU-demand to
+//!    capacity ratio, ties to the lowest pod index).
+//! 2. **Cross-pod migration**: when a pod's queue-to-capacity ratio
+//!    exceeds [`PodConfig::steal_threshold`], its youngest waiting jobs
+//!    are stolen by the least-loaded pod. A migrated job's ownership
+//!    [`PodLease`] is revoked on the source and re-granted on the target
+//!    with a bumped epoch, and the departure reaches the source pod's
+//!    policies and backend through [`crate::delta::StateDelta::migrated_out`].
+//! 3. **Lockstep time**: all pods share one clock. Round skips (the
+//!    event-driven fast path) take the *minimum* skippable span across
+//!    pods — bounded additionally by the global arrival stream — so no
+//!    pod ever runs ahead of another.
+//!
+//! # The determinism rule
+//!
+//! Every meta decision (routing, victim selection, steal order, merge
+//! order) is a pure function of shard state with deterministic
+//! tie-breaks, and pods share nothing while stepping, so a fixed pod
+//! count gives **byte-identical [`RunStats`]** for the same seed whether
+//! pods step serially or on threads. With one pod, the meta-scheduler
+//! degenerates exactly to the monolithic manager: routing feeds the only
+//! pod's wait queue in arrival order, migration never fires, and the
+//! lockstep skip equals the monolithic skip — the differential suite
+//! pins `1-pod sharded ≡ monolithic` bitwise.
+
+use std::collections::BTreeMap;
+
+use crate::cluster::ClusterState;
+use crate::ids::JobId;
+use crate::job::Job;
+use crate::manager::{Backend, BloxManager, RunConfig, StopCondition};
+use crate::metrics::{JobRecord, RunStats};
+use crate::policy::{AdmissionPolicy, PlacementPolicy, SchedulingPolicy};
+
+/// A [`Backend`] that can accept meta-routed arrivals into its wait
+/// queue. The pod meta-scheduler owns the global arrival stream and
+/// pushes each job into its assigned pod's queue at the round the job
+/// falls due, so the pod's own Admit stage pops it exactly as a local
+/// arrival.
+pub trait PodBackend: Backend {
+    /// Enqueue already-due arrivals at the back of the wait queue, in the
+    /// given order. Callers only push jobs whose `arrival_time` is at or
+    /// before the backend's current time.
+    fn push_arrivals(&mut self, jobs: Vec<Job>);
+}
+
+/// Meta-level admission gate over the global arrival stream, applied
+/// before pod routing. Unlike [`AdmissionPolicy`] it sees no shard state
+/// (there is no global `JobState`); it gates on aggregate knowledge the
+/// meta level keeps for itself.
+pub trait GlobalAdmission: Send {
+    /// Offer this round's due arrivals; return the jobs released to pod
+    /// routing now, in order. Held-back jobs may be returned by a later
+    /// call.
+    fn admit(&mut self, due: Vec<Job>, now: f64) -> Vec<Job>;
+
+    /// Number of jobs currently held back. Non-zero disables the
+    /// lockstep round skip (a held-back job may be released any round).
+    fn pending(&self) -> usize {
+        0
+    }
+}
+
+/// Pass-through global admission: every due job routes immediately.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdmitAllGlobal;
+
+impl GlobalAdmission for AdmitAllGlobal {
+    fn admit(&mut self, due: Vec<Job>, _now: f64) -> Vec<Job> {
+        due
+    }
+}
+
+/// Ownership lease of one job by one pod. Exactly one pod owns a job at
+/// any time; migration revokes the source's lease and re-grants it to
+/// the target with `epoch + 1`, so a stale shard (or a stale message in
+/// a distributed deployment) can be recognized by its old epoch — the
+/// same fencing idea as the per-GPU leases of the Figure 19 protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodLease {
+    /// Index of the owning pod.
+    pub pod: usize,
+    /// Bumped on every ownership transfer; 0 at first assignment.
+    pub epoch: u64,
+}
+
+/// Meta-scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PodConfig {
+    /// Queue-to-capacity ratio (waiting GPU demand / live GPUs) above
+    /// which a pod sheds waiting jobs to the least-loaded pod.
+    /// `f64::INFINITY` disables migration.
+    pub steal_threshold: f64,
+    /// Upper bound on migrations per round, against thrash.
+    pub steal_batch: usize,
+    /// Step pods on scoped threads (`true`) or serially (`false`). The
+    /// results are byte-identical either way; threads only buy wall time.
+    pub parallel: bool,
+}
+
+impl Default for PodConfig {
+    fn default() -> Self {
+        PodConfig {
+            steal_threshold: 2.0,
+            steal_batch: 8,
+            parallel: true,
+        }
+    }
+}
+
+/// The three policy instances driving one pod's pipeline.
+pub struct PodPolicies {
+    /// Pod-local admission policy (runs in the pod's Admit stage).
+    pub admission: Box<dyn AdmissionPolicy>,
+    /// Pod-local scheduling policy.
+    pub scheduling: Box<dyn SchedulingPolicy>,
+    /// Pod-local placement policy.
+    pub placement: Box<dyn PlacementPolicy>,
+}
+
+/// One pod: a full scheduling pipeline over its own shard.
+struct PodRunner<B: PodBackend> {
+    mgr: BloxManager<B>,
+    policies: PodPolicies,
+}
+
+impl<B: PodBackend> PodRunner<B> {
+    /// Execute one round; returns the ids completed this round (for meta
+    /// lease cleanup).
+    fn step_once(&mut self) -> Vec<JobId> {
+        let outcome = self.mgr.step(
+            self.policies.admission.as_mut(),
+            self.policies.scheduling.as_mut(),
+            self.policies.placement.as_mut(),
+        );
+        outcome.delta.completed
+    }
+
+    /// Waiting GPU demand over live capacity — the load figure every
+    /// meta decision (routing, stealing) is made from. `extra_demand`
+    /// accounts jobs already routed to this pod in the current round but
+    /// not yet popped by its Admit stage.
+    fn load_ratio(&self, extra_demand: u64) -> f64 {
+        let demand = self.waiting_demand() + extra_demand;
+        demand as f64 / self.mgr.cluster().total_gpus().max(1) as f64
+    }
+
+    /// Waiting GPU demand alone (the numerator of [`Self::load_ratio`]),
+    /// for callers that batch many routing decisions against one
+    /// snapshot instead of re-summing the waiting set per job. One
+    /// sequential scan over the active map — cheaper at scale than
+    /// per-id lookups through the waiting index.
+    fn waiting_demand(&self) -> u64 {
+        self.mgr
+            .jobs()
+            .active()
+            .filter(|j| {
+                matches!(
+                    j.status,
+                    crate::job::JobStatus::Queued | crate::job::JobStatus::Suspended
+                )
+            })
+            .map(|j| j.requested_gpus as u64)
+            .sum()
+    }
+}
+
+/// The sharded scheduler: N pods plus the meta layer (global arrival
+/// stream, routing, migration, lockstep time). See the module docs for
+/// the contract; [`PodScheduler::run`] is the drop-in counterpart of
+/// [`BloxManager::run`].
+pub struct PodScheduler<B: PodBackend> {
+    pods: Vec<PodRunner<B>>,
+    /// Global arrival stream, arrival-time-sorted (trace order).
+    source: std::collections::VecDeque<Job>,
+    run: RunConfig,
+    cfg: PodConfig,
+    global_admission: Box<dyn GlobalAdmission>,
+    leases: BTreeMap<JobId, PodLease>,
+    migrations: u64,
+    /// Modeled per-round critical-path wall time, accumulated: the meta
+    /// stage (serial by design) plus the *slowest* pod's step, per
+    /// round. See [`PodScheduler::critical_path_secs`].
+    critical_secs: f64,
+}
+
+impl<B: PodBackend> PodScheduler<B> {
+    /// A meta-scheduler with no pods yet; add shards with
+    /// [`PodScheduler::add_pod`], feed arrivals with
+    /// [`PodScheduler::submit`], then [`PodScheduler::run`].
+    pub fn new(run: RunConfig, cfg: PodConfig) -> Self {
+        PodScheduler {
+            pods: Vec::new(),
+            source: std::collections::VecDeque::new(),
+            run,
+            cfg,
+            global_admission: Box::new(AdmitAllGlobal),
+            leases: BTreeMap::new(),
+            migrations: 0,
+            critical_secs: 0.0,
+        }
+    }
+
+    /// Replace the pass-through global admission gate.
+    pub fn with_global_admission(mut self, gate: Box<dyn GlobalAdmission>) -> Self {
+        self.global_admission = gate;
+        self
+    }
+
+    /// Add one pod over its own backend and cluster shard. Pod indices
+    /// are assigned in call order.
+    pub fn add_pod(&mut self, backend: B, cluster: ClusterState, policies: PodPolicies) {
+        self.pods.push(PodRunner {
+            mgr: BloxManager::new(backend, cluster, self.run.clone()),
+            policies,
+        });
+    }
+
+    /// Append jobs to the global arrival stream. Jobs must be
+    /// arrival-time-sorted (the trace contract); routing preserves this
+    /// order per pod.
+    pub fn submit(&mut self, jobs: Vec<Job>) {
+        self.source.extend(jobs);
+    }
+
+    /// Number of pods.
+    pub fn pod_count(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// One pod's manager (shard state, statistics).
+    pub fn pod(&self, index: usize) -> &BloxManager<B> {
+        &self.pods[index].mgr
+    }
+
+    /// Cross-pod migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Modeled critical-path wall time of the run so far, in seconds:
+    /// per round, the serial meta stage (fast-forward, routing,
+    /// stealing) plus the **slowest** pod's pipeline step. In a
+    /// deployment each pod owns a core (or a machine), so this is the
+    /// round latency the sharded control plane delivers; on a
+    /// single-core host the serial wall clock instead sums all pods and
+    /// understates the design by exactly the pod count. Wall time is
+    /// nondeterministic, so — like stage telemetry — it is kept out of
+    /// [`RunStats`]' byte-pinned surface.
+    pub fn critical_path_secs(&self) -> f64 {
+        self.critical_secs
+    }
+
+    /// Current ownership lease of a job, if the meta level has routed it
+    /// and it has not completed.
+    pub fn lease(&self, id: JobId) -> Option<PodLease> {
+        self.leases.get(&id).copied()
+    }
+
+    /// The meta stop condition — each arm reduces to the monolithic
+    /// [`BloxManager::should_stop`] when there is one pod.
+    fn should_stop(&self) -> bool {
+        let Some(first) = self.pods.first() else {
+            return true;
+        };
+        if first.mgr.stats().rounds >= self.run.max_rounds {
+            return true;
+        }
+        match self.run.stop {
+            StopCondition::AllJobsDone => {
+                self.source.is_empty()
+                    && self.pods.iter().all(|p| {
+                        p.mgr.jobs().active_count() == 0
+                            && p.mgr.backend().peek_next_arrival().is_none()
+                    })
+            }
+            StopCondition::TrackedWindowDone { lo, hi } => {
+                let arrivals_past = match self.peek_next_arrival() {
+                    None => true,
+                    Some((id, _)) => id.0 > hi,
+                };
+                let unfinished_in_window = self
+                    .pods
+                    .iter()
+                    .any(|p| p.mgr.jobs().active().any(|j| j.id.0 >= lo && j.id.0 <= hi));
+                let finished_in_window = self.pods.iter().any(|p| {
+                    p.mgr
+                        .stats()
+                        .records
+                        .iter()
+                        .any(|r| r.id.0 >= lo && r.id.0 <= hi)
+                });
+                arrivals_past && !unfinished_in_window && finished_in_window
+            }
+            StopCondition::TimeLimit(t) => first.mgr.now() >= t,
+        }
+    }
+
+    /// The earliest not-yet-routed arrival: the global stream's front,
+    /// unless a pod backend still holds an unpopped routed arrival (it
+    /// never does between rounds — routing only pushes due jobs, which
+    /// the same round's Admit stage pops).
+    fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+        let mut earliest = self.source.front().map(|j| (j.id, j.arrival_time));
+        for pod in &self.pods {
+            if let Some((id, t)) = pod.mgr.backend().peek_next_arrival() {
+                if earliest.is_none_or(|(eid, et)| t < et || (t == et && id.0 < eid.0)) {
+                    earliest = Some((id, t));
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Lockstep fast-forward: the minimum skippable span across pods —
+    /// each pod additionally bounded by the global arrival stream —
+    /// committed to every pod, so shards never drift apart in time.
+    /// With one pod this computes exactly the monolithic skip.
+    fn fast_forward(&mut self) {
+        if self.global_admission.pending() > 0 {
+            return;
+        }
+        let extra = self.source.front().map(|j| j.arrival_time);
+        let mut k = u64::MAX;
+        for pod in &mut self.pods {
+            let kp = pod.mgr.skippable_rounds(
+                pod.policies.admission.as_mut(),
+                pod.policies.scheduling.as_mut(),
+                pod.policies.placement.as_mut(),
+                extra,
+            );
+            k = k.min(kp);
+            if k == 0 {
+                return;
+            }
+        }
+        if k == u64::MAX {
+            return;
+        }
+        for pod in &mut self.pods {
+            pod.mgr.apply_skip(k);
+        }
+    }
+
+    /// Route due arrivals: pop every job due at the current round
+    /// boundary, pass the global admission gate, then assign each to the
+    /// least-loaded pod *whose capacity can hold the job at all* (lowest
+    /// index on ties), granting its lease. A job bigger than every pod
+    /// falls back to plain least-loaded — it can never run anywhere in
+    /// this sharding, exactly as it could never run on a monolithic
+    /// cluster of one pod's size, and parking it keeps the shard
+    /// accounting honest instead of dropping the job silently.
+    fn route_arrivals(&mut self) {
+        let Some(first) = self.pods.first() else {
+            return;
+        };
+        let now = first.mgr.now();
+        let mut due = Vec::new();
+        while self.source.front().is_some_and(|j| j.arrival_time <= now) {
+            due.push(self.source.pop_front().expect("front exists"));
+        }
+        if due.is_empty() {
+            return;
+        }
+        let due = self.global_admission.admit(due, now);
+        // One demand snapshot per pod for the whole batch; jobs routed
+        // earlier in the round are folded in incrementally so the load
+        // figure sees them before the pod's Admit stage pops them.
+        // (Re-summing the waiting set per job made a burst quadratic.)
+        let mut demand: Vec<u64> = self.pods.iter().map(|p| p.waiting_demand()).collect();
+        let capacity: Vec<u32> = self
+            .pods
+            .iter()
+            .map(|p| p.mgr.cluster().total_gpus())
+            .collect();
+        let mut batches: Vec<Vec<Job>> = vec![Vec::new(); self.pods.len()];
+        for job in due {
+            let target = Self::least_loaded(&demand, &capacity, job.requested_gpus);
+            demand[target] += job.requested_gpus as u64;
+            self.leases.insert(
+                job.id,
+                PodLease {
+                    pod: target,
+                    epoch: 0,
+                },
+            );
+            batches[target].push(job);
+        }
+        for (pod, batch) in self.pods.iter_mut().zip(batches) {
+            if !batch.is_empty() {
+                pod.mgr.backend_mut().push_arrivals(batch);
+            }
+        }
+    }
+
+    /// Index of the least-loaded pod (waiting + already-routed demand,
+    /// over capacity) among pods whose total GPU count can hold `gpus`;
+    /// ties go to the lowest index. When no pod is big enough, the
+    /// capacity filter is dropped.
+    fn least_loaded(demand: &[u64], capacity: &[u32], gpus: u32) -> usize {
+        let pick = |require_fit: bool| {
+            let mut best = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, (&d, &cap)) in demand.iter().zip(capacity).enumerate() {
+                if require_fit && cap < gpus {
+                    continue;
+                }
+                let ratio = d as f64 / cap.max(1) as f64;
+                if ratio < best_ratio {
+                    best_ratio = ratio;
+                    best = Some(i);
+                }
+            }
+            best
+        };
+        pick(true).or_else(|| pick(false)).unwrap_or(0)
+    }
+
+    /// Steal pass: while the most-loaded pod's ratio exceeds the
+    /// threshold (and strictly exceeds the least-loaded pod's), move its
+    /// youngest waiting job to the least-loaded pod, revoking and
+    /// re-granting the lease with a bumped epoch. Bounded by
+    /// `steal_batch` per round.
+    fn migrate(&mut self) {
+        if self.pods.len() < 2 || !self.cfg.steal_threshold.is_finite() {
+            return;
+        }
+        let mut moved = std::collections::BTreeSet::new();
+        for _ in 0..self.cfg.steal_batch {
+            let ratios: Vec<f64> = self.pods.iter().map(|p| p.load_ratio(0)).collect();
+            let (mut src, mut dst) = (0usize, 0usize);
+            for (i, r) in ratios.iter().enumerate() {
+                if *r > ratios[src] {
+                    src = i;
+                }
+                if *r < ratios[dst] {
+                    dst = i;
+                }
+            }
+            if ratios[src] <= self.cfg.steal_threshold || ratios[src] <= ratios[dst] || src == dst {
+                return;
+            }
+            // Youngest waiting job not already moved this round that the
+            // target pod can hold at all: stolen work should be the work
+            // with the least locality built up, and stealing a job the
+            // destination can never place would strand it.
+            let dst_capacity = self.pods[dst].mgr.cluster().total_gpus();
+            let src_jobs = self.pods[src].mgr.jobs();
+            let victim = src_jobs
+                .waiting_ids()
+                .iter()
+                .rev()
+                .find(|id| {
+                    !moved.contains(*id)
+                        && src_jobs
+                            .get(**id)
+                            .is_some_and(|j| j.requested_gpus <= dst_capacity)
+                })
+                .copied();
+            let Some(id) = victim else {
+                return;
+            };
+            let Some(job) = self.pods[src].mgr.extract_waiting_job(id) else {
+                return;
+            };
+            moved.insert(id);
+            let epoch = self.leases.get(&id).map_or(0, |l| l.epoch + 1);
+            self.leases.insert(id, PodLease { pod: dst, epoch });
+            self.pods[dst].mgr.add_jobs(vec![job]);
+            self.migrations += 1;
+        }
+    }
+
+    /// Step every pod one round — on scoped threads when
+    /// [`PodConfig::parallel`] (shards share nothing while stepping, so
+    /// the results are byte-identical to serial) — then release the
+    /// leases of jobs that completed.
+    fn step_pods(&mut self) -> f64 {
+        let timed_step = |pod: &mut PodRunner<B>| {
+            let t = std::time::Instant::now();
+            let completed = pod.step_once();
+            (completed, t.elapsed().as_secs_f64())
+        };
+        let stepped: Vec<(Vec<JobId>, f64)> = if self.cfg.parallel && self.pods.len() > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .pods
+                    .iter_mut()
+                    .map(|pod| s.spawn(move || timed_step(pod)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pod thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.pods.iter_mut().map(timed_step).collect()
+        };
+        let mut slowest = 0.0f64;
+        for (completed, secs) in stepped {
+            slowest = slowest.max(secs);
+            for id in completed {
+                self.leases.remove(&id);
+            }
+        }
+        slowest
+    }
+
+    /// Run rounds until the stop condition holds; returns the merged
+    /// statistics (see [`PodScheduler::merged_stats`]). The loop mirrors
+    /// [`BloxManager::run`] exactly: fast-forward, re-check the stop
+    /// condition, then execute one lockstep round (route → migrate →
+    /// step all pods).
+    pub fn run(&mut self) -> RunStats {
+        if self.pods.is_empty() {
+            return RunStats::new();
+        }
+        while !self.should_stop() {
+            let meta = std::time::Instant::now();
+            self.fast_forward();
+            if self.should_stop() {
+                break;
+            }
+            self.route_arrivals();
+            self.migrate();
+            let meta_s = meta.elapsed().as_secs_f64();
+            let slowest_pod_s = self.step_pods();
+            self.critical_secs += meta_s + slowest_pod_s;
+        }
+        self.merged_stats()
+    }
+
+    /// The run statistics merged across pods. With one pod this is a
+    /// verbatim clone of that pod's stats (bitwise — no re-derivation,
+    /// so `1-pod sharded ≡ monolithic` holds to the last bit). With N
+    /// pods: records sorted by (completion, id); rounds/skipped from pod
+    /// 0 (lockstep keeps every pod equal); utilization as the
+    /// capacity-weighted mean of the pods' round averages; end time as
+    /// the latest pod's.
+    pub fn merged_stats(&self) -> RunStats {
+        if self.pods.len() == 1 {
+            return self.pods[0].mgr.stats().clone();
+        }
+        let mut records: Vec<JobRecord> = self
+            .pods
+            .iter()
+            .flat_map(|p| p.mgr.stats().records.iter().cloned())
+            .collect();
+        records.sort_by(|a, b| {
+            a.completion
+                .partial_cmp(&b.completion)
+                .expect("completion times are finite")
+                .then(a.id.0.cmp(&b.id.0))
+        });
+        let rounds = self.pods.first().map_or(0, |p| p.mgr.stats().rounds);
+        let skipped = self
+            .pods
+            .first()
+            .map_or(0, |p| p.mgr.stats().skipped_rounds);
+        let total_cap: u64 = self
+            .pods
+            .iter()
+            .map(|p| p.mgr.cluster().total_gpus() as u64)
+            .sum();
+        let util_sum = if total_cap == 0 {
+            0.0
+        } else {
+            self.pods
+                .iter()
+                .map(|p| {
+                    p.mgr.stats().utilization_sum() * p.mgr.cluster().total_gpus() as f64
+                        / total_cap as f64
+                })
+                .sum()
+        };
+        let end_time = self
+            .pods
+            .iter()
+            .map(|p| p.mgr.stats().end_time)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0);
+        RunStats::from_snapshot_parts(records, rounds, skipped, util_sum, end_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeSpec;
+    use crate::manager::{apply_placement, ExecMode, PlacementOutcome};
+    use crate::place_util::{plan_placement, PickStrategy};
+    use crate::policy::{Placement, SchedulingDecision};
+    use crate::profile::JobProfile;
+    use crate::state::JobState;
+    use std::collections::VecDeque;
+
+    /// The manager test-suite stub backend, extended with
+    /// [`PodBackend`]: arrivals pop by time, running jobs complete after
+    /// `work_s` seconds on any placement.
+    #[derive(Clone)]
+    struct StubBackend {
+        clock: f64,
+        last_update: f64,
+        arrivals: VecDeque<Job>,
+        work_s: f64,
+    }
+
+    impl StubBackend {
+        fn new(jobs: Vec<Job>, work_s: f64) -> Self {
+            StubBackend {
+                clock: 0.0,
+                last_update: 0.0,
+                arrivals: jobs.into(),
+                work_s,
+            }
+        }
+    }
+
+    impl Backend for StubBackend {
+        fn now(&self) -> f64 {
+            self.clock
+        }
+        fn update_cluster(&mut self, _cluster: &mut ClusterState) {}
+        fn pop_wait_queue(&mut self, now: f64) -> Vec<Job> {
+            let mut out = Vec::new();
+            while self.arrivals.front().is_some_and(|j| j.arrival_time <= now) {
+                out.push(self.arrivals.pop_front().expect("front exists"));
+            }
+            out
+        }
+        fn peek_next_arrival(&self) -> Option<(JobId, f64)> {
+            self.arrivals.front().map(|j| (j.id, j.arrival_time))
+        }
+        fn update_metrics(&mut self, cluster: &mut ClusterState, jobs: &mut JobState, _e: f64) {
+            let round_start = self.last_update;
+            self.last_update = self.clock;
+            let mut done = Vec::new();
+            let running: Vec<JobId> = jobs.running_ids().iter().copied().collect();
+            for id in running {
+                let job = jobs.get_mut(id).expect("running jobs are active");
+                job.running_time += self.clock - round_start;
+                let started = job.first_scheduled.expect("running implies scheduled");
+                if started + self.work_s <= self.clock {
+                    job.completion_time = Some(started + self.work_s);
+                    done.push(id);
+                }
+            }
+            for id in done {
+                cluster.release(id);
+                if let Some(job) = jobs.get_mut(id) {
+                    job.placement.clear();
+                }
+                jobs.set_status(id, crate::job::JobStatus::Completed)
+                    .expect("completed job is active");
+            }
+        }
+        fn exec_jobs(
+            &mut self,
+            p: &Placement,
+            c: &mut ClusterState,
+            j: &mut JobState,
+        ) -> PlacementOutcome {
+            apply_placement(p, c, j, self.clock)
+        }
+        fn advance_round(&mut self, round_duration: f64) {
+            self.clock += round_duration;
+        }
+        fn next_event_hint(&self, _cluster: &ClusterState, jobs: &JobState) -> Option<f64> {
+            let mut earliest: Option<f64> = None;
+            let mut consider = |t: f64| {
+                if earliest.is_none_or(|e| t < e) {
+                    earliest = Some(t);
+                }
+            };
+            if let Some((_, t)) = self.peek_next_arrival() {
+                consider(t);
+            }
+            for job in jobs.running() {
+                consider(job.first_scheduled.expect("running implies scheduled") + self.work_s);
+            }
+            earliest
+        }
+    }
+
+    impl PodBackend for StubBackend {
+        fn push_arrivals(&mut self, jobs: Vec<Job>) {
+            self.arrivals.extend(jobs);
+        }
+    }
+
+    struct StubAdmit;
+    impl AdmissionPolicy for StubAdmit {
+        fn admit(&mut self, new: Vec<Job>, _: &JobState, _: &ClusterState, _: f64) -> Vec<Job> {
+            new
+        }
+        fn name(&self) -> &str {
+            "stub-admit"
+        }
+    }
+
+    struct StubSched;
+    impl SchedulingPolicy for StubSched {
+        fn schedule(&mut self, js: &JobState, _: &ClusterState, _: f64) -> SchedulingDecision {
+            SchedulingDecision::from_priority_order(js.active())
+        }
+        fn stable_between_events(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            "stub-sched"
+        }
+    }
+
+    struct StubPlace;
+    impl PlacementPolicy for StubPlace {
+        fn place(
+            &mut self,
+            d: &SchedulingDecision,
+            js: &JobState,
+            c: &ClusterState,
+            _: f64,
+        ) -> Placement {
+            plan_placement(d, js, c, |_| PickStrategy::FirstFree)
+        }
+        fn stable_between_events(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            "stub-place"
+        }
+    }
+
+    fn policies() -> PodPolicies {
+        PodPolicies {
+            admission: Box::new(StubAdmit),
+            scheduling: Box::new(StubSched),
+            placement: Box::new(StubPlace),
+        }
+    }
+
+    fn one_node_cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        c.add_nodes(&NodeSpec::v100_p3_8xlarge(), 1);
+        c
+    }
+
+    fn job(id: u64, arrival: f64) -> Job {
+        Job::new(
+            JobId(id),
+            arrival,
+            1,
+            100.0,
+            JobProfile::synthetic("toy", 1.0),
+        )
+    }
+
+    fn run_config(mode: ExecMode) -> RunConfig {
+        RunConfig {
+            round_duration: 300.0,
+            max_rounds: 10_000,
+            stop: StopCondition::AllJobsDone,
+            mode,
+        }
+    }
+
+    fn monolithic(jobs: Vec<Job>, mode: ExecMode) -> RunStats {
+        let mut mgr = BloxManager::new(
+            StubBackend::new(jobs, 5_000.0),
+            one_node_cluster(),
+            run_config(mode),
+        );
+        mgr.run(&mut StubAdmit, &mut StubSched, &mut StubPlace)
+    }
+
+    fn sharded(
+        jobs: Vec<Job>,
+        pods: usize,
+        mode: ExecMode,
+        parallel: bool,
+    ) -> PodScheduler<StubBackend> {
+        let mut sched = PodScheduler::new(
+            run_config(mode),
+            PodConfig {
+                parallel,
+                ..PodConfig::default()
+            },
+        );
+        for _ in 0..pods {
+            sched.add_pod(
+                StubBackend::new(vec![], 5_000.0),
+                one_node_cluster(),
+                policies(),
+            );
+        }
+        sched.submit(jobs);
+        sched
+    }
+
+    fn sparse_jobs() -> Vec<Job> {
+        (0..4).map(|i| job(i, 20_000.0 * i as f64)).collect()
+    }
+
+    #[test]
+    fn one_pod_is_bitwise_identical_to_monolithic() {
+        for mode in [ExecMode::FixedRounds, ExecMode::EventDriven] {
+            let mono = monolithic(sparse_jobs(), mode);
+            let mut pods = sharded(sparse_jobs(), 1, mode, false);
+            let stats = pods.run();
+            assert_eq!(
+                format!("{mono:?}"),
+                format!("{stats:?}"),
+                "1-pod sharded must equal monolithic bitwise under {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_stepping_agree_bitwise() {
+        let jobs: Vec<Job> = (0..12).map(|i| job(i, 100.0 * i as f64)).collect();
+        let mut serial = sharded(jobs.clone(), 3, ExecMode::FixedRounds, false);
+        let mut parallel = sharded(jobs, 3, ExecMode::FixedRounds, true);
+        let a = serial.run();
+        let b = parallel.run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let jobs: Vec<Job> = (0..16).map(|i| job(i, 50.0 * i as f64)).collect();
+        let mut first = sharded(jobs.clone(), 4, ExecMode::FixedRounds, true);
+        let mut second = sharded(jobs, 4, ExecMode::FixedRounds, true);
+        assert_eq!(format!("{:?}", first.run()), format!("{:?}", second.run()));
+    }
+
+    #[test]
+    fn routing_prefers_least_loaded_pod() {
+        // Two pods, four 1-GPU jobs due at once: round-robin-by-load
+        // spreads them 2/2 rather than dumping all four on pod 0.
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 0.0)).collect();
+        let mut sched = sharded(jobs, 2, ExecMode::FixedRounds, false);
+        while !sched.should_stop() {
+            sched.route_arrivals();
+            sched.step_pods();
+        }
+        let seen0 = sched.pod(0).jobs().total_seen() + sched.pod(0).stats().records.len();
+        let seen1 = sched.pod(1).jobs().total_seen() + sched.pod(1).stats().records.len();
+        assert!(
+            seen0 > 0 && seen1 > 0,
+            "both pods got work: {seen0}/{seen1}"
+        );
+    }
+
+    /// A 2-pod scheduler where pod 0 serves jobs six times slower than
+    /// pod 1: routing balances the initial demand, then pod 1 drains
+    /// while pod 0 builds the waiting backlog that trips the steal
+    /// threshold — the imbalance migration exists for.
+    fn skewed_two_pods(jobs: Vec<Job>, steal_batch: usize) -> PodScheduler<StubBackend> {
+        let mut sched = PodScheduler::new(
+            run_config(ExecMode::FixedRounds),
+            PodConfig {
+                steal_threshold: 0.5,
+                steal_batch,
+                parallel: false,
+            },
+        );
+        sched.add_pod(
+            StubBackend::new(vec![], 3_000.0),
+            one_node_cluster(),
+            policies(),
+        );
+        sched.add_pod(
+            StubBackend::new(vec![], 500.0),
+            one_node_cluster(),
+            policies(),
+        );
+        sched.submit(jobs);
+        sched
+    }
+
+    #[test]
+    fn overloaded_pod_sheds_jobs_to_idle_pod() {
+        // 16 jobs all due at t=0 on the skewed 2-pod cluster: the slow
+        // pod's queue is rebalanced by migration and each job completes
+        // exactly once — no lost and no duplicated work across shards.
+        let jobs: Vec<Job> = (0..16).map(|i| job(i, 0.0)).collect();
+        let mut sched = skewed_two_pods(jobs, 4);
+        let stats = sched.run();
+        assert_eq!(stats.records.len(), 16, "every job completes");
+        let mut ids: Vec<u64> = stats.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16, "each job completes exactly once");
+        assert!(sched.migrations() > 0, "the steal path actually fired");
+        for r in &stats.records {
+            assert!(sched.lease(r.id).is_none(), "completed job keeps no lease");
+        }
+    }
+
+    #[test]
+    fn migration_revokes_source_lease_and_bumps_epoch() {
+        let jobs: Vec<Job> = (0..16).map(|i| job(i, 0.0)).collect();
+        let mut sched = skewed_two_pods(jobs, 8);
+        sched.route_arrivals();
+        let before: BTreeMap<JobId, PodLease> = sched.leases.clone();
+        // Three rounds: the fast pod drains its running set (completions
+        // land in the t=600 Collect) while the slow pod's backlog holds.
+        for _ in 0..3 {
+            sched.step_pods();
+        }
+        sched.migrate();
+        assert!(sched.migrations() > 0);
+        let mut saw_bump = false;
+        for (id, lease) in &sched.leases {
+            let old = before[id];
+            if lease.epoch > old.epoch {
+                saw_bump = true;
+                assert_ne!(lease.pod, old.pod, "a bumped lease moved pods");
+                // The job's record now lives on the target pod only.
+                assert!(sched.pod(lease.pod).jobs().get(*id).is_some());
+                assert!(sched.pod(old.pod).jobs().get(*id).is_none());
+            }
+        }
+        assert!(saw_bump, "at least one lease was re-granted");
+    }
+
+    #[test]
+    fn migrated_out_reaches_the_source_delta() {
+        let mut mgr = BloxManager::new(
+            StubBackend::new(vec![], 1e9),
+            one_node_cluster(),
+            run_config(ExecMode::FixedRounds),
+        );
+        // Step once so the injected delta drains, then inject + extract.
+        mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        mgr.add_jobs(vec![job(7, 0.0)]);
+        mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        // Suspend it is not needed: job 7 is Running after the step —
+        // running jobs must refuse extraction.
+        assert!(mgr.extract_waiting_job(JobId(7)).is_none());
+        // A queued job extracts and departs through the next delta.
+        mgr.add_jobs(vec![job(8, 0.0)]);
+        mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        // Pod cluster has 4 GPUs and 2 jobs of 1 GPU each: both run. Use
+        // a job too big to place so it stays queued.
+        let mut big = job(9, 0.0);
+        big.requested_gpus = 64;
+        mgr.add_jobs(vec![big]);
+        mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        let taken = mgr
+            .extract_waiting_job(JobId(9))
+            .expect("queued job extracts");
+        assert_eq!(taken.id, JobId(9));
+        let outcome = mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        assert_eq!(outcome.delta.migrated_out, vec![JobId(9)]);
+    }
+
+    #[test]
+    fn injected_then_extracted_job_never_reaches_a_delta() {
+        let mut mgr = BloxManager::new(
+            StubBackend::new(vec![], 1e9),
+            one_node_cluster(),
+            run_config(ExecMode::FixedRounds),
+        );
+        mgr.add_jobs(vec![job(3, 0.0)]);
+        let taken = mgr
+            .extract_waiting_job(JobId(3))
+            .expect("queued job extracts");
+        assert_eq!(taken.id, JobId(3));
+        let outcome = mgr.step(&mut StubAdmit, &mut StubSched, &mut StubPlace);
+        assert!(outcome.delta.admitted.is_empty(), "no phantom admission");
+        assert!(
+            outcome.delta.migrated_out.is_empty(),
+            "no phantom departure"
+        );
+    }
+}

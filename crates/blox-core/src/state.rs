@@ -197,10 +197,27 @@ impl JobState {
         self.waiting_ids.len()
     }
 
+    /// Ids of waiting (queued or suspended) jobs, in id order. The
+    /// pod meta-scheduler reads this to pick migration victims without a
+    /// job-table scan.
+    pub fn waiting_ids(&self) -> &BTreeSet<JobId> {
+        &self.waiting_ids
+    }
+
     /// Ids of active jobs that finished (completed or terminated early)
     /// and have not been pruned yet, in id order.
     pub fn done_ids(&self) -> &BTreeSet<JobId> {
         &self.done_ids
+    }
+
+    /// Remove one active job from this state entirely — it is *not* moved
+    /// to the finished list (contrast [`JobState::prune_completed`]). The
+    /// cross-pod migration path uses this to hand a waiting job's record
+    /// to another shard; the status indexes stay in sync.
+    pub fn take_job(&mut self, id: JobId) -> Option<Job> {
+        let job = self.active.remove(&id)?;
+        self.index_remove(id, job.status);
+        Some(job)
     }
 
     /// Sum of requested GPUs across active jobs (admission-control input).
@@ -359,6 +376,19 @@ mod tests {
         s.add_new_jobs(vec![r, job(2)]);
         assert_eq!(s.running().count(), 1);
         assert_eq!(s.waiting().count(), 1);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn take_job_removes_without_finishing() {
+        let mut s = JobState::new();
+        s.add_new_jobs(vec![job(1), job(2)]);
+        let taken = s.take_job(JobId(1)).expect("job 1 is active");
+        assert_eq!(taken.id, JobId(1));
+        assert_eq!(s.active_count(), 1);
+        assert!(s.finished().is_empty(), "taken jobs are not finished");
+        assert!(s.get(JobId(1)).is_none());
+        assert!(s.take_job(JobId(1)).is_none(), "second take finds nothing");
         s.check_invariants().unwrap();
     }
 

@@ -230,7 +230,9 @@ impl EvSender {
                 self.close_reason().unwrap_or_else(|| "closed".into())
             )));
         }
-        let bytes = encode_frame(msg);
+        // An oversized message fails here, before any bytes are queued —
+        // the connection stays healthy.
+        let bytes = encode_frame(msg)?;
         self.shared.queued.fetch_add(bytes.len(), Ordering::Relaxed);
         self.cmds
             .send(Cmd::Send(self.token, bytes))
@@ -961,7 +963,8 @@ impl ShardState {
         let frame = encode_frame(&Message::Heartbeat {
             node: entry.node,
             seq: entry.seq,
-        });
+        })
+        .expect("heartbeat frames are a few bytes");
         if let Some(conn) = self.slab.get_mut(entry.token) {
             conn.out.extend(&frame);
             // Heartbeats bypass the sender-side queued counter (they are

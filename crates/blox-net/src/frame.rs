@@ -25,20 +25,38 @@ pub const PREFIX_BYTES: usize = 4;
 
 /// Append one length-prefixed frame for `msg` to `out` (prefix + payload
 /// in a single buffer, no intermediate allocation).
-pub fn encode_frame_into(msg: &Message, out: &mut Vec<u8>) {
+///
+/// A payload above [`MAX_FRAME_BYTES`] is a hard error — the receiver
+/// would reject the prefix anyway, and a payload at or above 4 GiB would
+/// otherwise truncate in the `u32` prefix and desynchronize the stream
+/// (every subsequent frame parses from a garbage boundary). On error
+/// `out` is restored to its original length, so the caller's buffer
+/// never holds a half-written frame.
+pub fn encode_frame_into(msg: &Message, out: &mut Vec<u8>) -> Result<()> {
     let prefix_at = out.len();
     out.extend_from_slice(&[0u8; PREFIX_BYTES]);
     msg.encode_into(out);
     let payload_len = out.len() - prefix_at - PREFIX_BYTES;
-    debug_assert!(payload_len as u32 <= MAX_FRAME_BYTES);
+    // Compare in usize: `payload_len as u32` would wrap a >= 4 GiB
+    // payload back into range and let the truncated prefix through.
+    if payload_len > MAX_FRAME_BYTES as usize {
+        out.truncate(prefix_at);
+        return Err(BloxError::Transport(format!(
+            "oversized frame payload: {payload_len} bytes (max {MAX_FRAME_BYTES})"
+        )));
+    }
     out[prefix_at..prefix_at + PREFIX_BYTES].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
 }
 
 /// Encode one message as a length-prefixed frame.
-pub fn encode_frame(msg: &Message) -> Vec<u8> {
+///
+/// Errors when the encoded payload exceeds [`MAX_FRAME_BYTES`]; see
+/// [`encode_frame_into`].
+pub fn encode_frame(msg: &Message) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(32 + PREFIX_BYTES);
-    encode_frame_into(msg, &mut out);
-    out
+    encode_frame_into(msg, &mut out)?;
+    Ok(out)
 }
 
 /// Streaming frame reassembly buffer: feed it raw socket bytes in any
@@ -156,7 +174,7 @@ mod tests {
             .collect();
         let mut stream = Vec::new();
         for m in &msgs {
-            encode_frame_into(m, &mut stream);
+            encode_frame_into(m, &mut stream).unwrap();
         }
         for chunk in [1usize, 3, 7, 64, stream.len()] {
             let mut fb = FrameBuf::new();
@@ -182,8 +200,39 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_fails_encode_and_leaves_buffer_clean() {
+        // A payload one byte past the cap must be refused at encode
+        // time: the old `payload_len as u32` comparison would only have
+        // caught this in debug builds, and a >= 4 GiB payload would have
+        // wrapped past the check entirely and written a truncated prefix
+        // that desynchronizes every later frame on the stream.
+        let msg = Message::Launch {
+            job: JobId(1),
+            local_gpus: vec![0u8; MAX_FRAME_BYTES as usize + 1],
+            iter_time_s: 1.0,
+            start_iters: 0.0,
+            total_iters: 1.0,
+            warmup_s: 0.0,
+            is_rank0: true,
+        };
+        assert!(encode_frame(&msg).is_err());
+        // And a buffer with a good frame already in it is rolled back to
+        // exactly that frame — no half-written bytes appended.
+        let mut buf = Vec::new();
+        encode_frame_into(&Message::Ack, &mut buf).unwrap();
+        let good_len = buf.len();
+        assert!(encode_frame_into(&msg, &mut buf).is_err());
+        assert_eq!(buf.len(), good_len);
+        let mut fb = FrameBuf::new();
+        fb.extend_from_slice(&buf);
+        let payload = fb.try_decode().unwrap().expect("good frame intact");
+        assert_eq!(Message::decode(&payload).unwrap(), Message::Ack);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
     fn partial_frame_waits_for_more_bytes() {
-        let frame = encode_frame(&Message::Ack);
+        let frame = encode_frame(&Message::Ack).unwrap();
         let mut fb = FrameBuf::new();
         fb.extend_from_slice(&frame[..frame.len() - 1]);
         assert_eq!(fb.try_decode().unwrap(), None);

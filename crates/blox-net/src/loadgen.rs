@@ -319,4 +319,30 @@ mod tests {
         assert_eq!(percentile(&v, 0.999), 999);
         assert_eq!(percentile(&[], 0.99), 0);
     }
+
+    #[test]
+    fn percentile_empty_input_is_zero_for_every_report_quantile() {
+        // Regression: a run whose window closes before any JobAccepted
+        // arrives (dead scheduler, zero accepted) reports latency over an
+        // empty sample — every quantile the report asks for must be 0,
+        // not an index panic.
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile(&[], q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_edge_quantiles_stay_in_bounds() {
+        // One sample: every quantile is that sample.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile(&[42], q), 42, "q={q}");
+        }
+        // q=0 takes the minimum, q=1 the maximum, and an out-of-range
+        // quantile clamps to the last element instead of indexing past
+        // the end.
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 10);
+        assert_eq!(percentile(&v, 1.5), 10);
+    }
 }

@@ -95,6 +95,7 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<LinkSender>>) -> Result<S
         time_scale,
         emu_iter_sim_s,
         heartbeat_sim_s,
+        pod: _,
     } = assign
     else {
         return Err(BloxError::Transport(format!(

@@ -77,6 +77,10 @@ pub struct SchedulerConfig {
     pub transport: TransportKind,
     /// Event-loop shard count (ignored under `TransportKind::Threads`).
     pub ev_shards: usize,
+    /// Scheduling pod this daemon serves (0 when unsharded). Echoed to
+    /// every worker in [`Message::AssignNode`] so a sharded deployment
+    /// (see `blox_core::pods`) can attribute nodes to shards.
+    pub pod: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -88,6 +92,7 @@ impl Default for SchedulerConfig {
             stall_rounds: 10,
             transport: TransportKind::Threads,
             ev_shards: 1,
+            pod: 0,
         }
     }
 }
@@ -477,6 +482,7 @@ impl NetBackend {
                         time_scale: self.cfg.runtime.time_scale,
                         emu_iter_sim_s: self.cfg.runtime.emu_iter_sim_s,
                         heartbeat_sim_s: self.cfg.heartbeat_sim_s,
+                        pod: self.cfg.pod,
                     });
                 }
             }
@@ -1061,4 +1067,96 @@ pub fn serve_with(
         stalls_detected: mgr.backend().stalls_detected(),
         dead_nodes,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blox_core::profile::JobProfile;
+
+    fn flat_running_job(id: u64) -> Job {
+        let mut j = Job::new(JobId(id), 0.0, 1, 1e6, JobProfile::synthetic("t", 1.0));
+        j.status = JobStatus::Running;
+        j.completed_iters = 100.0;
+        j
+    }
+
+    /// One stall-observation round with no worker traffic: the job's
+    /// reported progress stays flat.
+    fn flat_round(backend: &mut NetBackend, cluster: &mut ClusterState, jobs: &mut JobState) {
+        backend.advance_round(300.0);
+        backend.update_metrics(cluster, jobs, 300.0);
+    }
+
+    /// Recovery-path regression for the stall detector: the per-job
+    /// zero-progress counters live outside the checkpoint, and
+    /// [`NetBackend::restore`] clears the tracker, so rounds a job sat
+    /// flat *before* a scheduler crash must never count against it after
+    /// the restart — a freshly relaunched job gets the full
+    /// `stall_rounds` grace again, and the detector still fires once
+    /// that grace is genuinely exhausted.
+    #[test]
+    fn stall_counter_is_not_double_counted_across_restore() {
+        let cfg = SchedulerConfig {
+            runtime: RuntimeConfig {
+                time_scale: 1e-6,
+                emu_iter_sim_s: 30.0,
+            },
+            stall_rounds: 3,
+            ..SchedulerConfig::default()
+        };
+        let mut backend = NetBackend::bind(cfg.clone()).expect("bind ephemeral");
+        let mut cluster = ClusterState::new();
+        let mut jobs = JobState::new();
+        jobs.add_new_jobs(vec![flat_running_job(0)]);
+        backend.begin_rounds();
+
+        // Baseline round + two flat counting rounds: one short of the
+        // stall verdict at the moment of the crash.
+        for _ in 0..3 {
+            flat_round(&mut backend, &mut cluster, &mut jobs);
+        }
+        assert_eq!(backend.stalls_detected(), 0);
+        assert_eq!(
+            jobs.get(JobId(0)).expect("active").status,
+            JobStatus::Running
+        );
+
+        // Crash: checkpoint, restore into a fresh scheduler. The restore
+        // demotes the running job to suspended (one preemption charged).
+        let snap = backend.snapshot(&cluster, &jobs, &RunStats::new());
+        let mut backend2 = NetBackend::bind(cfg).expect("bind successor");
+        let (mut cluster2, mut jobs2, _stats) = backend2.restore(snap);
+        let job = jobs2.get(JobId(0)).expect("active");
+        assert_eq!(job.status, JobStatus::Suspended);
+        assert_eq!(job.preemptions, 1);
+
+        // Relaunch, still flat. Were the pre-crash count carried over,
+        // the first post-restore observation would read 2 + 1 >= 3 and
+        // requeue the job the moment it came back. Instead the first
+        // round re-seeds the baseline and two more only reach count 2.
+        backend2.begin_rounds();
+        jobs2
+            .set_status(JobId(0), JobStatus::Running)
+            .expect("relaunch");
+        for _ in 0..3 {
+            flat_round(&mut backend2, &mut cluster2, &mut jobs2);
+        }
+        assert_eq!(
+            backend2.stalls_detected(),
+            0,
+            "post-restore stall counting must restart from a fresh baseline"
+        );
+
+        // The detector itself still works: exhausting the full grace
+        // after the restart fires exactly one requeue.
+        flat_round(&mut backend2, &mut cluster2, &mut jobs2);
+        assert_eq!(backend2.stalls_detected(), 1);
+        let job = jobs2.get(JobId(0)).expect("active");
+        assert_eq!(job.status, JobStatus::Suspended);
+        assert_eq!(
+            job.preemptions, 2,
+            "one preemption from the crash demotion, one from the stall requeue"
+        );
+    }
 }

@@ -61,7 +61,9 @@ impl TcpSender {
                 "tcp send on poisoned connection: {why}"
             )));
         }
-        let frame = encode_frame(msg);
+        // An unencodable (oversized) message fails cleanly here without
+        // poisoning the connection: nothing reached the wire.
+        let frame = encode_frame(msg)?;
         if let Err(e) = inner.stream.write_all(&frame) {
             // The peer may have received a torn frame; nothing sane can
             // follow it on this socket.

@@ -38,7 +38,7 @@ proptest! {
     ) {
         let mut stream = Vec::new();
         for msg in &msgs {
-            stream.extend_from_slice(&encode_frame(msg));
+            stream.extend_from_slice(&encode_frame(msg).expect("in-bounds payload"));
         }
         let mut buf = FrameBuf::new();
         let mut decoded = Vec::new();
@@ -79,7 +79,7 @@ proptest! {
     /// holds matches what it was fed.
     #[test]
     fn partial_frames_wait(msg in arb_submit(128), cut_frac in 0.0f64..1.0) {
-        let frame = encode_frame(&msg);
+        let frame = encode_frame(&msg).expect("in-bounds payload");
         // Keep at least the prefix ambiguous: cut anywhere short of the end.
         let cut = PREFIX_BYTES.min(frame.len() - 1)
             + ((frame.len() - 1 - PREFIX_BYTES.min(frame.len() - 1)) as f64 * cut_frac) as usize;

@@ -48,8 +48,13 @@ impl OrderCache {
         let Some(cached) = self.cached.as_mut() else {
             return;
         };
-        if !delta.completed.is_empty() {
-            let gone: BTreeSet<JobId> = delta.completed.iter().copied().collect();
+        if !delta.completed.is_empty() || !delta.migrated_out.is_empty() {
+            let gone: BTreeSet<JobId> = delta
+                .completed
+                .iter()
+                .chain(&delta.migrated_out)
+                .copied()
+                .collect();
             cached.retain(|id| !gone.contains(id));
         }
         for id in &delta.admitted {
@@ -169,6 +174,25 @@ mod tests {
         assert_eq!(
             d.allocations.iter().map(|(j, _)| j.0).collect::<Vec<_>>(),
             vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn migrated_out_jobs_leave_the_cached_order() {
+        let mut js = JobState::new();
+        js.add_new_jobs(vec![job(1, 1.0), job(2, 2.0), job(3, 3.0)]);
+        let mut cache = OrderCache::default();
+        cache.decision(&js, key);
+        // Job 2 leaves this shard via cross-pod migration: the cache
+        // must forget it exactly as it forgets completions.
+        js.take_job(JobId(2)).unwrap();
+        let mut delta = StateDelta::new();
+        delta.migrated_out = vec![JobId(2)];
+        cache.apply_delta(&delta, &js, key);
+        let d = cache.decision(&js, key);
+        assert_eq!(
+            d.allocations.iter().map(|(j, _)| j.0).collect::<Vec<_>>(),
+            vec![1, 3]
         );
     }
 

@@ -118,6 +118,10 @@ pub enum Message {
         /// Interval (simulated seconds) at which the worker must send
         /// [`Message::Heartbeat`].
         heartbeat_sim_s: f64,
+        /// Scheduling pod the node belongs to (0 when the scheduler runs
+        /// unsharded). Workers echo it in diagnostics so a sharded
+        /// deployment can attribute a node's traffic to its shard.
+        pod: u32,
     },
     /// Client submits a job into the live scheduler's wait queue.
     SubmitJob {
@@ -228,6 +232,7 @@ impl Message {
                 time_scale,
                 emu_iter_sim_s,
                 heartbeat_sim_s,
+                pod,
             } => {
                 put_u8(buf, 12);
                 put_u32(buf, node.0);
@@ -235,6 +240,7 @@ impl Message {
                 put_f64(buf, *time_scale);
                 put_f64(buf, *emu_iter_sim_s);
                 put_f64(buf, *heartbeat_sim_s);
+                put_u32(buf, *pod);
             }
             Message::SubmitJob {
                 gpus,
@@ -319,6 +325,7 @@ impl Message {
                 time_scale: r.f64()?,
                 emu_iter_sim_s: r.f64()?,
                 heartbeat_sim_s: r.f64()?,
+                pod: r.u32()?,
             },
             13 => Message::SubmitJob {
                 gpus: r.u32()?,
@@ -577,6 +584,7 @@ mod tests {
                 time_scale: 1e-4,
                 emu_iter_sim_s: 30.0,
                 heartbeat_sim_s: 60.0,
+                pod: 3,
             },
             Message::SubmitJob {
                 gpus: 2,

@@ -74,14 +74,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
             finite_f64(1e9),
             finite_f64(1.0),
             finite_f64(1e3),
-            finite_f64(1e4)
+            finite_f64(1e4),
+            any::<u32>()
         )
-            .prop_map(|(n, now, ts, ei, hb)| Message::AssignNode {
+            .prop_map(|(n, now, ts, ei, hb, pod)| Message::AssignNode {
                 node: NodeId(n),
                 now_sim: now,
                 time_scale: ts,
                 emu_iter_sim_s: ei,
                 heartbeat_sim_s: hb,
+                pod,
             }),
         (any::<u32>(), finite_f64(1e9), ".{0,24}").prop_map(|(g, t, m)| Message::SubmitJob {
             gpus: g,

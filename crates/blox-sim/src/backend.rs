@@ -157,6 +157,20 @@ impl SimBackend {
     pub fn arrivals_remaining(&self) -> usize {
         self.arrivals.len()
     }
+
+    /// Enqueue meta-routed arrivals at the back of the wait queue (the
+    /// [`blox_core::pods::PodBackend`] contract): the pod meta-scheduler
+    /// owns the global trace and pushes each job into its assigned pod's
+    /// shard at the round it falls due.
+    pub fn push_arrivals(&mut self, jobs: Vec<Job>) {
+        self.arrivals.extend(jobs);
+    }
+}
+
+impl blox_core::pods::PodBackend for SimBackend {
+    fn push_arrivals(&mut self, jobs: Vec<Job>) {
+        SimBackend::push_arrivals(self, jobs);
+    }
 }
 
 impl Backend for SimBackend {
@@ -195,6 +209,7 @@ impl Backend for SimBackend {
             .chain(&delta.terminated)
             .chain(&delta.completed)
             .chain(&delta.retuned)
+            .chain(&delta.migrated_out)
         {
             self.rates.invalidate_job(*id);
         }

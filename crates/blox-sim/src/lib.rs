@@ -20,6 +20,7 @@
 pub mod backend;
 pub mod churn;
 pub mod perf;
+pub mod pods;
 pub mod rate_cache;
 pub mod sweep;
 

@@ -1,0 +1,77 @@
+//! Sharded-simulation helpers: build a [`PodScheduler`] over
+//! [`SimBackend`] shards.
+//!
+//! The meta-scheduler itself lives in [`blox_core::pods`]; this module
+//! only assembles the common simulation shape — N equal pods of
+//! p3.8xlarge-style nodes, one empty `SimBackend` per pod (the meta
+//! level owns the trace), policies minted per pod from a factory — so
+//! benches and tests spell the sharded and monolithic runs from the same
+//! ingredients.
+
+use blox_core::manager::RunConfig;
+use blox_core::pods::{PodConfig, PodPolicies, PodScheduler};
+use blox_core::Job;
+
+use crate::backend::SimBackend;
+use crate::cluster_of_v100;
+
+/// A sharded simulator over `pods` equal V100 shards of
+/// `nodes_per_pod` nodes each, fed by `jobs` through the meta level.
+///
+/// `make_policies` mints one fresh [`PodPolicies`] per pod — policies
+/// hold per-shard incremental state, so sharing an instance across pods
+/// would corrupt both. `make_backend` mints each pod's backend from its
+/// pod index (start from an empty trace — trace jobs go through the
+/// meta level, not the shard queues) so callers can attach churn or
+/// overhead settings per shard.
+///
+/// ```
+/// use blox_core::manager::{ExecMode, RunConfig, StopCondition};
+/// use blox_core::pods::{PodConfig, PodPolicies};
+/// use blox_policies::admission::AcceptAll;
+/// use blox_policies::placement::FirstFreePlacement;
+/// use blox_policies::scheduling::Fifo;
+///
+/// let run = RunConfig {
+///     round_duration: 300.0,
+///     max_rounds: 100,
+///     stop: StopCondition::AllJobsDone,
+///     mode: ExecMode::EventDriven,
+/// };
+/// let mut sched = blox_sim::pods::sharded_v100(
+///     2,
+///     4,
+///     vec![],
+///     run,
+///     PodConfig::default(),
+///     |_| blox_sim::SimBackend::new(blox_workloads::Trace::new(vec![])),
+///     || PodPolicies {
+///         admission: Box::new(AcceptAll),
+///         scheduling: Box::new(Fifo::new()),
+///         placement: Box::new(FirstFreePlacement::new()),
+///     },
+/// );
+/// assert_eq!(sched.pod_count(), 2);
+/// let stats = sched.run();
+/// assert_eq!(stats.records.len(), 0);
+/// ```
+pub fn sharded_v100(
+    pods: usize,
+    nodes_per_pod: u32,
+    jobs: Vec<Job>,
+    run: RunConfig,
+    cfg: PodConfig,
+    mut make_backend: impl FnMut(usize) -> SimBackend,
+    mut make_policies: impl FnMut() -> PodPolicies,
+) -> PodScheduler<SimBackend> {
+    let mut sched = PodScheduler::new(run, cfg);
+    for pod in 0..pods {
+        sched.add_pod(
+            make_backend(pod),
+            cluster_of_v100(nodes_per_pod),
+            make_policies(),
+        );
+    }
+    sched.submit(jobs);
+    sched
+}

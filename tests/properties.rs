@@ -88,14 +88,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
             0.0f64..1e9,
             0.0f64..1.0,
             0.0f64..1e3,
-            0.0f64..1e4
+            0.0f64..1e4,
+            any::<u32>()
         )
-            .prop_map(|(n, now, ts, ei, hb)| Message::AssignNode {
+            .prop_map(|(n, now, ts, ei, hb, pod)| Message::AssignNode {
                 node: NodeId(n),
                 now_sim: now,
                 time_scale: ts,
                 emu_iter_sim_s: ei,
                 heartbeat_sim_s: hb,
+                pod,
             }),
         (any::<u32>(), 0.0f64..1e9, ".{0,16}").prop_map(|(g, t, m)| Message::SubmitJob {
             gpus: g,
