@@ -1,0 +1,85 @@
+//! Broadcast-fanout microbenchmark: the cost of producing one tick's
+//! outbound frames for N connections, shared-frame (`encode_shared`
+//! once, `Arc` clone per connection) versus encode-per-connection (a
+//! fresh encode + allocation for every peer — the pre-zero-copy path).
+//!
+//! The shared path does one encode and N refcount bumps; the per-conn
+//! path does N encodes and N allocations. The ratio is the win the
+//! event loop banks every heartbeat tick and every shutdown broadcast.
+//!
+//! `BLOX_BENCH_JSON=BENCH_net.json cargo bench -p blox-bench --bench
+//! fanout` appends one JSON line per benchmark.
+
+use blox_core::ids::{JobId, NodeId};
+use blox_net::frame::{encode_frame, encode_shared, SharedFrame};
+use blox_net::OutQueue;
+use blox_runtime::wire::Message;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FANOUT: usize = 1000;
+
+/// A representative broadcast frame (scheduler → every worker).
+fn broadcast_msg() -> Message {
+    Message::Heartbeat {
+        node: NodeId(7),
+        seq: 123_456,
+    }
+}
+
+/// A larger fan-out frame, where the per-conn encode cost dominates.
+fn launch_msg() -> Message {
+    Message::Launch {
+        job: JobId(42),
+        local_gpus: vec![0, 1, 2, 3],
+        iter_time_s: 0.25,
+        start_iters: 1000.5,
+        total_iters: 50_000.0,
+        warmup_s: 20.0,
+        is_rank0: true,
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout");
+    group.sample_size(30);
+
+    let mut queues: Vec<OutQueue> = (0..FANOUT).map(|_| OutQueue::new()).collect();
+
+    for (label, msg) in [("heartbeat", broadcast_msg()), ("launch", launch_msg())] {
+        // Pre-zero-copy baseline: encode the same message once per
+        // connection, each push owning a fresh allocation.
+        group.bench_function(format!("encode_per_conn_{label}_{FANOUT}"), |b| {
+            b.iter(|| {
+                for q in queues.iter_mut() {
+                    let frame: SharedFrame =
+                        SharedFrame::from(&encode_frame(&msg).expect("encode")[..]);
+                    q.push(frame);
+                }
+                let total: usize = queues.iter().map(|q| q.pending()).sum();
+                for q in queues.iter_mut() {
+                    q.clear();
+                }
+                total
+            })
+        });
+
+        // Zero-copy path: one pooled encode, N refcount bumps.
+        group.bench_function(format!("shared_frame_{label}_{FANOUT}"), |b| {
+            b.iter(|| {
+                let frame = encode_shared(&msg).expect("encode");
+                for q in queues.iter_mut() {
+                    q.push(frame.clone());
+                }
+                let total: usize = queues.iter().map(|q| q.pending()).sum();
+                for q in queues.iter_mut() {
+                    q.clear();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

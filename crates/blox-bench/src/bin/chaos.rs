@@ -120,6 +120,7 @@ fn net_recovery(drop_p: f64, jobs: usize, iters: f64) -> RecoveryTrial {
                 reconnect: false,
                 faults: (!plan.is_quiet()).then(|| plan.clone()),
                 transport: TransportKind::Threads,
+                poller: blox_net::PollerKind::Auto,
             })
         })
         .collect();

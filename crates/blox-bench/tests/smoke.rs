@@ -267,7 +267,7 @@ fn netload_quick() {
     let _ = std::fs::remove_file(&tmp);
     assert!(
         json.contains("\"bench\":\"net/loadgen_quick\"")
-            && json.contains("\"transport\":\"evloop\"")
+            && json.contains("\"transport\":\"evloop-")
             && json.contains("\"p99_us\":")
             && json.contains("\"sustained_rate\":"),
         "netload JSON missing expected fields: {json}"

@@ -4,6 +4,7 @@
 //! ```text
 //! blox-loadgen --sched 127.0.0.1:PORT [--conns 1000] [--rate 10000]
 //!              [--duration-s 5] [--drain-s 5] [--gpus 1] [--iters 1e9]
+//!              [--ramp-ms 0] [--poller auto|epoll|poll]
 //!              [--model synthetic-load] [--name loadgen] [--json PATH]
 //! ```
 //!
@@ -46,6 +47,12 @@ fn main() {
             }
             "--gpus" => cfg.gpus = val("--gpus").parse().expect("--gpus u32"),
             "--iters" => cfg.total_iters = val("--iters").parse().expect("--iters f64"),
+            "--ramp-ms" => {
+                cfg.ramp = std::time::Duration::from_millis(
+                    val("--ramp-ms").parse().expect("--ramp-ms u64"),
+                )
+            }
+            "--poller" => cfg.poller = val("--poller").parse().expect("--poller auto|epoll|poll"),
             "--model" => cfg.model = val("--model"),
             "--name" => name = val("--name"),
             "--json" => json = Some(val("--json")),
@@ -85,10 +92,11 @@ fn main() {
         "loadgen: sustained={:.1}/s p50={}us p99={}us p999={}us max={}us",
         report.sustained_rate, report.p50_us, report.p99_us, report.p999_us, report.max_us,
     );
-    println!("{}", report.json_row(&name, "evloop"));
+    let transport = format!("evloop-{}", cfg.poller.resolve());
+    println!("{}", report.json_row(&name, &transport));
 
     if let Some(path) = json {
-        let row = report.json_row(&name, "evloop");
+        let row = report.json_row(&name, &transport);
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)

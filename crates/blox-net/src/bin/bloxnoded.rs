@@ -5,17 +5,18 @@
 //!
 //! ```text
 //! bloxnoded --sched 127.0.0.1:PORT [--gpus 4] [--no-reconnect]
-//!           [--transport threads|evloop]
+//!           [--transport threads|evloop] [--poller auto|epoll|poll]
 //! ```
 
 use blox_net::node::{run_node, NodeConfig};
-use blox_net::TransportKind;
+use blox_net::{PollerKind, TransportKind};
 
 fn main() {
     let mut sched: Option<String> = None;
     let mut gpus = 4u32;
     let mut reconnect = true;
     let mut transport = TransportKind::Threads;
+    let mut poller = PollerKind::Auto;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -35,6 +36,13 @@ fn main() {
                     .parse()
                     .expect("--transport threads|evloop")
             }
+            "--poller" => {
+                poller = it
+                    .next()
+                    .expect("missing value for --poller")
+                    .parse()
+                    .expect("--poller auto|epoll|poll")
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -49,6 +57,7 @@ fn main() {
         reconnect,
         faults: None,
         transport,
+        poller,
     })
     .expect("node daemon");
     println!("bloxnoded: shut down");

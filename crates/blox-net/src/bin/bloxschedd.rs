@@ -7,6 +7,7 @@
 //! bloxschedd [--bind 127.0.0.1:0] [--nodes 1] [--jobs N | --time-limit SIM_S]
 //!            [--policy tiresias|las|fifo] [--round 300] [--time-scale 1e-4]
 //!            [--stall-rounds 10] [--transport threads|evloop] [--ev-shards 1]
+//!            [--poller auto|epoll|poll] [--backlog 1024]
 //!            [--checkpoint PATH] [--checkpoint-every ROUNDS] [--restore PATH]
 //! ```
 //!
@@ -27,7 +28,7 @@ use std::time::{Duration, Instant};
 use blox_core::manager::{ExecMode, RunConfig, StopCondition};
 use blox_core::policy::SchedulingPolicy;
 use blox_net::sched::{read_checkpoint, serve_with, NetBackend, RecoveryOptions, SchedulerConfig};
-use blox_net::TransportKind;
+use blox_net::{PollerKind, TransportKind};
 use blox_policies::admission::AcceptAll;
 use blox_policies::placement::ConsolidatedPlacement;
 use blox_policies::scheduling::{Fifo, Las, Tiresias};
@@ -44,6 +45,8 @@ struct Args {
     stall_rounds: u32,
     transport: TransportKind,
     ev_shards: usize,
+    poller: PollerKind,
+    backlog: i32,
     checkpoint: Option<String>,
     checkpoint_every: u64,
     restore: Option<String>,
@@ -61,6 +64,8 @@ fn parse_args() -> Args {
         stall_rounds: 10,
         transport: TransportKind::Threads,
         ev_shards: 1,
+        poller: PollerKind::Auto,
+        backlog: 1024,
         checkpoint: None,
         checkpoint_every: 5,
         restore: None,
@@ -94,6 +99,8 @@ fn parse_args() -> Args {
             "--ev-shards" => {
                 args.ev_shards = val("--ev-shards").parse().expect("--ev-shards usize")
             }
+            "--poller" => args.poller = val("--poller").parse().expect("--poller auto|epoll|poll"),
+            "--backlog" => args.backlog = val("--backlog").parse().expect("--backlog i32"),
             "--checkpoint" => args.checkpoint = Some(val("--checkpoint")),
             "--checkpoint-every" => {
                 args.checkpoint_every = val("--checkpoint-every")
@@ -161,6 +168,8 @@ fn main() {
         stall_rounds: args.stall_rounds,
         transport: args.transport,
         ev_shards: args.ev_shards,
+        poller: args.poller,
+        listen_backlog: args.backlog,
         ..SchedulerConfig::default()
     };
     let backend = bind_with_retry(&args.bind, &cfg);

@@ -8,19 +8,26 @@
 //! contracts on a different execution model:
 //!
 //! * **one loop thread per shard** owns all of its connections in a
-//!   generation-tagged slab; readiness comes from `poll(2)` on Linux and
-//!   from a fixed 1 ms tick elsewhere (spurious readiness is harmless on
-//!   non-blocking sockets — a read just returns `WouldBlock`);
+//!   generation-tagged slab; readiness comes from a persistent
+//!   [`crate::poller::ReadinessPoller`] registration — `epoll(7)` on
+//!   Linux (O(ready) wakeups) or `poll(2)` as the portable fallback,
+//!   selected by [`crate::poller::PollerKind`]. Interest is registered
+//!   once per connection and modified only when it changes (write
+//!   interest toggling around a partial write); the self-pipe waker is
+//!   registered once at loop start. Nothing is rebuilt per wake;
 //! * **batched decode**: a readable wake drains the socket until
 //!   `WouldBlock` and decodes *every* complete length-prefixed frame in
 //!   the buffer ([`crate::frame::FrameBuf`]), so one syscall round-trip
 //!   amortizes across a burst of messages;
-//! * **buffered writes with backpressure**: senders never block on the
-//!   socket — frames are queued to the loop, which flushes opportunistically
-//!   and registers `POLLOUT` interest only while a partial write is
-//!   pending. A peer that stops reading grows its bounded outbound queue
-//!   until the loop disconnects it (the slow-client policy), and the
-//!   sender sees an explicit close reason;
+//! * **zero-copy buffered writes with backpressure**: senders never
+//!   block on the socket — frames are encoded once into refcounted
+//!   [`SharedFrame`] chunks (pooled scratch, see
+//!   [`crate::frame::encode_shared`]) and queued by reference into a
+//!   per-connection [`crate::outq::OutQueue`] drained by `writev(2)`
+//!   scatter-gather. A fan-out frame is one allocation shared by every
+//!   peer's queue. A peer that stops reading grows its bounded outbound
+//!   queue until the loop disconnects it (the slow-client policy), and
+//!   the sender sees an explicit close reason;
 //! * **timer-wheel heartbeats**: node liveness beacons are deadline
 //!   entries on the loop's hashed timer wheel, not one sleeping thread
 //!   per connection.
@@ -28,7 +35,8 @@
 //! [`EvTransport`] (client/node side) and the [`LoopEvent`] stream
 //! (scheduler side) are drop-in peers of `TcpTransport` and the thread
 //! engine's connection events; `NetBackend`, `bloxschedd`, and
-//! `bloxnoded` select an engine with [`TransportKind`].
+//! `bloxnoded` select an engine with [`TransportKind`] and a readiness
+//! backend with `--poller`.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -42,7 +50,9 @@ use blox_runtime::wire::{Message, Transport, WireSender};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
-use crate::frame::{encode_frame, FrameBuf};
+use crate::frame::{encode_shared, FrameBuf, SharedFrame};
+use crate::outq::OutQueue;
+use crate::poller::{new_poller, Interest, PollerKind, ReadinessPoller, ReadyEvent};
 use crate::tcp::TcpSender;
 
 // Engine selection ------------------------------------------------------------
@@ -85,6 +95,12 @@ impl std::fmt::Display for TransportKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Token(u64);
 
+/// The poller registration the loop's self-pipe waker lives under. A
+/// slab token would need slot and generation both at `u32::MAX` to
+/// collide — 2^32 connection turnovers on one slot of a loop that also
+/// has 2^32 slots live.
+const WAKER_TOKEN: u64 = u64::MAX;
+
 impl Token {
     /// Build a token from an externally allocated id (the thread engine's
     /// accept counter uses this; the event loop mints its own).
@@ -94,6 +110,10 @@ impl Token {
 
     fn new(slot: u32, gen: u32) -> Self {
         Token((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn raw(self) -> u64 {
+        self.0
     }
 
     fn slot(self) -> usize {
@@ -129,6 +149,17 @@ impl LinkSender {
         match self {
             LinkSender::Thread(s) => s.send(msg),
             LinkSender::Ev(s) => s.send(msg),
+        }
+    }
+
+    /// Send a pre-encoded frame. The fan-out path: the caller encodes a
+    /// broadcast once with [`crate::frame::encode_shared`] and every
+    /// connection shares the same allocation (the event engine queues it
+    /// by reference; the thread engine writes the bytes directly).
+    pub fn send_shared(&self, frame: &SharedFrame) -> Result<()> {
+        match self {
+            LinkSender::Thread(s) => s.send_frame(frame),
+            LinkSender::Ev(s) => s.send_shared(frame),
         }
     }
 
@@ -189,7 +220,11 @@ pub enum Delivery {
 /// that owns the socket.
 struct ConnShared {
     closed: AtomicBool,
-    /// Bytes accepted from senders but not yet written to the socket.
+    /// Bytes queued toward the socket but not yet written. Every byte
+    /// that enters the connection's outbound queue — sender frames *and*
+    /// loop-generated heartbeats — is added here, and flush subtracts
+    /// exactly what it writes, so [`EvSender::queued_bytes`] and the
+    /// slow-client policy reconcile against the same totals.
     queued: AtomicUsize,
     reason: Mutex<Option<String>>,
 }
@@ -206,7 +241,7 @@ impl ConnShared {
 
 /// Clonable send half of an event-loop connection. `send` never blocks on
 /// the socket: it frames the message, hands it to the owning loop, and
-/// wakes it; the loop flushes under `POLLOUT` interest.
+/// wakes it; the loop flushes under write interest.
 #[derive(Clone)]
 pub struct EvSender {
     cmds: Sender<Cmd>,
@@ -221,21 +256,29 @@ impl EvSender {
         self.token
     }
 
-    /// Encode and enqueue one message; fails fast once the loop has
-    /// closed the connection (peer loss or the slow-client policy).
+    /// Encode (into pooled scratch) and enqueue one message; fails fast
+    /// once the loop has closed the connection (peer loss or the
+    /// slow-client policy).
     pub fn send(&self, msg: &Message) -> Result<()> {
+        // An oversized message fails here, before any bytes are queued —
+        // the connection stays healthy.
+        let frame = encode_shared(msg)?;
+        self.send_shared(&frame)
+    }
+
+    /// Enqueue a pre-encoded frame by reference — no copy, the loop's
+    /// queue shares the allocation. This is how a broadcast encoded once
+    /// fans out to N connections for N refcount bumps.
+    pub fn send_shared(&self, frame: &SharedFrame) -> Result<()> {
         if self.shared.closed.load(Ordering::Acquire) {
             return Err(BloxError::Transport(format!(
                 "ev send on closed connection: {}",
                 self.close_reason().unwrap_or_else(|| "closed".into())
             )));
         }
-        // An oversized message fails here, before any bytes are queued —
-        // the connection stays healthy.
-        let bytes = encode_frame(msg)?;
-        self.shared.queued.fetch_add(bytes.len(), Ordering::Relaxed);
+        self.shared.queued.fetch_add(frame.len(), Ordering::Relaxed);
         self.cmds
-            .send(Cmd::Send(self.token, bytes))
+            .send(Cmd::Send(self.token, frame.clone()))
             .map_err(|_| BloxError::Transport("event loop is gone".into()))?;
         self.waker.wake();
         Ok(())
@@ -255,7 +298,8 @@ impl EvSender {
         self.waker.wake();
     }
 
-    /// Bytes accepted from senders but not yet written to the socket.
+    /// Bytes queued toward the socket but not yet written — sender
+    /// frames and loop-generated heartbeats alike share this counter.
     pub fn queued_bytes(&self) -> usize {
         self.shared.queued.load(Ordering::Relaxed)
     }
@@ -353,7 +397,8 @@ impl Transport for EvTransport {
 // Waker -----------------------------------------------------------------------
 
 /// Wakes a sleeping loop from sender threads via a self-pipe: the write
-/// end lives in every `EvSender`, the read end is fd 0 of the poll set.
+/// end lives in every `EvSender`, the read end is registered once with
+/// the loop's poller under [`WAKER_TOKEN`].
 #[derive(Clone)]
 struct Waker {
     #[cfg(unix)]
@@ -379,63 +424,18 @@ fn waker_pair() -> std::io::Result<(Waker, std::os::unix::net::UnixStream)> {
     Ok((Waker { tx: Arc::new(tx) }, rx))
 }
 
-// Poller ----------------------------------------------------------------------
-
-#[repr(C)]
-struct PollFd {
-    fd: i32,
-    events: i16,
-    revents: i16,
-}
-
-const POLLIN: i16 = 0x001;
-const POLLOUT: i16 = 0x004;
-const POLLERR: i16 = 0x008;
-const POLLHUP: i16 = 0x010;
-const POLLNVAL: i16 = 0x020;
-
-#[cfg(target_os = "linux")]
-mod poller {
-    use super::PollFd;
-    use std::time::Duration;
-
-    extern "C" {
-        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+/// The raw fd handed to the poller for a connection's socket. Non-unix
+/// has no raw fds; the portable tick backend ignores the value.
+fn stream_fd(stream: &TcpStream) -> crate::poller::RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        stream.as_raw_fd()
     }
-
-    /// Block until readiness or timeout; retries `EINTR` internally.
-    pub(super) fn wait(fds: &mut [PollFd], timeout_ms: i32) {
-        loop {
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
-            if rc >= 0 {
-                return;
-            }
-            let err = std::io::Error::last_os_error();
-            if err.kind() != std::io::ErrorKind::Interrupted {
-                // poll(2) only fails on misuse (EFAULT/EINVAL); back off
-                // rather than spin so a bug degrades instead of burning
-                // a core.
-                std::thread::sleep(Duration::from_millis(1));
-                return;
-            }
-        }
-    }
-}
-
-#[cfg(not(target_os = "linux"))]
-mod poller {
-    use super::{PollFd, POLLIN, POLLOUT};
-    use std::time::Duration;
-
-    /// Portable fallback: a fixed 1 ms tick that reports every fd ready.
-    /// Spurious readiness is harmless on non-blocking sockets (a read
-    /// just returns `WouldBlock`); it costs one syscall per connection
-    /// per tick instead of true readiness wakes.
-    pub(super) fn wait(fds: &mut [PollFd], timeout_ms: i32) {
-        std::thread::sleep(Duration::from_millis((timeout_ms.max(0) as u64).min(1)));
-        for fd in fds.iter_mut() {
-            fd.revents = fd.events & (POLLIN | POLLOUT);
-        }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
     }
 }
 
@@ -531,6 +531,9 @@ pub struct EvLoopConfig {
     /// stopped reading; unbounded buffering would turn one slow client
     /// into scheduler memory growth).
     pub max_out_bytes: usize,
+    /// Readiness backend each shard runs on (`Auto` picks epoll on
+    /// Linux, poll elsewhere).
+    pub poller: PollerKind,
 }
 
 impl Default for EvLoopConfig {
@@ -538,6 +541,7 @@ impl Default for EvLoopConfig {
         EvLoopConfig {
             shards: 1,
             max_out_bytes: 8 * 1024 * 1024,
+            poller: PollerKind::Auto,
         }
     }
 }
@@ -548,7 +552,7 @@ enum Cmd {
         delivery: Delivery,
         reply: Sender<EvSender>,
     },
-    Send(Token, Vec<u8>),
+    Send(Token, SharedFrame),
     Close(Token),
     Heartbeat(Token, NodeId, Duration),
     Stop,
@@ -568,10 +572,14 @@ struct ShardHandle {
 }
 
 impl EvLoopPool {
-    /// Spawn the shard threads.
+    /// Spawn the shard threads, each with its own readiness backend of
+    /// `cfg.poller`'s kind (an epoll instance per shard; a pollfd set
+    /// per shard).
     pub fn new(cfg: EvLoopConfig) -> Result<Self> {
         let mut shards = Vec::new();
         for i in 0..cfg.shards.max(1) {
+            let poller = new_poller(cfg.poller)
+                .map_err(|e| BloxError::Transport(format!("create {} poller: {e}", cfg.poller)))?;
             #[cfg(unix)]
             let (waker, waker_rx) =
                 waker_pair().map_err(|e| BloxError::Transport(format!("event loop waker: {e}")))?;
@@ -584,7 +592,7 @@ impl EvLoopPool {
             let thread = std::thread::Builder::new()
                 .name(format!("blox-evloop-{i}"))
                 .spawn(move || {
-                    let mut shard = ShardState::new(cfg2, tx2, waker2);
+                    let mut shard = ShardState::new(cfg2, poller, tx2, waker2);
                     #[cfg(unix)]
                     shard.run(rx, waker_rx);
                     #[cfg(not(unix))]
@@ -636,51 +644,43 @@ impl Drop for EvLoopPool {
     }
 }
 
-/// The process-wide default pool (one shard), for node daemons and
-/// clients that just need "an event loop" without managing a pool.
+/// The process-wide default pool (one shard, auto-detected poller), for
+/// node daemons and clients that just need "an event loop" without
+/// managing a pool.
 pub fn global_pool() -> &'static EvLoopPool {
-    static POOL: OnceLock<EvLoopPool> = OnceLock::new();
-    POOL.get_or_init(|| EvLoopPool::new(EvLoopConfig::default()).expect("spawn global event loop"))
+    shared_pool(PollerKind::Auto)
 }
 
-/// Outbound byte queue: consumed bytes tracked by offset, reclaimed
-/// lazily (same discipline as `FrameBuf`).
-#[derive(Default)]
-struct OutBuf {
-    buf: Vec<u8>,
-    start: usize,
-}
-
-impl OutBuf {
-    fn pending(&self) -> usize {
-        self.buf.len() - self.start
-    }
-
-    fn extend(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    fn unread(&self) -> &[u8] {
-        &self.buf[self.start..]
-    }
-
-    fn consume(&mut self, n: usize) {
-        self.start += n;
-        if self.start == self.buf.len() {
-            self.buf.clear();
-            self.start = 0;
-        } else if self.start >= 256 * 1024 {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-    }
+/// A process-wide shared pool pinned to a readiness backend: `Auto`
+/// resolves per platform, and the epoll / poll pools are distinct
+/// singletons so daemons pinned to different backends (differential
+/// tests, `--poller` overrides) never share loop threads.
+pub fn shared_pool(kind: PollerKind) -> &'static EvLoopPool {
+    static EPOLL: OnceLock<EvLoopPool> = OnceLock::new();
+    static POLL: OnceLock<EvLoopPool> = OnceLock::new();
+    let kind = kind.resolve();
+    let cell = match kind {
+        PollerKind::Epoll => &EPOLL,
+        PollerKind::Poll => &POLL,
+        PollerKind::Auto => unreachable!("resolve() returns a concrete kind"),
+    };
+    cell.get_or_init(|| {
+        EvLoopPool::new(EvLoopConfig {
+            poller: kind,
+            ..EvLoopConfig::default()
+        })
+        .expect("spawn shared event loop")
+    })
 }
 
 struct Conn {
     token: Token,
     stream: TcpStream,
     inbox: FrameBuf,
-    out: OutBuf,
+    out: OutQueue,
+    /// Whether write interest is currently registered with the poller
+    /// (mod-on-change: toggled only when `out` transitions between empty
+    /// and non-empty after a flush).
     want_write: bool,
     delivery: Delivery,
     shared: Arc<ConnShared>,
@@ -740,27 +740,43 @@ struct ShardState {
     cfg: EvLoopConfig,
     slab: Slab,
     wheel: TimerWheel,
+    poller: Box<dyn ReadinessPoller>,
     /// Handle onto our own command queue, for minting `EvSender`s.
     cmds_tx: Sender<Cmd>,
     waker: Waker,
 }
 
 impl ShardState {
-    fn new(cfg: EvLoopConfig, cmds_tx: Sender<Cmd>, waker: Waker) -> Self {
+    fn new(
+        cfg: EvLoopConfig,
+        poller: Box<dyn ReadinessPoller>,
+        cmds_tx: Sender<Cmd>,
+        waker: Waker,
+    ) -> Self {
         ShardState {
             cfg,
             slab: Slab::default(),
             wheel: TimerWheel::new(Instant::now()),
+            poller,
             cmds_tx,
             waker,
         }
     }
 
     fn run(&mut self, cmds: Receiver<Cmd>, #[cfg(unix)] waker_rx: std::os::unix::net::UnixStream) {
+        // The waker is registered exactly once, for the lifetime of the
+        // loop; connection fds register on accept and deregister on
+        // disconnect. Nothing is rebuilt per wake.
         #[cfg(unix)]
         let mut waker_rx = waker_rx;
-        let mut pollfds: Vec<PollFd> = Vec::new();
-        let mut poll_tokens: Vec<Token> = Vec::new();
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            self.poller
+                .register(waker_rx.as_raw_fd(), WAKER_TOKEN, Interest::READ)
+                .expect("register event-loop waker");
+        }
+        let mut ready: Vec<ReadyEvent> = Vec::new();
         let mut due: Vec<TimerEntry> = Vec::new();
         loop {
             // 1. Drain every queued command.
@@ -775,77 +791,50 @@ impl ShardState {
                 }
             }
 
-            // 2. Build the poll set: waker first, then every connection
-            //    with READ interest (always) and WRITE interest while a
-            //    partial write is pending.
-            pollfds.clear();
-            poll_tokens.clear();
-            #[cfg(unix)]
-            {
-                use std::os::unix::io::AsRawFd;
-                pollfds.push(PollFd {
-                    fd: waker_rx.as_raw_fd(),
-                    events: POLLIN,
-                    revents: 0,
-                });
-            }
-            let waker_fds = pollfds.len();
-            for conn in self.slab.slots.iter().flatten() {
-                #[cfg(unix)]
-                let fd = {
-                    use std::os::unix::io::AsRawFd;
-                    conn.stream.as_raw_fd()
-                };
-                #[cfg(not(unix))]
-                let fd = -1;
-                pollfds.push(PollFd {
-                    fd,
-                    events: POLLIN | if conn.want_write { POLLOUT } else { 0 },
-                    revents: 0,
-                });
-                poll_tokens.push(conn.token);
-            }
-
-            let timeout_ms = if self.wheel.is_empty() {
-                25
+            // 2. Sleep until readiness or the next timer tick.
+            let timeout = if self.wheel.is_empty() {
+                Duration::from_millis(25)
             } else {
-                (self.wheel.next_tick_in(Instant::now()).as_millis() as i32).clamp(1, 5)
+                self.wheel
+                    .next_tick_in(Instant::now())
+                    .clamp(Duration::from_millis(1), Duration::from_millis(5))
             };
-            poller::wait(&mut pollfds, timeout_ms);
+            ready.clear();
+            self.poller.wait(timeout, &mut ready);
 
-            // 3. Drain the waker pipe.
-            #[cfg(unix)]
-            if pollfds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
-                let mut sink = [0u8; 64];
-                while matches!(waker_rx.read(&mut sink), Ok(n) if n > 0) {}
-            }
-
-            // 4. Service readiness.
-            for (i, token) in poll_tokens.iter().enumerate() {
-                let revents = pollfds[waker_fds + i].revents;
-                if revents == 0 {
+            // 3. Service readiness (the waker drains in place; a token
+            //    that raced a disconnect resolves to nobody and is
+            //    skipped).
+            for ev in ready.iter().copied() {
+                if ev.token == WAKER_TOKEN {
+                    #[cfg(unix)]
+                    {
+                        let mut sink = [0u8; 64];
+                        while matches!(waker_rx.read(&mut sink), Ok(n) if n > 0) {}
+                    }
                     continue;
                 }
-                if revents & POLLNVAL != 0 {
-                    self.disconnect(*token, "invalid socket");
+                let token = Token::from_raw(ev.token);
+                if ev.invalid {
+                    self.disconnect(token, "invalid socket");
                     continue;
                 }
                 // HUP/ERR fall through to the read path, which surfaces
                 // the remaining buffered bytes and then the close/error.
-                if revents & (POLLIN | POLLHUP | POLLERR) != 0 {
-                    if let Err(why) = self.drain_read(*token) {
-                        self.disconnect(*token, &why);
+                if ev.readable {
+                    if let Err(why) = self.drain_read(token) {
+                        self.disconnect(token, &why);
                         continue;
                     }
                 }
-                if revents & POLLOUT != 0 {
-                    if let Err(why) = self.flush(*token) {
-                        self.disconnect(*token, &why);
+                if ev.writable {
+                    if let Err(why) = self.flush(token) {
+                        self.disconnect(token, &why);
                     }
                 }
             }
 
-            // 5. Fire due timers.
+            // 4. Fire due timers.
             self.wheel.advance(Instant::now(), &mut due);
             for mut entry in due.drain(..) {
                 if self.slab.get_mut(entry.token).is_none() {
@@ -868,6 +857,7 @@ impl ShardState {
             } => {
                 let _ = stream.set_nonblocking(true);
                 let _ = stream.set_nodelay(true);
+                let fd = stream_fd(&stream);
                 let shared = Arc::new(ConnShared {
                     closed: AtomicBool::new(false),
                     queued: AtomicUsize::new(0),
@@ -878,7 +868,7 @@ impl ShardState {
                     token,
                     stream,
                     inbox: FrameBuf::new(),
-                    out: OutBuf::default(),
+                    out: OutQueue::new(),
                     want_write: false,
                     delivery,
                     shared: shared2,
@@ -889,6 +879,14 @@ impl ShardState {
                     token,
                     shared,
                 };
+                // Persistent registration: this is the one ADD this
+                // connection ever sees; flush toggles write interest
+                // with MOD, disconnect removes with DEL.
+                if let Err(e) = self.poller.register(fd, token.raw(), Interest::READ) {
+                    let _ = reply.send(sender);
+                    self.disconnect(token, &format!("poller register: {e}"));
+                    return;
+                }
                 // Connected is delivered by the loop, *before* any frame
                 // from this socket can be read, so consumers never see a
                 // message from a connection they were not introduced to.
@@ -904,12 +902,12 @@ impl ShardState {
                 }
                 let _ = reply.send(sender);
             }
-            Cmd::Send(token, bytes) => {
-                // A stale token raced a disconnect: the bytes are dropped
+            Cmd::Send(token, frame) => {
+                // A stale token raced a disconnect: the frame is dropped
                 // like any other write after peer loss, and the sender's
                 // next call sees the closed flag.
                 if let Some(conn) = self.slab.get_mut(token) {
-                    conn.out.extend(&bytes);
+                    conn.out.push(frame);
                     if let Err(why) = self.flush(token) {
                         self.disconnect(token, &why);
                     }
@@ -960,35 +958,41 @@ impl ShardState {
     }
 
     fn enqueue_heartbeat(&mut self, entry: &TimerEntry) {
-        let frame = encode_frame(&Message::Heartbeat {
+        // Pooled scratch encode: a busy loop's heartbeat ticks reuse the
+        // same buffers instead of allocating per beat per connection.
+        let frame = encode_shared(&Message::Heartbeat {
             node: entry.node,
             seq: entry.seq,
         })
         .expect("heartbeat frames are a few bytes");
         if let Some(conn) = self.slab.get_mut(entry.token) {
-            conn.out.extend(&frame);
-            // Heartbeats bypass the sender-side queued counter (they are
-            // loop-generated); account them so flush math stays exact.
+            // Loop-generated frames are accounted in the sender-side
+            // `queued` counter like any other frame: flush subtracts
+            // every byte it writes from that counter, so every byte
+            // entering the queue must be added to it — heartbeats
+            // included. `EvSender::queued_bytes` and the slow-client
+            // policy therefore reconcile against the same totals (see
+            // the `heartbeats_are_accounted_*` test).
             conn.shared.queued.fetch_add(frame.len(), Ordering::Relaxed);
+            conn.out.push(frame);
         }
         if let Err(why) = self.flush(entry.token) {
             self.disconnect(entry.token, &why);
         }
     }
 
-    /// Write as much of the outbound queue as the socket accepts;
-    /// registers WRITE interest on a partial write and applies the
-    /// slow-client policy when the queue stays over budget.
+    /// Drain as much of the outbound queue as the socket accepts via
+    /// `writev` gathers; toggles write interest (mod-on-change) on the
+    /// empty/non-empty transitions and applies the slow-client policy
+    /// when the queue stays over budget.
     fn flush(&mut self, token: Token) -> std::result::Result<(), String> {
         let max_out = self.cfg.max_out_bytes;
         let Some(conn) = self.slab.get_mut(token) else {
             return Ok(());
         };
-        while conn.out.pending() > 0 {
-            match conn.stream.write(conn.out.unread()) {
-                Ok(0) => return Err("socket write returned 0".into()),
+        while !conn.out.is_empty() {
+            match conn.out.write_once(&conn.stream) {
                 Ok(n) => {
-                    conn.out.consume(n);
                     conn.shared.queued.fetch_sub(n, Ordering::Relaxed);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -996,7 +1000,15 @@ impl ShardState {
                 Err(e) => return Err(format!("write: {e}")),
             }
         }
-        conn.want_write = conn.out.pending() > 0;
+        let want = !conn.out.is_empty();
+        if want != conn.want_write {
+            conn.want_write = want;
+            self.poller.modify(
+                stream_fd(&conn.stream),
+                token.raw(),
+                Interest { writable: want },
+            );
+        }
         if conn.out.pending() > max_out {
             return Err(format!(
                 "slow client: {} bytes queued (max {})",
@@ -1028,7 +1040,7 @@ impl ShardState {
                     Self::deliver_frames(conn)?;
                     taken += n;
                     if taken >= 1 << 20 {
-                        return Ok(()); // Fairness cap; poll will re-report.
+                        return Ok(()); // Fairness cap; the poller re-reports.
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
@@ -1068,6 +1080,9 @@ impl ShardState {
         let Some(conn) = self.slab.remove(token) else {
             return;
         };
+        // Deregister before the socket closes: a closed fd cannot be
+        // removed from a readiness set.
+        self.poller.deregister(stream_fd(&conn.stream), token.raw());
         conn.shared.close(reason);
         let _ = conn.stream.shutdown(Shutdown::Both);
         if let Delivery::Events(tx) = &conn.delivery {
@@ -1150,6 +1165,27 @@ mod tests {
     }
 
     #[test]
+    fn ev_pair_carries_messages_on_every_poller_kind() {
+        for kind in [PollerKind::Poll, PollerKind::Epoll] {
+            if kind == PollerKind::Epoll && !cfg!(target_os = "linux") {
+                continue;
+            }
+            let pool = EvLoopPool::new(EvLoopConfig {
+                poller: kind,
+                ..EvLoopConfig::default()
+            })
+            .unwrap();
+            let (a, b) = ev_pair(&pool);
+            a.send(&Message::LeaseCheck { job: JobId(9) }).unwrap();
+            assert_eq!(
+                b.recv().unwrap(),
+                Message::LeaseCheck { job: JobId(9) },
+                "poller {kind}"
+            );
+        }
+    }
+
+    #[test]
     fn ev_disconnect_surfaces_as_error() {
         let pool = EvLoopPool::new(EvLoopConfig::default()).unwrap();
         let (a, b) = ev_pair(&pool);
@@ -1179,6 +1215,118 @@ mod tests {
         }
     }
 
+    /// A frame encoded once with `encode_shared` and sent via
+    /// `send_shared` arrives intact — the zero-copy fan-out path speaks
+    /// the same wire protocol as the per-message encode.
+    #[test]
+    fn shared_frames_fan_out_to_many_connections() {
+        let pool = EvLoopPool::new(EvLoopConfig::default()).unwrap();
+        let pairs: Vec<_> = (0..8).map(|_| ev_pair(&pool)).collect();
+        let frame = encode_shared(&Message::LeaseCheck { job: JobId(42) }).unwrap();
+        for (a, _) in &pairs {
+            a.sender().send_shared(&frame).unwrap();
+        }
+        for (_, b) in &pairs {
+            assert_eq!(b.recv().unwrap(), Message::LeaseCheck { job: JobId(42) });
+        }
+    }
+
+    /// Satellite regression (ISSUE 10): loop-generated heartbeats are
+    /// accounted in the sender-side `queued` counter — the counter must
+    /// return to exactly zero once the beat flushes. If the loop ever
+    /// stopped adding beats (as the old comment claimed it should) while
+    /// flush kept subtracting written bytes, this would underflow to
+    /// `usize::MAX - ε`; if it added without flush subtracting, residue
+    /// would accumulate per beat.
+    #[test]
+    fn heartbeats_are_accounted_in_the_sender_queue_counter() {
+        let pool = EvLoopPool::new(EvLoopConfig::default()).unwrap();
+        let (a, b) = ev_pair(&pool);
+        // A one-hour period means exactly one immediate beat (seq 0) —
+        // deterministic traffic for the accounting check.
+        a.sender()
+            .start_heartbeat(NodeId(3), Duration::from_secs(3600));
+        assert_eq!(
+            b.recv().unwrap(),
+            Message::Heartbeat {
+                node: NodeId(3),
+                seq: 0
+            }
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.sender().queued_bytes() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "queued counter never returned to zero after the beat flushed: {} \
+                 (underflow or double-count in heartbeat accounting)",
+                a.sender().queued_bytes()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // And ordinary traffic still balances afterwards.
+        a.send(&Message::LeaseCheck { job: JobId(1) }).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::LeaseCheck { job: JobId(1) });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.sender().queued_bytes() != 0 {
+            assert!(Instant::now() < deadline, "counter residue after send");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Satellite regression (ISSUE 10): the slow-client policy and
+    /// `EvSender::queued_bytes` see consistent numbers — the byte count
+    /// in the close reason is drawn from the same accounting the sender
+    /// observes.
+    #[test]
+    fn slow_client_reason_and_queue_counter_agree() {
+        let pool = EvLoopPool::new(EvLoopConfig {
+            max_out_bytes: 8 * 1024,
+            ..EvLoopConfig::default()
+        })
+        .unwrap();
+        // The slow reader is a raw socket nobody ever reads: the kernel
+        // buffers fill, then `a`'s queue grows until the policy trips.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (accepted, _) = listener.accept().unwrap();
+        let a = EvTransport::from_stream(accepted, &pool).unwrap();
+        let _b = t.join().unwrap();
+        let msg = Message::Launch {
+            job: JobId(1),
+            local_gpus: vec![0u8; 1024],
+            iter_time_s: 1.0,
+            start_iters: 0.0,
+            total_iters: 1.0,
+            warmup_s: 0.0,
+            is_rank0: true,
+        };
+        let sender = a.sender();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !sender.is_closed() {
+            let _ = sender.send(&msg);
+            assert!(Instant::now() < deadline, "slow-client policy never fired");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let reason = sender.close_reason().expect("close reason");
+        assert!(reason.contains("slow client"), "reason: {reason}");
+        let reported: usize = reason
+            .split(&[' ', ':'][..])
+            .filter_map(|w| w.parse().ok())
+            .next()
+            .expect("byte count in reason");
+        assert!(reported > 8 * 1024, "policy fired under the bound");
+        // The frozen sender counter holds every accounted byte the loop
+        // never wrote: at least the queue the policy measured (frames
+        // accepted by the sender but dropped by the loop after close may
+        // push it higher, never lower).
+        assert!(
+            sender.queued_bytes() >= reported,
+            "sender saw {} queued bytes, policy reported {reported}",
+            sender.queued_bytes()
+        );
+    }
+
     #[test]
     fn slab_generation_prevents_token_aliasing() {
         let mut slab = Slab::default();
@@ -1192,7 +1340,7 @@ mod tests {
                 token,
                 stream: s,
                 inbox: FrameBuf::new(),
-                out: OutBuf::default(),
+                out: OutQueue::new(),
                 want_write: false,
                 delivery: Delivery::Frames(unbounded().0),
                 shared: Arc::new(ConnShared {

@@ -11,7 +11,9 @@
 //! allocation happens: a corrupt or hostile prefix must cost an error,
 //! not 4 GiB of memory.
 
+use std::cell::RefCell;
 use std::io::Read;
+use std::sync::Arc;
 
 use blox_core::error::{BloxError, Result};
 use blox_runtime::wire::Message;
@@ -57,6 +59,53 @@ pub fn encode_frame(msg: &Message) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(32 + PREFIX_BYTES);
     encode_frame_into(msg, &mut out)?;
     Ok(out)
+}
+
+/// A refcounted immutable wire frame (length prefix + payload).
+///
+/// This is the currency of the zero-copy outbound path: the event loop's
+/// per-connection queues hold `SharedFrame` chunks and hand them to
+/// `writev(2)` in place, so a frame fanned out to N connections is
+/// encoded and copied **once** and shared by `Arc` clone — N refcount
+/// bumps instead of N encodes + N memcpys into contiguous buffers.
+pub type SharedFrame = Arc<[u8]>;
+
+/// Per-thread pool of encode scratch buffers recycled by
+/// [`encode_shared`]. Hot senders (the event-loop heartbeat tick, the
+/// loadgen submit path) stop paying an allocate/free per frame.
+///
+/// Bounded on both axes: at most [`POOL_SLOTS`] retained buffers, and a
+/// buffer that grew past [`POOL_MAX_RETAIN`] (one jumbo frame) is
+/// dropped rather than pinned forever.
+const POOL_SLOTS: usize = 8;
+const POOL_MAX_RETAIN: usize = 64 * 1024;
+
+thread_local! {
+    static ENCODE_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Encode one message into a [`SharedFrame`] using pooled scratch.
+///
+/// The message is encoded into a recycled thread-local buffer and copied
+/// exactly once into the refcounted allocation (an `Arc<[u8]>` stores
+/// its refcounts inline, so *some* copy is unavoidable — this is the
+/// only one, amortized over every connection the frame is sent to).
+/// Errors when the encoded payload exceeds [`MAX_FRAME_BYTES`].
+pub fn encode_shared(msg: &Message) -> Result<SharedFrame> {
+    let mut scratch = ENCODE_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| Vec::with_capacity(32 + PREFIX_BYTES));
+    scratch.clear();
+    let result = encode_frame_into(msg, &mut scratch).map(|()| SharedFrame::from(&scratch[..]));
+    if scratch.capacity() <= POOL_MAX_RETAIN {
+        ENCODE_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_SLOTS {
+                pool.push(scratch);
+            }
+        });
+    }
+    result
 }
 
 /// Streaming frame reassembly buffer: feed it raw socket bytes in any
@@ -228,6 +277,35 @@ mod tests {
         let payload = fb.try_decode().unwrap().expect("good frame intact");
         assert_eq!(Message::decode(&payload).unwrap(), Message::Ack);
         assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn shared_frames_match_plain_encoding_and_recycle_scratch() {
+        let msg = Message::Progress {
+            job: JobId(7),
+            iters: 42.5,
+        };
+        // Byte-identical to the unpooled path: the pool must never change
+        // what goes on the wire.
+        let shared = encode_shared(&msg).unwrap();
+        assert_eq!(&shared[..], &encode_frame(&msg).unwrap()[..]);
+        // Fan-out is refcount bumps, not copies: the clones alias.
+        let a = shared.clone();
+        assert!(std::ptr::eq(a.as_ptr(), shared.as_ptr()));
+        // An oversized message errors the same way as encode_frame and
+        // leaves the pool usable for the next frame.
+        let jumbo = Message::Launch {
+            job: JobId(1),
+            local_gpus: vec![0u8; MAX_FRAME_BYTES as usize + 1],
+            iter_time_s: 1.0,
+            start_iters: 0.0,
+            total_iters: 1.0,
+            warmup_s: 0.0,
+            is_rank0: true,
+        };
+        assert!(encode_shared(&jumbo).is_err());
+        let again = encode_shared(&msg).unwrap();
+        assert_eq!(&again[..], &shared[..]);
     }
 
     #[test]

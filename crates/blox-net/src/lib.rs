@@ -14,8 +14,14 @@
 //!   runtime's `Transport` contract with length-prefixed frames over
 //!   `std::net` sockets (no new dependencies), one reader thread per
 //!   connection;
-//! * [`event_loop`] — the readiness-driven engine: a sharded poll-based
-//!   loop owning all connections in a slab, with batched decode, write
+//! * [`poller`] — the readiness backends: `epoll(7)` (Linux, O(ready)
+//!   wakeups) and `poll(2)` (portable fallback) behind one persistent-
+//!   registration [`poller::ReadinessPoller`] contract;
+//! * [`outq`] — the zero-copy outbound queue: refcounted
+//!   [`frame::SharedFrame`] chunks drained by `writev(2)` scatter-gather
+//!   with exact partial-write accounting;
+//! * [`event_loop`] — the readiness-driven engine: a sharded loop owning
+//!   all connections in a slab, with batched decode, write
 //!   backpressure, and timer-wheel heartbeats — the same wire protocol
 //!   with no per-connection threads, for tens of thousands of clients;
 //! * [`loadgen`] — open-loop SubmitJob traffic generation (the
@@ -42,17 +48,23 @@ pub mod event_loop;
 pub mod frame;
 pub mod loadgen;
 pub mod node;
+pub mod outq;
+pub mod poller;
 pub mod sched;
 pub mod tcp;
 
 pub use client::{submit, submit_paced, submit_timed, JobRequest};
 pub use event_loop::{
-    global_pool, Delivery, EvLoopConfig, EvLoopPool, EvSender, EvTransport, LinkSender, LoopEvent,
-    Token, TransportKind,
+    global_pool, shared_pool, Delivery, EvLoopConfig, EvLoopPool, EvSender, EvTransport,
+    LinkSender, LoopEvent, Token, TransportKind,
 };
-pub use frame::{encode_frame, encode_frame_into, FrameBuf, MAX_FRAME_BYTES};
+pub use frame::{
+    encode_frame, encode_frame_into, encode_shared, FrameBuf, SharedFrame, MAX_FRAME_BYTES,
+};
 pub use loadgen::{LoadReport, LoadgenConfig, Pacer};
 pub use node::{run_node, spawn_node, NodeConfig, NodeHandle};
+pub use outq::OutQueue;
+pub use poller::{new_poller, Interest, PollerKind, ReadinessPoller, ReadyEvent};
 pub use sched::{
     read_checkpoint, serve, serve_with, write_checkpoint, NetBackend, NetReport, RecoveryOptions,
     SchedulerConfig,

@@ -21,6 +21,7 @@ use blox_runtime::wire::Message;
 use crossbeam::channel::unbounded;
 
 use crate::event_loop::{Delivery, EvLoopConfig, EvLoopPool, EvSender, LoopEvent, Token};
+use crate::poller::PollerKind;
 
 /// Wall-clock open-loop pacer: at rate `r`, the `k`-th event is due at
 /// `start + k/r`. Callers ask how many sends are due *now* and batch
@@ -85,6 +86,13 @@ pub struct LoadgenConfig {
     pub total_iters: f64,
     /// Model-zoo profile name for submitted jobs.
     pub model: String,
+    /// Stagger window over which the connection fleet is opened
+    /// (zero = connect everything back-to-back). A 10k-conn fleet
+    /// opened as one burst lands on the listener as a SYN flood; a
+    /// ramp keeps the accept queue below its backlog.
+    pub ramp: Duration,
+    /// Readiness backend for the client-side event loop.
+    pub poller: PollerKind,
 }
 
 impl Default for LoadgenConfig {
@@ -98,6 +106,8 @@ impl Default for LoadgenConfig {
             gpus: 1,
             total_iters: 1e9,
             model: "synthetic-load".into(),
+            ramp: Duration::ZERO,
+            poller: PollerKind::Auto,
         }
     }
 }
@@ -162,6 +172,30 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Connect with a short bounded retry: a listener mid-burst may have a
+/// full accept queue, which surfaces as refused / reset connects. The
+/// kernel's own SYN retransmit covers dropped SYNs; this covers the
+/// refusal paths.
+fn connect_with_retry(addr: SocketAddr, idx: usize) -> Result<TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+            Err(e) => {
+                return Err(BloxError::Transport(format!(
+                    "connect {addr} (#{idx}): {e}"
+                )))
+            }
+        }
+    }
+}
+
 struct ConnState {
     sender: EvSender,
     /// Send stamps awaiting their `JobAccepted`; the scheduler answers
@@ -173,15 +207,28 @@ struct ConnState {
 /// Drive an open-loop submission run against a live scheduler and
 /// collect throughput + latency statistics.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
-    let pool = EvLoopPool::new(EvLoopConfig::default())?;
+    let pool = EvLoopPool::new(EvLoopConfig {
+        poller: cfg.poller,
+        ..EvLoopConfig::default()
+    })?;
     let (tx, events) = unbounded();
 
-    // Open the fleet of connections up front.
+    // Open the fleet of connections up front, staggered across the ramp
+    // window so the k-th connect is due at `start + k * ramp / conns`.
+    // Transient refusals (accept-queue overflow on a bursty listener)
+    // are retried briefly instead of failing the whole run.
+    let total = cfg.conns.max(1);
+    let ramp_step = cfg.ramp.div_f64(total as f64);
+    let ramp_start = Instant::now();
     let mut conns: Vec<ConnState> = Vec::with_capacity(cfg.conns);
     let mut by_token: BTreeMap<Token, usize> = BTreeMap::new();
-    for i in 0..cfg.conns.max(1) {
-        let stream = TcpStream::connect(cfg.sched)
-            .map_err(|e| BloxError::Transport(format!("connect {} (#{i}): {e}", cfg.sched)))?;
+    for i in 0..total {
+        let due = ramp_start + ramp_step.mul_f64(i as f64);
+        let wait = due.saturating_duration_since(Instant::now());
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        let stream = connect_with_retry(cfg.sched, i)?;
         let sender = pool.register(stream, Delivery::Events(tx.clone()))?;
         by_token.insert(sender.token(), conns.len());
         conns.push(ConnState {

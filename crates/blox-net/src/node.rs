@@ -29,7 +29,8 @@ use blox_runtime::runtime::{RuntimeConfig, ServeEnd, SimClock, WorkerManager};
 use blox_runtime::wire::{Message, Transport, WireSender};
 use parking_lot::Mutex;
 
-use crate::event_loop::{global_pool, EvTransport, LinkSender, TransportKind};
+use crate::event_loop::{shared_pool, EvTransport, LinkSender, TransportKind};
+use crate::poller::PollerKind;
 use crate::tcp::TcpTransport;
 
 /// Node-manager daemon configuration.
@@ -51,6 +52,9 @@ pub struct NodeConfig {
     pub faults: Option<FaultPlan>,
     /// Which TCP engine carries the scheduler link.
     pub transport: TransportKind,
+    /// Readiness backend for the event-loop engine (`Auto` picks epoll
+    /// on Linux; ignored under `TransportKind::Threads`).
+    pub poller: PollerKind,
 }
 
 impl NodeConfig {
@@ -62,6 +66,7 @@ impl NodeConfig {
             reconnect,
             faults: None,
             transport: TransportKind::Threads,
+            poller: PollerKind::Auto,
         }
     }
 }
@@ -76,7 +81,7 @@ fn serve_session(cfg: &NodeConfig, live: &Mutex<Option<LinkSender>>) -> Result<S
             (Box::new(t), s)
         }
         TransportKind::EvLoop => {
-            let t = EvTransport::connect(cfg.sched, global_pool())?;
+            let t = EvTransport::connect(cfg.sched, shared_pool(cfg.poller))?;
             let s = LinkSender::Ev(t.sender());
             (Box::new(t), s)
         }

@@ -45,8 +45,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::event_loop::{
     Delivery, EvLoopConfig, EvLoopPool, LinkSender, LoopEvent, Token, TransportKind,
 };
-use crate::frame::{read_frame, FrameBuf};
-use crate::tcp::TcpSender;
+use crate::frame::{encode_shared, read_frame, FrameBuf};
+use crate::poller::PollerKind;
+use crate::tcp::{listen_with_backlog, TcpSender};
 
 /// Floor on the failure-detection deadline, in wall seconds: below this,
 /// OS scheduling jitter on a loopback deployment would yield spurious
@@ -77,6 +78,15 @@ pub struct SchedulerConfig {
     pub transport: TransportKind,
     /// Event-loop shard count (ignored under `TransportKind::Threads`).
     pub ev_shards: usize,
+    /// Readiness backend the event-loop shards run on (`Auto` picks
+    /// epoll on Linux, poll elsewhere; ignored under
+    /// `TransportKind::Threads`).
+    pub poller: PollerKind,
+    /// `listen(2)` backlog for the accept socket. A connect burst from a
+    /// ramping client fleet beyond this depth gets SYNs dropped and
+    /// stalls on kernel retransmits (the kernel clamps to
+    /// `net.core.somaxconn`).
+    pub listen_backlog: i32,
     /// Scheduling pod this daemon serves (0 when unsharded). Echoed to
     /// every worker in [`Message::AssignNode`] so a sharded deployment
     /// (see `blox_core::pods`) can attribute nodes to shards.
@@ -92,6 +102,8 @@ impl Default for SchedulerConfig {
             stall_rounds: 10,
             transport: TransportKind::Threads,
             ev_shards: 1,
+            poller: PollerKind::Auto,
+            listen_backlog: 1024,
             pod: 0,
         }
     }
@@ -256,7 +268,10 @@ impl NetBackend {
 
     /// Bind to an explicit address (port 0 still means ephemeral).
     pub fn bind_to(addr: &str, cfg: SchedulerConfig) -> Result<Self> {
-        let listener = TcpListener::bind(addr)
+        let sock_addr: SocketAddr = addr
+            .parse()
+            .map_err(|e| BloxError::Transport(format!("parse {addr}: {e}")))?;
+        let listener = listen_with_backlog(sock_addr, cfg.listen_backlog)
             .map_err(|e| BloxError::Transport(format!("bind {addr}: {e}")))?;
         let addr = listener
             .local_addr()
@@ -272,6 +287,7 @@ impl NetBackend {
             TransportKind::EvLoop => {
                 let pool = Arc::new(EvLoopPool::new(EvLoopConfig {
                     shards: cfg.ev_shards.max(1),
+                    poller: cfg.poller,
                     ..EvLoopConfig::default()
                 })?);
                 let pool2 = pool.clone();
@@ -737,11 +753,14 @@ impl NetBackend {
 impl Drop for NetBackend {
     fn drop(&mut self) {
         // Orderly teardown: tell every worker to exit, stop the listener,
-        // and close all sockets so reader threads unblock.
+        // and close all sockets so reader threads unblock. The Shutdown
+        // broadcast is the canonical fan-out frame: encoded once, shared
+        // by `Arc` across every worker's outbound queue.
         self.stop.store(true, Ordering::Relaxed);
+        let goodbye = encode_shared(&Message::Shutdown).expect("Shutdown frame is a few bytes");
         for conn in self.conns.values() {
             if matches!(conn.role, Role::Worker(_)) {
-                let _ = conn.sender.send(&Message::Shutdown);
+                let _ = conn.sender.send_shared(&goodbye);
             }
             conn.sender.shutdown();
         }

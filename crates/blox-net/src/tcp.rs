@@ -7,7 +7,7 @@
 //! frames into a channel, giving the exact blocking / non-blocking /
 //! timeout receive semantics of `blox_runtime::wire::Endpoint`.
 
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,6 +17,83 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::frame::{encode_frame, read_frame, FrameBuf};
+
+/// Bind a TCP listener with an explicit `listen(2)` backlog.
+///
+/// `std::net::TcpListener::bind` hardcodes a backlog of 128, which a
+/// connect burst from thousands of ramping clients overflows — the
+/// kernel then drops or resets SYNs and the ramp stalls on retries.
+/// The effective ceiling is `net.core.somaxconn`; asking for more is
+/// silently clamped by the kernel, never an error.
+///
+/// IPv4 only (every blox listener binds loopback v4); non-Linux hosts
+/// fall back to the std bind and its default backlog.
+#[cfg(target_os = "linux")]
+pub fn listen_with_backlog(addr: SocketAddr, backlog: i32) -> std::io::Result<TcpListener> {
+    use std::os::unix::io::FromRawFd;
+
+    let SocketAddr::V4(v4) = addr else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "listen_with_backlog supports IPv4 addresses only",
+        ));
+    };
+
+    /// `struct sockaddr_in` as the kernel lays it out: family, then
+    /// port and address in network byte order, padded to 16 bytes.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let fail = |fd: i32| {
+        let err = std::io::Error::last_os_error();
+        unsafe { close(fd) };
+        Err(err)
+    };
+    let one = 1i32;
+    if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) } < 0 {
+        return fail(fd);
+    }
+    let sa = SockAddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    if unsafe { bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) } < 0 {
+        return fail(fd);
+    }
+    if unsafe { listen(fd, backlog.max(1)) } < 0 {
+        return fail(fd);
+    }
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// Non-Linux fallback: the std bind and its default backlog (128).
+#[cfg(not(target_os = "linux"))]
+pub fn listen_with_backlog(addr: SocketAddr, _backlog: i32) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
 
 struct SenderInner {
     stream: TcpStream,
@@ -67,6 +144,28 @@ impl TcpSender {
         if let Err(e) = inner.stream.write_all(&frame) {
             // The peer may have received a torn frame; nothing sane can
             // follow it on this socket.
+            let why = e.to_string();
+            inner.poisoned = Some(why.clone());
+            let _ = inner.stream.shutdown(Shutdown::Both);
+            return Err(BloxError::Transport(format!(
+                "tcp send failed, connection poisoned: {why}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Send one pre-encoded frame (prefix + payload bytes, e.g. a
+    /// [`crate::frame::SharedFrame`] broadcast encoded once for many
+    /// peers). Same poisoning discipline as [`TcpSender::send`].
+    pub fn send_frame(&self, frame: &[u8]) -> Result<()> {
+        use std::io::Write;
+        let mut inner = self.inner.lock();
+        if let Some(why) = &inner.poisoned {
+            return Err(BloxError::Transport(format!(
+                "tcp send on poisoned connection: {why}"
+            )));
+        }
+        if let Err(e) = inner.stream.write_all(frame) {
             let why = e.to_string();
             inner.poisoned = Some(why.clone());
             let _ = inner.stream.shutdown(Shutdown::Both);
@@ -221,6 +320,26 @@ mod tests {
         let (stream, _) = listener.accept().expect("accept");
         let server = TcpTransport::from_stream(stream).expect("wrap");
         (server, client.join().expect("client thread"))
+    }
+
+    #[test]
+    fn listen_with_backlog_binds_and_accepts() {
+        let listener =
+            listen_with_backlog("127.0.0.1:0".parse().unwrap(), 1024).expect("bind with backlog");
+        let addr = listener.local_addr().expect("ephemeral addr assigned");
+        assert_ne!(addr.port(), 0);
+        let t = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+        let (stream, _) = listener.accept().expect("accept");
+        drop(t.join().unwrap());
+        drop(stream);
+    }
+
+    #[test]
+    fn send_frame_matches_send_on_the_wire() {
+        let (a, b) = tcp_pair();
+        let frame = crate::frame::encode_shared(&Message::Ack).unwrap();
+        a.sender().send_frame(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Ack);
     }
 
     #[test]

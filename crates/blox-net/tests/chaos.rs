@@ -74,6 +74,7 @@ fn run_chaos_cluster(plan: FaultPlan) {
                 reconnect: true,
                 faults: Some(plan.clone()),
                 transport: TransportKind::Threads,
+                poller: blox_net::PollerKind::Auto,
             })
         })
         .collect();

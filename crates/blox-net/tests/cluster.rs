@@ -18,7 +18,6 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use blox_net::sched::NetBackend;
-use blox_net::TransportKind;
 
 mod common;
 mod scenarios;
@@ -29,7 +28,7 @@ use common::watchdog;
 /// in-process `RuntimeBackend` within tolerance.
 #[test]
 fn networked_jct_matches_in_process_runtime() {
-    scenarios::fidelity_scenario(TransportKind::Threads);
+    scenarios::fidelity_scenario(scenarios::Engine::THREADS);
 }
 
 /// Kill a node mid-run: the failure detector must trigger churn (node
@@ -37,7 +36,7 @@ fn networked_jct_matches_in_process_runtime() {
 /// run must still complete every job on the surviving nodes.
 #[test]
 fn node_crash_triggers_churn_and_jobs_still_finish() {
-    scenarios::churn_scenario(TransportKind::Threads);
+    scenarios::churn_scenario(scenarios::Engine::THREADS);
 }
 
 /// A worker that registers, heartbeats briefly, then falls silent with its
@@ -45,7 +44,7 @@ fn node_crash_triggers_churn_and_jobs_still_finish() {
 /// failure mode (the link never drops).
 #[test]
 fn silent_worker_trips_heartbeat_deadline() {
-    scenarios::heartbeat_scenario(TransportKind::Threads);
+    scenarios::heartbeat_scenario(scenarios::Engine::THREADS);
 }
 
 /// An open-loop gap in the arrival stream must not read as a drained
@@ -53,15 +52,15 @@ fn silent_worker_trips_heartbeat_deadline() {
 /// even when a job completes while the wait queue is empty.
 #[test]
 fn open_loop_submission_gap_does_not_end_run_early() {
-    scenarios::submission_gap_scenario(TransportKind::Threads);
+    scenarios::submission_gap_scenario(scenarios::Engine::THREADS);
 }
 
 /// Two schedulers binding `127.0.0.1:0` concurrently get distinct,
 /// resolved ports — the no-collision guarantee parallel tests rely on.
 #[test]
 fn ephemeral_ports_never_collide() {
-    let a = NetBackend::bind(scenarios::sched_config(TransportKind::Threads)).expect("bind a");
-    let b = NetBackend::bind(scenarios::sched_config(TransportKind::Threads)).expect("bind b");
+    let a = NetBackend::bind(scenarios::sched_config(scenarios::Engine::THREADS)).expect("bind a");
+    let b = NetBackend::bind(scenarios::sched_config(scenarios::Engine::THREADS)).expect("bind b");
     assert_ne!(a.addr().port(), 0);
     assert_ne!(b.addr().port(), 0);
     assert_ne!(a.addr(), b.addr());

@@ -4,16 +4,18 @@
 //! fan-in on a handful of threads.
 //!
 //! The scenario bodies live in `tests/scenarios/` and are byte-for-byte
-//! the ones `tests/cluster.rs` runs on the thread-per-connection engine:
-//! same trace, same policies, same assertions. Passing here proves the
-//! two transports are observationally equivalent to the scheduler.
+//! the ones `tests/cluster.rs` runs on the thread-per-connection engine
+//! and `tests/epoll.rs` runs on the epoll backend: same trace, same
+//! policies, same assertions. This suite pins the portable poll(2)
+//! readiness backend, so it keeps covering that path on machines where
+//! `Auto` resolves to epoll.
 
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use blox_core::ids::JobId;
 use blox_net::event_loop::{Delivery, EvLoopConfig, EvLoopPool, LinkSender, LoopEvent};
-use blox_net::TransportKind;
+use blox_net::PollerKind;
 use blox_runtime::wire::Message;
 use crossbeam::channel::unbounded;
 
@@ -26,27 +28,27 @@ use common::watchdog;
 /// thread transport, which passes the identical assertion).
 #[test]
 fn evloop_jct_matches_in_process_runtime() {
-    scenarios::fidelity_scenario(TransportKind::EvLoop);
+    scenarios::fidelity_scenario(scenarios::Engine::EVLOOP_POLL);
 }
 
 /// Differential churn: a mid-run node crash on the event loop must
 /// trigger the same detect → revoke → requeue → finish sequence.
 #[test]
 fn evloop_node_crash_triggers_churn_and_jobs_still_finish() {
-    scenarios::churn_scenario(TransportKind::EvLoop);
+    scenarios::churn_scenario(scenarios::Engine::EVLOOP_POLL);
 }
 
 /// Differential heartbeats: the timer-wheel beats must satisfy the same
 /// missed-deadline detector, and a silent worker must still be caught.
 #[test]
 fn evloop_silent_worker_trips_heartbeat_deadline() {
-    scenarios::heartbeat_scenario(TransportKind::EvLoop);
+    scenarios::heartbeat_scenario(scenarios::Engine::EVLOOP_POLL);
 }
 
 /// Differential open-loop gap handling on the event-loop engine.
 #[test]
 fn evloop_submission_gap_does_not_end_run_early() {
-    scenarios::submission_gap_scenario(TransportKind::EvLoop);
+    scenarios::submission_gap_scenario(scenarios::Engine::EVLOOP_POLL);
 }
 
 /// A peer that stops reading must be disconnected once its outbound
@@ -58,6 +60,7 @@ fn slow_reader_is_disconnected_at_the_queue_bound() {
     let pool = EvLoopPool::new(EvLoopConfig {
         shards: 1,
         max_out_bytes: max_out,
+        poller: PollerKind::Poll,
     })
     .expect("pool");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -124,7 +127,11 @@ fn slow_reader_is_disconnected_at_the_queue_bound() {
 fn thousand_connections_on_one_pool() {
     let _wd = watchdog(Duration::from_secs(120), "1k-connection smoke");
     let n: usize = if cfg!(debug_assertions) { 100 } else { 1000 };
-    let pool = EvLoopPool::new(EvLoopConfig::default()).expect("pool");
+    let pool = EvLoopPool::new(EvLoopConfig {
+        poller: PollerKind::Poll,
+        ..EvLoopConfig::default()
+    })
+    .expect("pool");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.addr_local();
     let (server_tx, server_events) = unbounded();

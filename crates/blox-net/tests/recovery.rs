@@ -233,6 +233,7 @@ fn restored_scheduler_readopts_workers_instead_of_growing_the_cluster() {
                 reconnect: false,
                 faults: None,
                 transport: TransportKind::Threads,
+                poller: blox_net::PollerKind::Auto,
             })
         })
         .collect();

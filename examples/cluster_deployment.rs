@@ -87,6 +87,7 @@ fn main() {
                 reconnect: false,
                 faults: None,
                 transport: blox::net::TransportKind::Threads,
+                poller: blox::net::PollerKind::Auto,
             })
         })
         .collect();
